@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build test vet bench cover examples record clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the 200-site scale test and the churn soak.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/extranet
+	$(GO) run ./examples/voicesla
+	$(GO) run ./examples/scalability
+	$(GO) run ./examples/multicarrier
+	$(GO) run ./examples/backbone
+	$(GO) run ./examples/paperfigs
+
+# Regenerate the recorded outputs referenced by EXPERIMENTS.md / README.
+record:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/vpnbench -dur 5s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,141 @@
+// Command vpnbench regenerates every experiment table in EXPERIMENTS.md:
+// the reproduction harness for the paper's claims (see DESIGN.md §3).
+//
+// Usage:
+//
+//	vpnbench               # run all experiments
+//	vpnbench -e e1,e5      # run a subset
+//	vpnbench -json out.json  # machine-readable results
+//	vpnbench -dur 10s      # longer traffic runs (E2/E3/E5)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mplsvpn/internal/experiments"
+	"mplsvpn/internal/sim"
+)
+
+func main() {
+	var (
+		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e13 or all)")
+		dur      = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
+		e1N      = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
+		jsonFile = flag.String("json", "", "also write machine-readable results to this file")
+	)
+	flag.Parse()
+	results := map[string]any{}
+
+	want := map[string]bool{}
+	if *exps == "all" {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"} {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(strings.ToLower(e))] = true
+		}
+	}
+	d := sim.Time(dur.Nanoseconds())
+
+	if want["e1"] {
+		var sizes []int
+		for _, s := range strings.Split(*e1N, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+				fmt.Fprintf(os.Stderr, "vpnbench: bad -e1-sizes entry %q\n", s)
+				os.Exit(2)
+			}
+			sizes = append(sizes, n)
+		}
+		res := experiments.E1Scalability(sizes)
+		results["e1"] = res
+		fmt.Println(res.Table.String())
+	}
+	if want["e2"] {
+		res := experiments.E2QoS(d)
+		results["e2"] = res
+		fmt.Println(res.Table.String())
+		fmt.Println(res.CDF.String())
+	}
+	if want["e3"] {
+		res := experiments.E3IPsec(d)
+		results["e3"] = res
+		fmt.Println(res.Table.String())
+		fmt.Printf("anti-replay drops (RFC 4303 window vs QoS reordering): %v\n\n", res.ReplayDrops)
+		fmt.Println(res.Overhead.String())
+	}
+	if want["e4"] {
+		res := experiments.E4Forwarding(nil, 0)
+		results["e4"] = res
+		fmt.Println(res.Table.String())
+	}
+	if want["e5"] {
+		res := experiments.E5TrafficEngineering(d)
+		results["e5"] = res
+		fmt.Println(res.Table.String())
+		fmt.Printf("TE long path used: %v\n\n", res.LongPathUsed)
+	}
+	if want["e6"] {
+		res := experiments.E6Isolation(10, 6000)
+		results["e6"] = res
+		fmt.Println(res.Table.String())
+		fmt.Printf("violations=%d wrong_reachability=%d\n\n", res.Violations, res.WrongReachability)
+	}
+	if want["e7"] {
+		res := experiments.E7EdgeMapping()
+		results["e7"] = res
+		fmt.Println(res.Table.String())
+	}
+	if want["e8"] {
+		res := experiments.E8Resilience(d)
+		results["e8"] = res
+		fmt.Println(res.Restoration.String())
+		fmt.Println(res.Figure())
+		fmt.Println(res.Scaling.String())
+	}
+	if want["e9"] {
+		res := experiments.E9Ablations(d)
+		results["e9"] = res
+		fmt.Println(res.Table.String())
+	}
+	if want["e10"] {
+		res := experiments.E10MultiCarrier(d)
+		results["e10"] = res
+		fmt.Println(res.Table.String())
+	}
+	if want["e11"] {
+		res := experiments.E11VPNTiers(d)
+		results["e11"] = res
+		fmt.Println(res.Table.String())
+		fmt.Printf("EF-marking bronze customer held to bronze service: %v\n\n", res.CheatBlocked)
+	}
+	if want["e12"] {
+		res := experiments.E12FastReroute(d)
+		results["e12"] = res
+		fmt.Println(res.Table.String())
+	}
+	if want["e13"] {
+		res := experiments.E13InterASOptions(d, 4)
+		results["e13"] = res
+		fmt.Println(res.Table.String())
+	}
+
+	if *jsonFile != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnbench: marshal:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonFile, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vpnbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jsonFile)
+	}
+}

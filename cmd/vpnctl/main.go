@@ -1,0 +1,131 @@
+// Command vpnctl provisions and exercises an MPLS VPN backbone from a
+// plain-text config (see internal/netconf for the directive reference),
+// then prints a per-flow SLA report — the operator's view of the paper's
+// architecture.
+//
+// Usage:
+//
+//	vpnctl -f network.conf [-sched hybrid] [-seed 1] [-v] [-dot topo.dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/netconf"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+)
+
+func main() {
+	var (
+		file  = flag.String("f", "", "config file (required)")
+		sched = flag.String("sched", "hybrid", "scheduler: fifo|priority|wfq|drr|hybrid")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		verb  = flag.Bool("v", false, "verbose: print router counters")
+		dot   = flag.String("dot", "", "write a Graphviz rendering of the network to this file")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*file, *sched, *seed, *verb, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "vpnctl:", err)
+		os.Exit(1)
+	}
+}
+
+func schedKind(s string) (core.SchedulerKind, error) {
+	switch s {
+	case "fifo":
+		return core.SchedFIFO, nil
+	case "priority":
+		return core.SchedPriority, nil
+	case "wfq":
+		return core.SchedWFQ, nil
+	case "drr":
+		return core.SchedDRR, nil
+	case "hybrid":
+		return core.SchedHybrid, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q", s)
+}
+
+func run(path, sched string, seed uint64, verbose bool, dotFile string) error {
+	kind, err := schedKind(sched)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	sc, err := netconf.Load(f, path, core.Config{Seed: seed, Scheduler: kind})
+	if err != nil {
+		return err
+	}
+	b := sc.B
+	for _, lsp := range sc.TELSPs {
+		fmt.Printf("telsp %s: %s (%.0f b/s reserved)\n", lsp.Name, lsp.Path.String(b.G), lsp.Bandwidth)
+	}
+
+	b.Net.RunUntil(sc.Duration + sim.Second)
+
+	fmt.Printf("\n=== SLA report (scheduler=%s, %v simulated) ===\n", sched, sc.Duration)
+	for _, fl := range sc.Flows {
+		line := fl.Stats.Summary()
+		if fl.DSCP == packet.DSCPEF {
+			q := stats.ScoreVoice(fl.Stats)
+			line += fmt.Sprintf("  MOS=%.2f (%s)", q.MOS, q.Grade())
+		}
+		fmt.Println(line)
+	}
+	if len(sc.SLAs) > 0 {
+		fmt.Println("\n=== SLA compliance ===")
+		for _, fl := range sc.Flows {
+			if target, ok := sc.SLAs[fl.Stats.Name]; ok {
+				fmt.Println(target.Evaluate(fl.Stats).String())
+			}
+		}
+	}
+
+	fmt.Printf("\ninjected=%d delivered=%d dropped=%d isolation_violations=%d\n",
+		b.Net.Injected, b.Net.Delivered, b.Net.Dropped, b.IsolationViolations)
+	if b.IGP != nil {
+		fmt.Println(b.IGP.String())
+	}
+	if b.LDP != nil {
+		fmt.Printf("ldp: %d mapping messages, %d ILM entries network-wide\n",
+			b.LDP.MessagesSent, b.LDP.TotalILMEntries())
+	}
+	fmt.Printf("bgp: %d updates, %d sessions\n", b.BGP.UpdatesSent, b.BGP.SessionCount())
+
+	for _, tr := range sc.Traces {
+		fmt.Printf("\n=== trace %s -> %s ===\n", tr.Site, tr.Dst)
+		fmt.Print(b.TraceRoute(tr.Site, tr.Dst, tr.DSCP).String())
+	}
+
+	if dotFile != "" {
+		if err := os.WriteFile(dotFile, []byte(b.DOT()), 0o644); err != nil {
+			return fmt.Errorf("writing dot: %w", err)
+		}
+		fmt.Printf("\ntopology written to %s (render: dot -Tsvg %s)\n", dotFile, dotFile)
+	}
+
+	if verbose {
+		fmt.Println("\n=== router counters ===")
+		for _, name := range b.SiteNames() {
+			ce, _ := b.Site(name)
+			r := b.Net.Router(ce)
+			fmt.Printf("%-16s delivered=%-6d policed=%-4d noroute=%d\n",
+				r.Name, r.Delivered, r.DroppedPolicer, r.DroppedNoRoute)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Paperfigs reproduces the paper's four figures as running systems rather
+// than diagrams, narrating the §4 service procedures at each step:
+//
+//	Fig. 1 — "Integrated MPLS service network": multiple VPNs sharing one
+//	         MPLS domain.
+//	Fig. 2 — "VPN sites connection interface": per-VPN tunnels (LSPs)
+//	         joining sites V1/V2 across the provider.
+//	Fig. 3 — "MPLS facilitates the deployment of VPNs": the CE/PE
+//	         interface; workstations behind CEs exchanging data.
+//	Fig. 4 — "MPLS deployment in a backbone": labelled packets on path 1,
+//	         an unlabelled (plain IP) packet on path 2.
+//
+//	go run ./examples/paperfigs
+package main
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+	"mplsvpn/internal/trafgen"
+	"mplsvpn/internal/vpn"
+)
+
+func main() {
+	// One backbone serves all four figures: two LSRs in the core, two
+	// edge LSRs (PEs), exactly the shape of Fig. 4.
+	b := core.NewBackbone(core.Config{Seed: 4})
+	b.AddPE("LSR-edge-1")
+	b.AddP("LSR-core-1")
+	b.AddP("LSR-core-2")
+	b.AddPE("LSR-edge-2")
+	b.Link("LSR-edge-1", "LSR-core-1", 100e6, sim.Millisecond, 1)
+	b.Link("LSR-core-1", "LSR-core-2", 100e6, sim.Millisecond, 1)
+	b.Link("LSR-core-2", "LSR-edge-2", 100e6, sim.Millisecond, 1)
+	b.BuildProvider()
+
+	fmt.Println("== Fig. 1: integrated MPLS service network — two VPNs, one domain ==")
+	for _, v := range []string{"vpn-A", "vpn-B"} {
+		b.DefineVPN(v)
+	}
+
+	// §4.1 Discovery of membership: subscribe before joining, watch the
+	// events arrive, and confirm VPN-A's discovery never sees VPN-B.
+	fmt.Println("\n== §4.1 membership discovery ==")
+	b.Registry.Subscribe("vpn-A", func(e vpn.Event) {
+		verb := "joined"
+		if !e.Joined {
+			verb = "left"
+		}
+		fmt.Printf("  [discovery vpn-A] site %s %s (prefixes %v)\n", e.Site.Name, verb, e.Site.Prefixes)
+	})
+
+	// Fig. 2/3: sites V1 and V2 of each VPN attach at the edges.
+	for _, v := range []string{"vpn-A", "vpn-B"} {
+		b.AddSite(core.SiteSpec{VPN: v, Name: v + "-site-V1", PE: "LSR-edge-1",
+			Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+		b.AddSite(core.SiteSpec{VPN: v, Name: v + "-site-V2", PE: "LSR-edge-2",
+			Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+	}
+
+	// §4.2 Exchanging reachability information: MP-BGP distributes the
+	// VPN-IPv4 routes with labels piggybacked.
+	fmt.Println("\n== §4.2 reachability exchange (MP-BGP, labels piggybacked) ==")
+	b.ConvergeVPNs()
+	sp, _ := b.BGP.Speaker(mustNode(b, "LSR-edge-1"))
+	for _, r := range sp.BestRoutes() {
+		fmt.Printf("  [rib LSR-edge-1] %s\n", r)
+	}
+
+	// §4.3 Carrying data traffic: Fig. 2's tunnels in action — both VPNs
+	// use the same addresses, each delivery stays inside its VPN.
+	fmt.Println("\n== §4.3 / Fig. 2-3: data over per-VPN LSP tunnels ==")
+	fa, _ := b.FlowBetween("vpn-A-data", "vpn-A-site-V1", "vpn-A-site-V2", 80)
+	fb, _ := b.FlowBetween("vpn-B-data", "vpn-B-site-V1", "vpn-B-site-V2", 81)
+	trafgen.CBR(b.Net, fa, 500, 10*sim.Millisecond, 0, sim.Second)
+	trafgen.CBR(b.Net, fb, 500, 10*sim.Millisecond, 0, sim.Second)
+	b.Net.Run()
+	fmt.Printf("  %s\n  %s\n", fa.Stats.Summary(), fb.Stats.Summary())
+	fmt.Printf("  isolation violations: %d (same 10.x addresses in both VPNs)\n", b.IsolationViolations)
+
+	// Fig. 4: a labelled packet (path 1) vs an unlabelled packet (path 2).
+	fmt.Println("\n== Fig. 4: labelled vs unlabelled packets in the backbone ==")
+	fmt.Println("path 1 — VPN traffic (labelled end to end):")
+	fmt.Print(indent(b.TraceRoute("vpn-A-site-V1", addr.MustParseIPv4("10.2.0.1"), packet.DSCPEF).String()))
+	fmt.Println("path 2 — a destination outside the VPN (dropped at the edge):")
+	tr := b.TraceRoute("vpn-A-site-V1", addr.MustParseIPv4("10.99.0.1"), 0)
+	fmt.Print(indent(tr.String()))
+	fmt.Println("  (no unlabelled customer packet ever crosses the Fig. 4 core: either")
+	fmt.Println("   the edge LSR labels it onto a VPN tunnel, or it stops right there)")
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}
+
+func mustNode(b *core.Backbone, name string) topo.NodeID {
+	n, ok := b.G.NodeByName(name)
+	if !ok {
+		panic(name)
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module mplsvpn
+
+go 1.22

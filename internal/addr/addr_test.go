@@ -1,0 +1,140 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIPv4(t *testing.T) {
+	cases := []struct {
+		in   string
+		want IPv4
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"10.1.2.3", 0x0a010203, true},
+		{"192.168.0.1", 0xc0a80001, true},
+		{"256.0.0.1", 0, false},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseIPv4(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseIPv4(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseIPv4(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIPv4StringRoundTrip(t *testing.T) {
+	f := func(u uint32) bool {
+		ip := IPv4(u)
+		back, err := ParseIPv4(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if p.Addr != MustParseIPv4("10.1.0.0") || p.Len != 16 {
+		t.Fatalf("got %v", p)
+	}
+	// Host bits must be masked.
+	p = MustParsePrefix("10.1.2.3/16")
+	if p.Addr != MustParseIPv4("10.1.0.0") {
+		t.Fatalf("host bits not masked: %v", p)
+	}
+	if _, err := ParsePrefix("10.0.0.0/33"); err == nil {
+		t.Fatal("accepted /33")
+	}
+	if _, err := ParsePrefix("10.0.0.0"); err == nil {
+		t.Fatal("accepted prefix without length")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if !p.Contains(MustParseIPv4("10.255.0.1")) {
+		t.Fatal("10/8 should contain 10.255.0.1")
+	}
+	if p.Contains(MustParseIPv4("11.0.0.0")) {
+		t.Fatal("10/8 should not contain 11.0.0.0")
+	}
+	def := Prefix{}
+	if !def.Contains(MustParseIPv4("1.2.3.4")) {
+		t.Fatal("default route should contain everything")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.1.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("10/8 and 10.1/16 overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("10/8 and 11/8 do not overlap")
+	}
+}
+
+func TestRDEncodeRoundTrip(t *testing.T) {
+	f := func(admin uint16, assigned uint32) bool {
+		rd := RouteDistinguisher{Admin: admin, Assigned: assigned}
+		back, err := DecodeRD(rd.Encode())
+		return err == nil && back == rd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRDBadType(t *testing.T) {
+	var b [8]byte
+	b[0] = 1
+	if _, err := DecodeRD(b); err == nil {
+		t.Fatal("accepted unknown RD type")
+	}
+}
+
+func TestVPNPrefixDistinguishesOverlap(t *testing.T) {
+	// The core RFC 2547 property: same prefix + different RD = different key.
+	p := MustParsePrefix("10.0.0.0/8")
+	a := VPNPrefix{RD: RouteDistinguisher{100, 1}, Prefix: p}
+	b := VPNPrefix{RD: RouteDistinguisher{100, 2}, Prefix: p}
+	if a == b {
+		t.Fatal("VPN prefixes with different RDs compare equal")
+	}
+	m := map[VPNPrefix]int{a: 1, b: 2}
+	if len(m) != 2 {
+		t.Fatal("map collapsed distinct VPN prefixes")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := MustParsePrefix("10.0.0.0/8").String(); s != "10.0.0.0/8" {
+		t.Errorf("prefix String = %q", s)
+	}
+	rd := RouteDistinguisher{Admin: 65000, Assigned: 7}
+	if rd.String() != "65000:7" {
+		t.Errorf("RD String = %q", rd.String())
+	}
+	rt := RouteTarget{Admin: 65000, Assigned: 7}
+	if rt.String() != "target:65000:7" {
+		t.Errorf("RT String = %q", rt.String())
+	}
+	v := VPNPrefix{RD: rd, Prefix: MustParsePrefix("10.0.0.0/8")}
+	if v.String() != "65000:7:10.0.0.0/8" {
+		t.Errorf("VPNPrefix String = %q", v.String())
+	}
+}

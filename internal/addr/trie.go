@@ -1,0 +1,172 @@
+package addr
+
+// Table is a longest-prefix-match routing table implemented as a binary
+// radix (Patricia-style) trie keyed on prefix bits. It is the lookup
+// structure behind every IP forwarding decision in the simulator, and also
+// the subject of experiment E4, which compares its per-packet cost with an
+// MPLS label-index lookup.
+//
+// The value type is generic so VRFs, global tables, and IGP tables can all
+// reuse it.
+type Table[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// NewTable returns an empty table.
+func NewTable[V any]() *Table[V] {
+	return &Table[V]{root: &trieNode[V]{}}
+}
+
+// Len returns the number of installed prefixes.
+func (t *Table[V]) Len() int { return t.size }
+
+// Insert installs or replaces the value for prefix p. It reports whether the
+// prefix was newly added (false means replaced).
+func (t *Table[V]) Insert(p Prefix, v V) bool {
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		b := p.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val = v
+	n.set = true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Delete removes prefix p. It reports whether the prefix was present.
+// Interior nodes are left in place; tables in this system are built once
+// per convergence and rebuilt on change, so compaction is not worth the
+// complexity.
+func (t *Table[V]) Delete(p Prefix) bool {
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		n = n.child[p.Bit(i)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val = zero
+	n.set = false
+	t.size--
+	return true
+}
+
+// Exact returns the value installed for exactly prefix p.
+func (t *Table[V]) Exact(p Prefix) (V, bool) {
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		n = n.child[p.Bit(i)]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	return n.val, n.set
+}
+
+// Lookup performs longest-prefix match for ip. The boolean is false when no
+// installed prefix covers the address.
+func (t *Table[V]) Lookup(ip IPv4) (V, bool) {
+	n := t.root
+	var best V
+	found := false
+	if n.set {
+		best, found = n.val, true
+	}
+	u := uint32(ip)
+	for i := 0; i < 32 && n != nil; i++ {
+		b := u >> (31 - i) & 1
+		n = n.child[b]
+		if n != nil && n.set {
+			best, found = n.val, true
+		}
+	}
+	return best, found
+}
+
+// LookupPrefix performs longest-prefix match and also returns the matched
+// prefix. Slightly slower than Lookup; used where the FEC (the prefix
+// itself) matters, such as at an MPLS ingress.
+func (t *Table[V]) LookupPrefix(ip IPv4) (Prefix, V, bool) {
+	n := t.root
+	var best V
+	var bestLen uint8
+	found := false
+	if n.set {
+		best, found = n.val, true
+	}
+	u := uint32(ip)
+	for i := 0; i < 32 && n != nil; i++ {
+		b := u >> (31 - i) & 1
+		n = n.child[b]
+		if n != nil && n.set {
+			best, bestLen, found = n.val, uint8(i+1), true
+		}
+	}
+	if !found {
+		return Prefix{}, best, false
+	}
+	return NewPrefix(ip, bestLen), best, true
+}
+
+// Walk visits every installed prefix in lexicographic bit order. Returning
+// false from fn stops the walk.
+func (t *Table[V]) Walk(fn func(Prefix, V) bool) {
+	var rec func(n *trieNode[V], bits uint32, depth uint8) bool
+	rec = func(n *trieNode[V], bits uint32, depth uint8) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			if !fn(Prefix{Addr: IPv4(bits << (32 - depth) & (^uint32(0) << (32 - depth))), Len: depth}, n.val) {
+				return false
+			}
+		}
+		if depth == 32 {
+			return true
+		}
+		if !rec(n.child[0], bits<<1, depth+1) {
+			return false
+		}
+		return rec(n.child[1], bits<<1|1, depth+1)
+	}
+	// depth 0 needs special handling for the shift; handle the default
+	// route directly.
+	if t.root.set {
+		if !fn(Prefix{}, t.root.val) {
+			return
+		}
+	}
+	if !rec(t.root.child[0], 0, 1) {
+		return
+	}
+	rec(t.root.child[1], 1, 1)
+}
+
+// Prefixes returns all installed prefixes.
+func (t *Table[V]) Prefixes() []Prefix {
+	out := make([]Prefix, 0, t.size)
+	t.Walk(func(p Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,37 @@
+package bgp
+
+import (
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/topo"
+)
+
+func benchMesh(b *testing.B, speakers, routesPer int, rr bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		m := NewMesh()
+		for s := 0; s < speakers; s++ {
+			sp := m.AddSpeaker(topo.NodeID(s), addr.IPv4(uint32(s)))
+			for r := 0; r < routesPer; r++ {
+				sp.Originate(&VPNRoute{
+					Prefix: addr.VPNPrefix{
+						RD:     addr.RouteDistinguisher{Admin: 65000, Assigned: 1},
+						Prefix: addr.NewPrefix(addr.IPv4(uint32(s*routesPer+r)<<8), 24),
+					},
+					NextHop: addr.IPv4(uint32(s)), Label: 100,
+					RTs:      []addr.RouteTarget{{Admin: 65000, Assigned: 1}},
+					OriginPE: topo.NodeID(s),
+				})
+			}
+		}
+		if rr {
+			m.UseRouteReflector(0)
+		}
+		m.Converge()
+	}
+}
+
+func BenchmarkFullMesh8x50(b *testing.B)        { benchMesh(b, 8, 50, false) }
+func BenchmarkFullMesh32x50(b *testing.B)       { benchMesh(b, 32, 50, false) }
+func BenchmarkRouteReflector32x50(b *testing.B) { benchMesh(b, 32, 50, true) }

@@ -1,0 +1,300 @@
+// Package bgp emulates the MP-BGP machinery of RFC 2547 BGP/MPLS VPNs:
+// PE routers exchange VPN-IPv4 routes (route distinguisher + prefix) with
+// a VPN label piggybacked on each route — "The ISP's routing system
+// distributes this information by piggybacking labels in the routing
+// protocol updates" (§4) — and route-target extended communities that
+// control VRF import. Sessions form either an iBGP full mesh or a route
+// reflector topology; the session-count difference feeds experiment E1.
+//
+// Best-path selection is a deterministic subset of the BGP decision
+// process: LocalPref, then AS-path length, then lowest next hop.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/topo"
+)
+
+// VPNRoute is one VPN-IPv4 NLRI with its attributes.
+type VPNRoute struct {
+	Prefix  addr.VPNPrefix
+	NextHop addr.IPv4 // egress PE loopback (BGP next-hop-self)
+	// Label is the VPN label the egress PE allocated for this route; the
+	// ingress PE pushes it under the transport label.
+	Label     packet.Label
+	RTs       []addr.RouteTarget
+	LocalPref int // higher wins; default 100
+	ASPathLen int // shorter wins
+	OriginPE  topo.NodeID
+}
+
+// HasRT reports whether the route carries the given route target.
+func (r *VPNRoute) HasRT(rt addr.RouteTarget) bool {
+	for _, x := range r.RTs {
+		if x == rt {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *VPNRoute) String() string {
+	return fmt.Sprintf("%s via %s label %d", r.Prefix, r.NextHop, r.Label)
+}
+
+// better reports whether a wins over b in the decision process.
+func better(a, b *VPNRoute) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if a.ASPathLen != b.ASPathLen {
+		return a.ASPathLen < b.ASPathLen
+	}
+	return a.NextHop < b.NextHop
+}
+
+// ImportFilter decides whether a speaker retains a received route. The VPN
+// layer installs a filter that keeps routes whose RTs match some local
+// VRF's import list — "automatic route filtering", which is what keeps
+// each PE's table proportional to the VPNs it actually serves.
+type ImportFilter func(*VPNRoute) bool
+
+// Speaker is one PE's (or route reflector's) BGP state.
+type Speaker struct {
+	Node     topo.NodeID
+	Loopback addr.IPv4
+
+	// exports are locally originated VPN routes (from attached VRFs).
+	exports []*VPNRoute
+	// adjRIBIn holds every retained route per prefix.
+	adjRIBIn map[addr.VPNPrefix][]*VPNRoute
+	// locRIB maps prefix -> selected best route.
+	locRIB map[addr.VPNPrefix]*VPNRoute
+
+	Filter ImportFilter
+
+	// Received counts UPDATE NLRIs offered to this speaker; Retained
+	// counts those kept after filtering (E1's table-size metric).
+	Received int
+	Retained int
+}
+
+func newSpeaker(n topo.NodeID, lb addr.IPv4) *Speaker {
+	return &Speaker{
+		Node: n, Loopback: lb,
+		adjRIBIn: make(map[addr.VPNPrefix][]*VPNRoute),
+		locRIB:   make(map[addr.VPNPrefix]*VPNRoute),
+	}
+}
+
+// Originate adds (or replaces) a locally originated route.
+func (s *Speaker) Originate(r *VPNRoute) {
+	for i, e := range s.exports {
+		if e.Prefix == r.Prefix {
+			s.exports[i] = r
+			return
+		}
+	}
+	s.exports = append(s.exports, r)
+}
+
+// WithdrawLocal removes a locally originated route by prefix.
+func (s *Speaker) WithdrawLocal(p addr.VPNPrefix) bool {
+	for i, e := range s.exports {
+		if e.Prefix == p {
+			s.exports = append(s.exports[:i], s.exports[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// receive offers a route to the speaker. A route reflector bypasses the
+// import filter: it must retain routes for VPNs it does not serve, or it
+// could not reflect them.
+func (s *Speaker) receive(r *VPNRoute, bypassFilter bool) {
+	s.Received++
+	if !bypassFilter && s.Filter != nil && !s.Filter(r) {
+		return
+	}
+	s.Retained++
+	s.adjRIBIn[r.Prefix] = append(s.adjRIBIn[r.Prefix], r)
+}
+
+// selectBest runs the decision process over adj-RIB-in plus local routes.
+func (s *Speaker) selectBest() {
+	s.locRIB = make(map[addr.VPNPrefix]*VPNRoute)
+	consider := func(r *VPNRoute) {
+		cur, ok := s.locRIB[r.Prefix]
+		if !ok || better(r, cur) {
+			s.locRIB[r.Prefix] = r
+		}
+	}
+	for _, r := range s.exports {
+		consider(r)
+	}
+	for _, rs := range s.adjRIBIn {
+		for _, r := range rs {
+			consider(r)
+		}
+	}
+}
+
+// Best returns the selected route for a VPN prefix.
+func (s *Speaker) Best(p addr.VPNPrefix) (*VPNRoute, bool) {
+	r, ok := s.locRIB[p]
+	return r, ok
+}
+
+// BestRoutes returns all selected routes, sorted for determinism.
+func (s *Speaker) BestRoutes() []*VPNRoute {
+	out := make([]*VPNRoute, 0, len(s.locRIB))
+	for _, r := range s.locRIB {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Prefix.String() < out[j].Prefix.String()
+	})
+	return out
+}
+
+// RIBSize returns the number of retained routes (adj-RIB-in entries).
+func (s *Speaker) RIBSize() int {
+	n := 0
+	for _, rs := range s.adjRIBIn {
+		n += len(rs)
+	}
+	return n
+}
+
+// Topology selects the iBGP session layout.
+type Topology int
+
+// Session layouts.
+const (
+	FullMesh Topology = iota
+	RouteReflector
+)
+
+// Mesh is the set of iBGP speakers and their sessions.
+type Mesh struct {
+	Layout   Topology
+	speakers map[topo.NodeID]*Speaker
+	rr       topo.NodeID // route reflector when Layout == RouteReflector
+
+	// UpdatesSent counts route transmissions (one NLRI to one peer).
+	UpdatesSent int
+}
+
+// NewMesh creates an empty full-mesh iBGP domain.
+func NewMesh() *Mesh {
+	return &Mesh{Layout: FullMesh, speakers: make(map[topo.NodeID]*Speaker), rr: topo.Invalid}
+}
+
+// AddSpeaker registers a PE (or RR) with its loopback.
+func (m *Mesh) AddSpeaker(n topo.NodeID, loopback addr.IPv4) *Speaker {
+	s := newSpeaker(n, loopback)
+	m.speakers[n] = s
+	return s
+}
+
+// Speaker returns the speaker at node n.
+func (m *Mesh) Speaker(n topo.NodeID) (*Speaker, bool) {
+	s, ok := m.speakers[n]
+	return s, ok
+}
+
+// UseRouteReflector switches the session layout: all speakers peer only
+// with rr, which reflects routes between them.
+func (m *Mesh) UseRouteReflector(rr topo.NodeID) {
+	m.Layout = RouteReflector
+	m.rr = rr
+}
+
+// SessionCount returns the number of iBGP sessions the layout needs —
+// the §2.1 scaling story applied to the control plane: full mesh is
+// n(n-1)/2, a route reflector is n-1.
+func (m *Mesh) SessionCount() int {
+	n := len(m.speakers)
+	if m.Layout == RouteReflector {
+		return n - 1
+	}
+	return n * (n - 1) / 2
+}
+
+func (m *Mesh) sortedIDs() []topo.NodeID {
+	ids := make([]topo.NodeID, 0, len(m.speakers))
+	for n := range m.speakers {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Converge redistributes all originated routes over the session topology
+// and reruns best-path selection everywhere. It is a full recomputation:
+// callers re-converge after originating or withdrawing routes, mirroring
+// the steady state a real incremental protocol reaches.
+func (m *Mesh) Converge() {
+	for _, s := range m.speakers {
+		s.adjRIBIn = make(map[addr.VPNPrefix][]*VPNRoute)
+		s.Received = 0
+		s.Retained = 0
+	}
+	ids := m.sortedIDs()
+	switch m.Layout {
+	case FullMesh:
+		for _, from := range ids {
+			sf := m.speakers[from]
+			for _, to := range ids {
+				if to == from {
+					continue
+				}
+				for _, r := range sf.exports {
+					m.speakers[to].receive(r, false)
+					m.UpdatesSent++
+				}
+			}
+		}
+	case RouteReflector:
+		rr, ok := m.speakers[m.rr]
+		if !ok {
+			panic("bgp: route reflector is not a speaker")
+		}
+		// Clients -> RR, bypassing any import filter on the RR.
+		for _, from := range ids {
+			if from == m.rr {
+				continue
+			}
+			for _, r := range m.speakers[from].exports {
+				rr.receive(r, true)
+				m.UpdatesSent++
+			}
+		}
+		// RR reflects everything (its own exports included) to clients.
+		var all []*VPNRoute
+		all = append(all, rr.exports...)
+		for _, rs := range rr.adjRIBIn {
+			all = append(all, rs...)
+		}
+		for _, to := range ids {
+			if to == m.rr {
+				continue
+			}
+			for _, r := range all {
+				if r.OriginPE == to {
+					continue // do not reflect a route back to its origin
+				}
+				m.speakers[to].receive(r, false)
+				m.UpdatesSent++
+			}
+		}
+	}
+	for _, s := range m.speakers {
+		s.selectBest()
+	}
+}

@@ -1,0 +1,437 @@
+// Package core is the paper's contribution assembled end to end: an MPLS
+// VPN backbone with a DiffServ/TE QoS plane. It orchestrates the
+// substrates — OSPF-style IGP, LDP, RSVP-TE, MP-BGP, VRFs, the DiffServ
+// edge, and the packet-level simulator — behind one provisioning API:
+//
+//	b := core.NewBackbone(core.Config{...})
+//	pe1 := b.AddPE("PE1"); p1 := b.AddP("P1"); ...
+//	b.Link("PE1", "P1", 10e6, sim.Millisecond, 1)
+//	b.BuildProvider()                      // IGP + LDP converge
+//	b.DefineVPN("acme")
+//	b.AddSite(core.SiteSpec{VPN: "acme", Name: "hq", PE: "PE1", ...})
+//	b.ConvergeVPNs()                       // BGP + VRF import
+//	b.Run(...)                             // inject traffic, measure
+//
+// The §4 procedures map directly: membership discovery is the vpn.Registry
+// wired into provisioning, reachability exchange is MP-BGP with label
+// piggybacking, and data carriage is the LDP/RSVP LSP mesh.
+package core
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/bgp"
+	"mplsvpn/internal/device"
+	"mplsvpn/internal/ldp"
+	"mplsvpn/internal/mpls"
+	"mplsvpn/internal/netsim"
+	"mplsvpn/internal/ospf"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/qos"
+	"mplsvpn/internal/rsvp"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+	"mplsvpn/internal/trafgen"
+	"mplsvpn/internal/vpn"
+)
+
+// SchedulerKind selects the per-port QoS discipline (the E2 ablation axis).
+type SchedulerKind int
+
+// Scheduler choices.
+const (
+	SchedFIFO SchedulerKind = iota
+	SchedPriority
+	SchedWFQ
+	SchedDRR
+	SchedHybrid // strict priority for control/voice + WFQ for the rest
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedFIFO:
+		return "fifo"
+	case SchedPriority:
+		return "priority"
+	case SchedWFQ:
+		return "wfq"
+	case SchedDRR:
+		return "drr"
+	default:
+		return "hybrid"
+	}
+}
+
+// Config sets the backbone-wide policy knobs.
+type Config struct {
+	Seed uint64
+
+	// PlainIP disables MPLS/VPN machinery: the backbone routes customer
+	// prefixes natively. This is the §2.2 "IP applications today have no
+	// direct mechanism to specify QoS" baseline and the substrate for the
+	// IPSec overlay of E3.
+	PlainIP bool
+
+	// Scheduler is the discipline installed on every backbone port.
+	Scheduler SchedulerKind
+	// QueueBytes bounds each port's buffering (0 = netsim default).
+	QueueBytes int
+	// WFQWeights applies to WFQ/Hybrid schedulers; zero value gets a
+	// sensible default (business 4 : assured 2 : best effort 1).
+	WFQWeights [qos.NumClasses]float64
+	// WRED enables random early detection on best-effort queues.
+	WRED bool
+	// EFLimitFraction, when positive, caps the hybrid scheduler's voice
+	// priority queue at this fraction of each link's rate, so even an
+	// unpoliced EF flood cannot starve the lower tiers.
+	EFLimitFraction float64
+
+	// DisableEXPMapping turns off the §5 DSCP->EXP edge mapping at PEs
+	// (an E2/E7 ablation). The mapping is on by default in MPLS mode.
+	DisableEXPMapping bool
+
+	// LDPIndependent switches label distribution from ordered to
+	// independent control (DESIGN.md §4.2 ablation).
+	LDPIndependent bool
+	// DisablePHP turns off penultimate-hop popping: the egress pops its
+	// own transport label (ultimate-hop popping; §4.4 ablation).
+	DisablePHP bool
+
+	// FRR pre-signals facility-backup bypass tunnels around every core
+	// link (RFC 4090): on failure the point of local repair detours
+	// labelled traffic within LocalRepairDelay, long before the IGP-wide
+	// reconvergence completes.
+	FRR bool
+
+	// DSTEPremiumFraction, when positive, enables DiffServ-aware TE: TE
+	// LSPs for voice/control classes draw from a premium pool capped at
+	// this fraction of each link (RFC 4124 MAM), so premium reservations
+	// can never consume the whole backbone.
+	DSTEPremiumFraction float64
+
+	// RouteReflector, when non-empty, names the P/PE node to use as an
+	// iBGP route reflector instead of a full mesh.
+	RouteReflector string
+
+	// BGPAdmin is the RD/RT administrator number (default 65000).
+	BGPAdmin uint16
+}
+
+// vpnConfig is the per-VPN control-plane identity.
+type vpnConfig struct {
+	Name    string
+	RD      addr.RouteDistinguisher
+	Imports []addr.RouteTarget
+	Exports []addr.RouteTarget
+	// SLAClass < 0 means "honour the customer's DSCP" (the default);
+	// otherwise every packet of the VPN is re-marked to this class.
+	SLAClass qos.Class
+}
+
+// siteRecord tracks a provisioned site end to end.
+type siteRecord struct {
+	Spec   SiteSpec
+	CE     topo.NodeID
+	PE     topo.NodeID
+	ceToPE topo.LinkID
+	peToCE topo.LinkID
+	labels map[addr.Prefix]packet.Label // egress PE's VPN labels
+
+	// Dual-homing state (Spec.BackupPE set).
+	backupPE     topo.NodeID
+	backupCEToPE topo.LinkID
+
+	// hosts are the workstation nodes behind the CE (Spec.Hosts > 0).
+	hosts []topo.NodeID
+}
+
+// Backbone is the provisioned provider network.
+type Backbone struct {
+	Cfg Config
+
+	E        *sim.Engine
+	G        *topo.Graph
+	Net      *netsim.Network
+	IGP      *ospf.Domain
+	LDP      *ldp.Protocol
+	RSVP     *rsvp.Protocol
+	BGP      *bgp.Mesh
+	Registry *vpn.Registry
+
+	routers map[topo.NodeID]*device.Router
+	allocs  map[topo.NodeID]*mpls.Allocator
+
+	providerNodes []topo.NodeID
+	peNodes       []topo.NodeID
+	vpns          map[string]*vpnConfig
+	sites         map[string]*siteRecord // by site name
+	siteByCE      map[topo.NodeID]*siteRecord
+	nextRD        uint32
+	built         bool
+	bypasses      map[topo.LinkID]*rsvp.LSP
+
+	// IsolationViolations counts packets delivered into a different VPN
+	// than they were injected into: must stay zero (E6).
+	IsolationViolations int
+
+	// deliverHooks are caller hooks run on every delivery, in order.
+	deliverHooks []func(topo.NodeID, *packet.Packet)
+	// flows dispatches delivered packets to their measuring flow.
+	flows map[packet.FlowKey]*trafgen.Flow
+	// teRequests records TE intents for re-signalling after failures.
+	teRequests []teRequest
+	// aimd dispatches delivery/drop feedback to congestion-controlled sources.
+	aimd map[packet.FlowKey]*trafgen.AIMD
+}
+
+// NewBackbone creates an empty backbone with the given policy, owning its
+// simulation engine, graph, and network.
+func NewBackbone(cfg Config) *Backbone {
+	e := sim.NewEngine(cfg.Seed)
+	g := topo.New()
+	net := netsim.New(e, g)
+	b := newBackboneOn(cfg, e, g, net)
+	net.OnDeliver = b.onDeliver
+	return b
+}
+
+// newBackboneOn creates a backbone over shared simulation infrastructure
+// (the multi-AS case); the caller owns delivery dispatch.
+func newBackboneOn(cfg Config, e *sim.Engine, g *topo.Graph, net *netsim.Network) *Backbone {
+	if cfg.BGPAdmin == 0 {
+		cfg.BGPAdmin = 65000
+	}
+	var zero [qos.NumClasses]float64
+	if cfg.WFQWeights == zero {
+		// Voice/control weights only matter for the pure-WFQ scheduler;
+		// the hybrid serves those classes from its strict-priority tier.
+		cfg.WFQWeights[qos.ClassNetworkControl] = 16
+		cfg.WFQWeights[qos.ClassVoice] = 16
+		cfg.WFQWeights[qos.ClassBusiness] = 4
+		cfg.WFQWeights[qos.ClassAssured] = 2
+		cfg.WFQWeights[qos.ClassBestEffort] = 1
+		cfg.WFQWeights[qos.ClassScavenger] = 0.5
+	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = netsim.DefaultQueueBytes
+	}
+	return &Backbone{
+		Cfg:      cfg,
+		E:        e,
+		G:        g,
+		Net:      net,
+		Registry: vpn.NewRegistry(),
+		BGP:      bgp.NewMesh(),
+		routers:  make(map[topo.NodeID]*device.Router),
+		allocs:   make(map[topo.NodeID]*mpls.Allocator),
+		vpns:     make(map[string]*vpnConfig),
+		sites:    make(map[string]*siteRecord),
+		siteByCE: make(map[topo.NodeID]*siteRecord),
+		nextRD:   1,
+	}
+}
+
+// OnDeliver registers a caller hook invoked for every delivered packet
+// (after the backbone's own isolation and flow accounting). Hooks are
+// additive: registering one never displaces another.
+func (b *Backbone) OnDeliver(fn func(topo.NodeID, *packet.Packet)) {
+	b.deliverHooks = append(b.deliverHooks, fn)
+}
+
+// onDeliver enforces the E6 invariant: a packet may only terminate in the
+// VPN it entered, or in a VPN that deliberately exported routes into it
+// (an extranet). The check uses simulator metadata only — the forwarding
+// path never sees OriginVPN.
+func (b *Backbone) onDeliver(at topo.NodeID, p *packet.Packet) {
+	if p.OriginVPN != "" {
+		if rec, ok := b.siteByCE[at]; ok && !b.legitimateDelivery(p.OriginVPN, rec.Spec.VPN) {
+			b.IsolationViolations++
+		}
+	}
+	if fl, ok := b.flows[p.FlowKey()]; ok {
+		fl.Stats.RecordDelivery(p.SentAt, b.E.Now(), p.Payload)
+	}
+	if src, ok := b.aimd[p.FlowKey()]; ok {
+		src.Ack()
+	}
+	for _, fn := range b.deliverHooks {
+		fn(at, p)
+	}
+}
+
+// legitimateDelivery reports whether a packet injected in VPN origin may
+// terminate at a site of VPN dest: same VPN, or dest exported a route
+// target that origin imports (the extranet contract that put dest's routes
+// into origin's VRF in the first place).
+func (b *Backbone) legitimateDelivery(origin, dest string) bool {
+	if origin == dest {
+		return true
+	}
+	o, ok1 := b.vpns[origin]
+	d, ok2 := b.vpns[dest]
+	if !ok1 || !ok2 {
+		return false
+	}
+	for _, ex := range d.Exports {
+		for _, im := range o.Imports {
+			if ex == im {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// addProviderRouter creates a node + router of the given kind.
+func (b *Backbone) addProviderRouter(name string, kind device.Kind) topo.NodeID {
+	if b.built {
+		panic("core: provider topology is frozen after BuildProvider")
+	}
+	id := b.G.AddNode(name)
+	r := device.New(id, name, kind, ospf.Loopback(id))
+	r.MapDSCPToEXP = !b.Cfg.PlainIP && !b.Cfg.DisableEXPMapping
+	b.routers[id] = r
+	b.Net.AddRouter(r)
+	b.allocs[id] = mpls.NewAllocator()
+	b.providerNodes = append(b.providerNodes, id)
+	if kind == device.PE {
+		b.peNodes = append(b.peNodes, id)
+	}
+	return id
+}
+
+// AddPE adds a provider edge router.
+func (b *Backbone) AddPE(name string) topo.NodeID {
+	return b.addProviderRouter(name, device.PE)
+}
+
+// AddP adds a core (label-switching only) router.
+func (b *Backbone) AddP(name string) topo.NodeID {
+	return b.addProviderRouter(name, device.P)
+}
+
+// Link connects two provider routers with a duplex link.
+func (b *Backbone) Link(a, z string, bandwidth float64, delay sim.Time, metric int) (topo.LinkID, topo.LinkID) {
+	na := b.mustNode(a)
+	nz := b.mustNode(z)
+	return b.G.AddDuplexLink(na, nz, bandwidth, delay, metric)
+}
+
+func (b *Backbone) mustNode(name string) topo.NodeID {
+	id, ok := b.G.NodeByName(name)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown node %q", name))
+	}
+	return id
+}
+
+// Router returns the device at the named node.
+func (b *Backbone) Router(name string) *device.Router {
+	return b.routers[b.mustNode(name)]
+}
+
+// BuildProvider freezes the provider topology and converges the interior
+// control plane: IGP everywhere, LDP LSPs between all provider loopbacks
+// (unless PlainIP), RSVP-TE ready, BGP speakers at PEs, and QoS schedulers
+// on every port.
+func (b *Backbone) BuildProvider() {
+	if b.built {
+		panic("core: BuildProvider called twice")
+	}
+	b.built = true
+
+	b.IGP = ospf.NewDomainOver(b.G, b.providerNodes)
+	b.IGP.Converge()
+
+	if !b.Cfg.PlainIP {
+		b.LDP = ldp.NewOver(b.G, b.IGP, b.providerNodes)
+		if b.Cfg.LDPIndependent {
+			b.LDP.Mode = ldp.Independent
+		}
+		b.LDP.DisablePHP = b.Cfg.DisablePHP
+		lfibs := make(map[topo.NodeID]*mpls.LFIB)
+		for _, n := range b.providerNodes {
+			r := b.routers[n]
+			b.LDP.UseTables(n, b.allocs[n], r.LFIB, r.FTN)
+			lfibs[n] = r.LFIB
+		}
+		b.LDP.Converge()
+		b.RSVP = rsvp.New(b.G, b.allocs, lfibs)
+		b.configureDSTE()
+		b.signalBypasses()
+	}
+
+	// Global IP routes to provider loopbacks (control traffic, and the
+	// entire data plane in PlainIP mode).
+	for _, n := range b.providerNodes {
+		r := b.routers[n]
+		inst := b.IGP.Instances[n]
+		for _, rt := range inst.Routes() {
+			r.IPTable.Insert(addr.HostPrefix(ospf.Loopback(rt.Dest)), rt.NextHop)
+		}
+	}
+
+	// BGP speakers at every PE.
+	for _, n := range b.peNodes {
+		sp := b.BGP.AddSpeaker(n, ospf.Loopback(n))
+		node := n
+		sp.Filter = func(r *bgp.VPNRoute) bool { return b.peWantsRoute(node, r) }
+	}
+	if b.Cfg.RouteReflector != "" {
+		rrNode := b.mustNode(b.Cfg.RouteReflector)
+		if _, ok := b.BGP.Speaker(rrNode); !ok {
+			b.BGP.AddSpeaker(rrNode, ospf.Loopback(rrNode))
+		}
+		b.BGP.UseRouteReflector(rrNode)
+	}
+
+	// QoS ports everywhere (provider links so far; access ports are added
+	// per site with the same factory).
+	b.Net.SetSchedulerFactory(func(l *topo.Link) qos.Scheduler {
+		s := b.newScheduler()
+		if h, ok := s.(*qos.HybridScheduler); ok && b.Cfg.EFLimitFraction > 0 {
+			h.SetEFLimit(qos.NewTokenBucket(b.Cfg.EFLimitFraction*l.Bandwidth/8, 4*1500))
+		}
+		return s
+	})
+}
+
+// peWantsRoute is the automatic route filtering policy: keep a route iff
+// some local VRF imports one of its RTs.
+func (b *Backbone) peWantsRoute(pe topo.NodeID, r *bgp.VPNRoute) bool {
+	for _, v := range b.routers[pe].VRFs {
+		if v.WantsRoute(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// newScheduler builds one port's scheduler per the config.
+func (b *Backbone) newScheduler() qos.Scheduler {
+	qb := b.Cfg.QueueBytes
+	var s qos.Scheduler
+	switch b.Cfg.Scheduler {
+	case SchedFIFO:
+		s = qos.NewFIFO(qb)
+	case SchedPriority:
+		s = qos.NewPriority(qb)
+	case SchedWFQ:
+		s = qos.NewWFQ(qb, b.Cfg.WFQWeights)
+	case SchedDRR:
+		var quanta [qos.NumClasses]int
+		for c, w := range b.Cfg.WFQWeights {
+			quanta[c] = int(w * 1500)
+		}
+		s = qos.NewDRR(qb, quanta)
+	default:
+		s = qos.NewHybrid(qb, b.Cfg.WFQWeights)
+	}
+	if b.Cfg.WRED {
+		if q := s.ClassQueue(qos.ClassBestEffort); q != nil {
+			q.Drop = qos.NewRED(qb/4, qb*3/4, 0.1, b.E.Rand().Fork())
+		}
+	}
+	return s
+}

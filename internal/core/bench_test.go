@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/trafgen"
+)
+
+// BenchmarkProvisionSite measures the end-to-end cost of adding one site
+// (CE + access link + VRF + labels + BGP export).
+func BenchmarkProvisionSite(b *testing.B) {
+	bb := fourPEBackboneForTest(Config{Seed: 1})
+	bb.DefineVPN("v")
+	pes := []string{"PE1", "PE2", "PE3", "PE4"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb.AddSite(SiteSpec{
+			VPN: "v", Name: fmt.Sprintf("s%d", i), PE: pes[i%4],
+			Prefixes: []addr.Prefix{addr.NewPrefix(addr.IPv4(0x0a000000+uint32(i+1)*64), 26)},
+		})
+	}
+}
+
+// BenchmarkControlPlaneConvergence measures a full IGP+LDP+BGP build on a
+// 10-router backbone.
+func BenchmarkControlPlaneConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bb := NewBackbone(Config{Seed: uint64(i)})
+		var prev string
+		for j := 0; j < 10; j++ {
+			name := fmt.Sprintf("R%d", j)
+			if j == 0 || j == 9 {
+				bb.AddPE(name)
+			} else {
+				bb.AddP(name)
+			}
+			if prev != "" {
+				bb.Link(prev, name, 100e6, sim.Millisecond, 1)
+			}
+			prev = name
+		}
+		bb.Link("R0", "R9", 100e6, sim.Millisecond, 3) // close the ring
+		bb.BuildProvider()
+		bb.DefineVPN("v")
+		bb.AddSite(SiteSpec{VPN: "v", Name: "a", PE: "R0",
+			Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+		bb.AddSite(SiteSpec{VPN: "v", Name: "z", PE: "R9",
+			Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+		bb.ConvergeVPNs()
+	}
+}
+
+// BenchmarkDataPlanePPS measures simulated packets per second through the
+// 4-router VPN path (the simulator's own throughput).
+func BenchmarkDataPlanePPS(b *testing.B) {
+	bb := buildSmall(Config{Seed: 2})
+	twoSites(bb)
+	f, _ := bb.FlowBetween("f", "hq", "branch", 80)
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		trafgen.CBR(bb.Net, f, 200, 100*sim.Microsecond, bb.E.Now(), bb.E.Now()+100*sim.Millisecond)
+		bb.Net.Run()
+		n += 1001
+	}
+	b.ReportMetric(float64(f.Stats.Delivered), "pkts_delivered")
+}
+
+// BenchmarkTraceRoute measures the control-plane traceroute.
+func BenchmarkTraceRoute(b *testing.B) {
+	bb := buildSmall(Config{Seed: 3})
+	twoSites(bb)
+	dst := addr.MustParseIPv4("10.2.0.1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr := bb.TraceRoute("hq", dst, 0); !tr.Delivered {
+			b.Fatal(tr.Reason)
+		}
+	}
+}

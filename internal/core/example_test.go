@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/trafgen"
+)
+
+// Example provisions the smallest possible MPLS VPN and sends one probe
+// across it.
+func Example() {
+	b := core.NewBackbone(core.Config{Seed: 1})
+	b.AddPE("PE1")
+	b.AddP("P1")
+	b.AddPE("PE2")
+	b.Link("PE1", "P1", 100e6, sim.Millisecond, 1)
+	b.Link("P1", "PE2", 100e6, sim.Millisecond, 1)
+	b.BuildProvider()
+
+	b.DefineVPN("acme")
+	b.AddSite(core.SiteSpec{VPN: "acme", Name: "hq", PE: "PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+	b.AddSite(core.SiteSpec{VPN: "acme", Name: "branch", PE: "PE2",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+	b.ConvergeVPNs()
+
+	f, _ := b.FlowBetween("probe", "hq", "branch", 7)
+	trafgen.CBR(b.Net, f, 64, 10*sim.Millisecond, 0, 100*sim.Millisecond)
+	b.Net.Run()
+	fmt.Printf("delivered %d/%d\n", f.Stats.Delivered, f.Stats.Sent)
+	// Output: delivered 11/11
+}
+
+// ExampleBackbone_TraceRoute shows the control-plane traceroute walking
+// the label operations hop by hop.
+func ExampleBackbone_TraceRoute() {
+	b := core.NewBackbone(core.Config{Seed: 1})
+	b.AddPE("PE1")
+	b.AddP("P1")
+	b.AddPE("PE2")
+	b.Link("PE1", "P1", 100e6, sim.Millisecond, 1)
+	b.Link("P1", "PE2", 100e6, sim.Millisecond, 1)
+	b.BuildProvider()
+	b.DefineVPN("acme")
+	b.AddSite(core.SiteSpec{VPN: "acme", Name: "hq", PE: "PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+	b.AddSite(core.SiteSpec{VPN: "acme", Name: "branch", PE: "PE2",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+	b.ConvergeVPNs()
+
+	tr := b.TraceRoute("hq", addr.MustParseIPv4("10.2.0.1"), 0)
+	for _, h := range tr.Hops {
+		fmt.Printf("%s: %s\n", h.Name, h.Action)
+	}
+	// Output:
+	// ce-hq: ip forward
+	// PE1: push 2 label(s), class best-effort
+	// P1: pop
+	// PE2: pop to IP
+	// ce-branch: deliver
+}
+
+// ExampleBackbone_SetVPNSLA assigns a QoS level to an entire VPN (§2.2 of
+// the paper): all of its traffic is re-marked at the provider edge.
+func ExampleBackbone_SetVPNSLA() {
+	b := core.NewBackbone(core.Config{Seed: 1})
+	b.AddPE("PE1")
+	b.AddPE("PE2")
+	b.Link("PE1", "PE2", 100e6, sim.Millisecond, 1)
+	b.BuildProvider()
+	b.DefineVPN("gold-customer")
+	b.SetVPNSLA("gold-customer", 1) // qos.ClassVoice
+	b.AddSite(core.SiteSpec{VPN: "gold-customer", Name: "a", PE: "PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+	b.AddSite(core.SiteSpec{VPN: "gold-customer", Name: "z", PE: "PE2",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+	b.ConvergeVPNs()
+
+	tr := b.TraceRoute("a", addr.MustParseIPv4("10.2.0.1"), 0)
+	fmt.Println(tr.Hops[1].Action)
+	// Output: push 1 label(s), class voice
+}

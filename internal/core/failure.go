@@ -1,0 +1,191 @@
+package core
+
+import (
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/ldp"
+	"mplsvpn/internal/mpls"
+	"mplsvpn/internal/ospf"
+	"mplsvpn/internal/qos"
+	"mplsvpn/internal/rsvp"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+// teRequest records an intent so TE LSPs can be re-signalled after a
+// topology change.
+type teRequest struct {
+	name            string
+	ingress, egress topo.NodeID
+	vpn             string
+	bandwidth       float64
+	class           qos.Class
+	opt             rsvp.SetupOptions
+}
+
+// LocalRepairDelay is how quickly a point of local repair activates its
+// FRR bypass after a link failure: loss-of-light detection plus a table
+// rewrite, orders of magnitude faster than IGP-wide reconvergence.
+const LocalRepairDelay = sim.Millisecond
+
+// FailLink takes the link between two provider routers down. The failure
+// is detected and the control plane reconverges after detectDelay of
+// virtual time (0 = immediately); until then traffic into the dead link is
+// lost — the loss window E8 measures — unless FRR bypass tunnels absorb it
+// within LocalRepairDelay.
+func (b *Backbone) FailLink(a, z string, detectDelay sim.Time) {
+	na, nz := b.mustNode(a), b.mustNode(z)
+	b.G.SetLinkDown(na, nz, true)
+	if b.Cfg.FRR && detectDelay > LocalRepairDelay {
+		b.E.After(LocalRepairDelay, func() { b.localRepair(na, nz) })
+	}
+	if detectDelay == 0 {
+		b.reconvergeProvider()
+		return
+	}
+	b.E.After(detectDelay, b.reconvergeProvider)
+}
+
+// localRepair detours the ILM entries of both endpoints around the failed
+// fibre using the pre-signalled bypass tunnels.
+func (b *Backbone) localRepair(a, z topo.NodeID) {
+	for _, dir := range [][2]topo.NodeID{{a, z}, {z, a}} {
+		l, ok := b.G.FindLink(dir[0], dir[1])
+		if !ok {
+			continue
+		}
+		byp, ok := b.bypasses[l.ID]
+		if !ok || byp.State != rsvp.Up {
+			continue
+		}
+		// The bypass must not itself traverse the failed fibre.
+		usesFailed := false
+		for _, lid := range byp.Path.Links {
+			if b.G.Link(lid).Down {
+				usesFailed = true
+				break
+			}
+		}
+		if usesFailed {
+			continue
+		}
+		b.routers[dir[0]].LFIB.DetourVia(l.ID, byp.Entry.OutLabel, byp.Entry.OutLink)
+	}
+}
+
+// RestoreLink brings a failed link back and reconverges after detectDelay.
+func (b *Backbone) RestoreLink(a, z string, detectDelay sim.Time) {
+	na, nz := b.mustNode(a), b.mustNode(z)
+	b.G.SetLinkDown(na, nz, false)
+	if detectDelay == 0 {
+		b.reconvergeProvider()
+		return
+	}
+	b.E.After(detectDelay, b.reconvergeProvider)
+}
+
+// signalBypasses pre-establishes an FRR bypass around every up core link
+// (both directions) when the FRR policy is on. Links with no alternative
+// path simply go unprotected.
+func (b *Backbone) signalBypasses() {
+	if !b.Cfg.FRR || b.RSVP == nil {
+		return
+	}
+	b.bypasses = make(map[topo.LinkID]*rsvp.LSP)
+	provider := make(map[topo.NodeID]bool, len(b.providerNodes))
+	for _, n := range b.providerNodes {
+		provider[n] = true
+	}
+	for i := 0; i < b.G.NumLinks(); i++ {
+		lid := topo.LinkID(i)
+		l := b.G.Link(lid)
+		if l.Down || !provider[l.From] || !provider[l.To] {
+			continue
+		}
+		byp, err := b.RSVP.SetupBypass(
+			"bypass-"+b.G.Name(l.From)+"-"+b.G.Name(l.To), lid)
+		if err != nil {
+			continue
+		}
+		b.bypasses[lid] = byp
+	}
+}
+
+// reconvergeProvider rebuilds the interior control plane against the
+// current topology: IGP re-floods, the label plane is re-signalled from
+// scratch (fresh LFIBs/FTNs), VPN egress labels are re-installed from the
+// provisioning records, TE LSPs are re-signalled (falling back to LDP
+// transport where no path fits), and global IP routes are refreshed.
+//
+// A real network converges incrementally; rebuilding reaches the same
+// steady state and keeps the emulation honest about *which* state exists
+// after the event, which is what the experiments check.
+func (b *Backbone) reconvergeProvider() {
+	// 1. IGP.
+	b.IGP.Converge()
+
+	if !b.Cfg.PlainIP {
+		// 2. Fresh label plane.
+		for _, n := range b.providerNodes {
+			r := b.routers[n]
+			r.LFIB = mpls.NewLFIB()
+			r.FTN = mpls.NewFTN()
+		}
+		b.LDP = ldp.NewOver(b.G, b.IGP, b.providerNodes)
+		if b.Cfg.LDPIndependent {
+			b.LDP.Mode = ldp.Independent
+		}
+		b.LDP.DisablePHP = b.Cfg.DisablePHP
+		for _, n := range b.providerNodes {
+			r := b.routers[n]
+			b.LDP.UseTables(n, b.allocs[n], r.LFIB, r.FTN)
+		}
+		b.LDP.Converge()
+
+		// 3. VPN egress labels back into the fresh LFIBs.
+		for _, rec := range b.sites {
+			pe := b.routers[rec.PE]
+			for _, l := range rec.labels {
+				pe.LFIB.BindILM(l, mpls.NHLFE{Op: mpls.OpPop, OutLink: rec.peToCE})
+			}
+		}
+
+		// 4. TE LSPs: release every reservation, then re-signal each
+		// recorded intent against the new topology.
+		for i := 0; i < b.G.NumLinks(); i++ {
+			b.G.Link(topo.LinkID(i)).ReservedBw = 0
+		}
+		lfibs := make(map[topo.NodeID]*mpls.LFIB)
+		for _, n := range b.providerNodes {
+			lfibs[n] = b.routers[n].LFIB
+		}
+		b.RSVP = rsvp.New(b.G, b.allocs, lfibs)
+		b.configureDSTE()
+		for _, n := range b.providerNodes {
+			for k := range b.routers[n].TE {
+				delete(b.routers[n].TE, k)
+			}
+		}
+		for _, req := range b.teRequests {
+			l, err := b.RSVP.Setup(req.name, req.ingress, req.egress, req.bandwidth, req.opt)
+			if err != nil {
+				continue // no path with capacity: fall back to the LDP LSP
+			}
+			b.routers[req.ingress].TE[teKeyFor(req)] = l.Entry
+		}
+		b.signalBypasses()
+	}
+
+	// 5. Global IP routes to provider loopbacks.
+	for _, n := range b.providerNodes {
+		r := b.routers[n]
+		r.IPTable = addr.NewTable[topo.LinkID]()
+		for _, rt := range b.IGP.Instances[n].Routes() {
+			r.IPTable.Insert(addr.HostPrefix(ospf.Loopback(rt.Dest)), rt.NextHop)
+		}
+	}
+	if b.Cfg.PlainIP {
+		for _, rec := range b.sites {
+			b.installPlainRoutes(rec)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/trafgen"
+)
+
+// buildTwoCarriers provisions VPN "acme" across two providers: a site in
+// AS1 and a site in AS2, joined at ASBR PEs with an option-A interconnect.
+func buildTwoCarriers(t *testing.T) (*InterAS, *trafgen.Flow, *trafgen.Flow) {
+	t.Helper()
+	x := NewInterAS(42,
+		[]string{"as1", "as2"},
+		[]Config{{Scheduler: SchedHybrid}, {Scheduler: SchedHybrid}})
+
+	as1 := x.AS("as1")
+	as1.AddPE("as1-PE1")
+	as1.AddP("as1-P1")
+	as1.AddPE("as1-ASBR")
+	as1.Link("as1-PE1", "as1-P1", 100e6, sim.Millisecond, 1)
+	as1.Link("as1-P1", "as1-ASBR", 100e6, sim.Millisecond, 1)
+	as1.BuildProvider()
+
+	as2 := x.AS("as2")
+	as2.AddPE("as2-ASBR")
+	as2.AddP("as2-P1")
+	as2.AddPE("as2-PE1")
+	as2.Link("as2-ASBR", "as2-P1", 100e6, sim.Millisecond, 1)
+	as2.Link("as2-P1", "as2-PE1", 100e6, sim.Millisecond, 1)
+	as2.BuildProvider()
+
+	as1.DefineVPN("acme")
+	as2.DefineVPN("acme")
+	as1.AddSite(SiteSpec{VPN: "acme", Name: "west", PE: "as1-PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+	as2.AddSite(SiteSpec{VPN: "acme", Name: "east", PE: "as2-PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+	as1.ConvergeVPNs()
+	as2.ConvergeVPNs()
+
+	if err := x.ConnectVPN("acme", "as1", "as1-ASBR", "as2", "as2-ASBR", 100e6, 2*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	fwd, err := x.FlowBetween("fwd", "as1", "west", "as2", "east", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := x.FlowBetween("rev", "as2", "east", "as1", "west", 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, fwd, rev
+}
+
+func TestInterASVPNDelivery(t *testing.T) {
+	x, fwd, rev := buildTwoCarriers(t)
+	trafgen.CBR(x.Net, fwd, 200, 10*sim.Millisecond, 0, sim.Second)
+	trafgen.CBR(x.Net, rev, 200, 10*sim.Millisecond, 0, sim.Second)
+	x.Net.Run()
+
+	if fwd.Stats.Delivered != fwd.Stats.Sent || fwd.Stats.Sent == 0 {
+		t.Fatalf("as1->as2 delivery %d/%d", fwd.Stats.Delivered, fwd.Stats.Sent)
+	}
+	if rev.Stats.Delivered != rev.Stats.Sent {
+		t.Fatalf("as2->as1 delivery %d/%d", rev.Stats.Delivered, rev.Stats.Sent)
+	}
+	if x.AS("as1").IsolationViolations+x.AS("as2").IsolationViolations != 0 {
+		t.Fatal("isolation violations across carriers")
+	}
+	// Labels stayed within each AS: the core of AS2 label-switched the
+	// forward traffic (re-labelled at the ASBR), and no label crossed the
+	// boundary (the inter-AS hop is plain IP: both ASBRs popped).
+	if x.AS("as2").Router("as2-P1").LabelLookups == 0 {
+		t.Fatal("AS2 core did not label-switch transit VPN traffic")
+	}
+}
+
+func TestInterASLatencyCrossesBothCores(t *testing.T) {
+	x, fwd, _ := buildTwoCarriers(t)
+	trafgen.CBR(x.Net, fwd, 200, 10*sim.Millisecond, 0, sim.Second)
+	x.Net.Run()
+	// Path: ce - PE1 - P1 - ASBR =2ms= ASBR - P1 - PE1 - ce:
+	// 7 hops of 1ms + one of 2ms = 8ms propagation at minimum.
+	p50 := fwd.Stats.Latency.Percentile(50)
+	if p50 < 8 || p50 > 12 {
+		t.Fatalf("cross-carrier p50 = %v ms, want ~8-12", p50)
+	}
+}
+
+func TestInterASIsolationOtherVPN(t *testing.T) {
+	// A second VPN exists only in AS1 and is NOT interconnected: its
+	// traffic must not reach AS2 even though the ASBRs are linked.
+	x, _, _ := buildTwoCarriers(t)
+	as1 := x.AS("as1")
+	as1.DefineVPN("solo")
+	as1.AddSite(SiteSpec{VPN: "solo", Name: "lonely", PE: "as1-PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.5.0.0/16")}})
+	as1.ConvergeVPNs()
+	f, _ := as1.FlowBetween("leak", "lonely", "lonely", 80)
+	// Aim at AS2's east prefix from the unconnected VPN.
+	f.Dst = addr.MustParseIPv4("10.2.0.1")
+	as1.ReregisterFlow(f)
+	trafgen.CBR(x.Net, f, 200, 10*sim.Millisecond, 0, 200*sim.Millisecond)
+	x.Net.Run()
+	if f.Stats.Delivered != 0 {
+		t.Fatal("unconnected VPN leaked across the interconnect")
+	}
+}
+
+func TestRefreshInterASPicksUpNewSites(t *testing.T) {
+	x, _, _ := buildTwoCarriers(t)
+	as1, as2 := x.AS("as1"), x.AS("as2")
+	// A new site appears in AS2 after the interconnect was built.
+	as2.AddSite(SiteSpec{VPN: "acme", Name: "east2", PE: "as2-PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.3.0.0/16")}})
+	as2.ConvergeVPNs()
+	x.RefreshInterAS()
+	as1.ConvergeVPNs()
+
+	f, err := x.FlowBetween("f2", "as1", "west", "as2", "east2", 82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trafgen.CBR(x.Net, f, 200, 10*sim.Millisecond, 0, 500*sim.Millisecond)
+	x.Net.Run()
+	if f.Stats.Delivered != f.Stats.Sent || f.Stats.Sent == 0 {
+		t.Fatalf("new remote site unreachable after refresh: %d/%d", f.Stats.Delivered, f.Stats.Sent)
+	}
+}
+
+func TestInterASOptionB(t *testing.T) {
+	x := NewInterAS(43,
+		[]string{"as1", "as2"},
+		[]Config{{Scheduler: SchedHybrid}, {Scheduler: SchedHybrid}})
+	as1 := x.AS("as1")
+	as1.AddPE("as1-PE1")
+	as1.AddP("as1-P1")
+	as1.AddPE("as1-ASBR")
+	as1.Link("as1-PE1", "as1-P1", 100e6, sim.Millisecond, 1)
+	as1.Link("as1-P1", "as1-ASBR", 100e6, sim.Millisecond, 1)
+	as1.BuildProvider()
+	as2 := x.AS("as2")
+	as2.AddPE("as2-ASBR")
+	as2.AddP("as2-P1")
+	as2.AddPE("as2-PE1")
+	as2.Link("as2-ASBR", "as2-P1", 100e6, sim.Millisecond, 1)
+	as2.Link("as2-P1", "as2-PE1", 100e6, sim.Millisecond, 1)
+	as2.BuildProvider()
+	for _, asn := range []string{"as1", "as2"} {
+		x.AS(asn).DefineVPN("acme")
+		x.AS(asn).DefineVPN("globex")
+	}
+	as1.AddSite(SiteSpec{VPN: "acme", Name: "west", PE: "as1-PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+	as2.AddSite(SiteSpec{VPN: "acme", Name: "east", PE: "as2-PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+	as1.AddSite(SiteSpec{VPN: "globex", Name: "g-west", PE: "as1-PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+	as2.AddSite(SiteSpec{VPN: "globex", Name: "g-east", PE: "as2-PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+	as1.ConvergeVPNs()
+	as2.ConvergeVPNs()
+
+	// ONE shared link carries both VPNs (option A would need two).
+	if err := x.ConnectVPNOptionB("as1", "as1-ASBR", "as2", "as2-ASBR",
+		[]string{"acme", "globex"}, 100e6, 2*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	fa, _ := x.FlowBetween("fa", "as1", "west", "as2", "east", 80)
+	fg, _ := x.FlowBetween("fg", "as1", "g-west", "as2", "g-east", 81)
+	rev, _ := x.FlowBetween("rev", "as2", "east", "as1", "west", 82)
+	for _, f := range []*trafgen.Flow{fa, fg, rev} {
+		trafgen.CBR(x.Net, f, 200, 10*sim.Millisecond, 0, sim.Second)
+	}
+	x.Net.Run()
+
+	for _, f := range []*trafgen.Flow{fa, fg, rev} {
+		if f.Stats.Delivered != f.Stats.Sent || f.Stats.Sent == 0 {
+			t.Fatalf("flow %s: %d/%d", f.Stats.Name, f.Stats.Delivered, f.Stats.Sent)
+		}
+	}
+	// Option B keeps the boundary labelled: both ASBRs swap, never popping
+	// customer traffic to IP at the border.
+	if x.AS("as2").Router("as2-ASBR").LFIB.Swapped == 0 {
+		t.Fatal("importing ASBR never swapped")
+	}
+	if x.AS("as1").Router("as1-ASBR").LFIB.Swapped == 0 {
+		t.Fatal("exporting ASBR never swapped")
+	}
+	if x.AS("as1").IsolationViolations+x.AS("as2").IsolationViolations != 0 {
+		t.Fatal("isolation violations with option B")
+	}
+	// Overlapping address spaces stayed separate across the boundary:
+	// acme's 10.2.0.1 and globex's 10.2.0.1 both delivered correctly above.
+}
+
+func TestInterASOptionBUnknownVPN(t *testing.T) {
+	x := NewInterAS(44, []string{"a", "b"}, []Config{{}, {}})
+	x.AS("a").AddPE("a-PE")
+	x.AS("a").BuildProvider()
+	x.AS("b").AddPE("b-PE")
+	x.AS("b").BuildProvider()
+	x.AS("a").DefineVPN("v")
+	if err := x.ConnectVPNOptionB("a", "a-PE", "b", "b-PE", []string{"v"}, 0, 0); err == nil {
+		t.Fatal("unknown VPN accepted")
+	}
+}

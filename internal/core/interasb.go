@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/bgp"
+	"mplsvpn/internal/mpls"
+	"mplsvpn/internal/ospf"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+// ConnectVPNOptionB interconnects the named VPNs across two ASes using
+// RFC 2547's inter-AS "option B": the ASBRs peer over a single shared link
+// (no per-VPN sub-interfaces), exchange labelled VPN-IPv4 routes by eBGP,
+// and the packet crosses the boundary *labelled* — each ASBR swaps the
+// VPN label rather than popping to IP. Compared with option A this trades
+// per-VPN interconnect provisioning for label state at the ASBRs, which is
+// exactly the §2.1 scaling trade re-appearing at the provider boundary.
+func (x *InterAS) ConnectVPNOptionB(asA, peA, asB, peB string, vpns []string, bandwidth float64, delay sim.Time) error {
+	a := x.AS(asA)
+	b := x.AS(asB)
+	for _, v := range vpns {
+		if _, ok := a.vpns[v]; !ok {
+			return fmt.Errorf("core: AS %s has no VPN %q", asA, v)
+		}
+		if _, ok := b.vpns[v]; !ok {
+			return fmt.Errorf("core: AS %s has no VPN %q", asB, v)
+		}
+	}
+	if bandwidth == 0 {
+		bandwidth = 100e6
+	}
+	if delay == 0 {
+		delay = sim.Millisecond
+	}
+	na, nb := a.mustNode(peA), b.mustNode(peB)
+	ab, ba := x.G.AddDuplexLink(na, nb, bandwidth, delay, 1)
+	x.Net.SetScheduler(ab, a.newScheduler())
+	x.Net.SetScheduler(ba, b.newScheduler())
+
+	for _, v := range vpns {
+		// The importing ASBR swaps toward the exporter, so it needs its
+		// own outbound half of the duplex link.
+		x.exchangeOptionB(a, b, v, na, nb, ba)
+		x.exchangeOptionB(b, a, v, nb, na, ab)
+	}
+	return nil
+}
+
+// exchangeOptionB exports vpnName's site routes from `from` to `to`:
+// the exporting ASBR builds a swap chain toward each internal egress PE,
+// advertises per-prefix labels across the boundary, and the importing ASBR
+// allocates its own labels, swapping toward the peer.
+func (x *InterAS) exchangeOptionB(from, to *Backbone, vpnName string, fromASBR, toASBR topo.NodeID, linkToFrom topo.LinkID) {
+	fromR := from.routers[fromASBR]
+	fromAlloc := from.allocs[fromASBR]
+	toR := to.routers[toASBR]
+	toAlloc := to.allocs[toASBR]
+	cfg := to.vpns[vpnName]
+	sp, haveBGP := to.BGP.Speaker(toASBR)
+	if !haveBGP {
+		panic(fmt.Sprintf("core: ASBR %s has no BGP speaker", toR.Name))
+	}
+
+	// Deterministic iteration over the exporting AS's sites.
+	names := make([]string, 0, len(from.sites))
+	for n := range from.sites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		rec := from.sites[name]
+		if rec.Spec.VPN != vpnName {
+			continue
+		}
+		prefixes := make([]addr.Prefix, 0, len(rec.labels))
+		for p := range rec.labels {
+			prefixes = append(prefixes, p)
+		}
+		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+		for _, p := range prefixes {
+			vpnLabel := rec.labels[p]
+
+			// Exporting ASBR: boundary label -> swap to the internal VPN
+			// label, re-tunnelled toward the real egress PE.
+			boundary := fromAlloc.Alloc()
+			entry := mpls.NHLFE{Op: mpls.OpSwap, OutLabel: vpnLabel, OutLink: -1}
+			if rec.PE != fromASBR {
+				t, ok := fromR.FTN.Lookup(ospf.Loopback(rec.PE))
+				if !ok {
+					continue // egress unreachable inside the exporting AS
+				}
+				if t.OutLabel == packet.LabelImplicitNull {
+					entry.OutLink = t.OutLink
+				} else {
+					entry.BypassLabel = t.OutLabel
+					entry.BypassLink = t.OutLink
+				}
+			}
+			fromR.LFIB.BindILM(boundary, entry)
+
+			// Importing ASBR: its own label swaps to the boundary label
+			// across the shared link, and the route enters the local
+			// MP-BGP with the ASBR as next hop.
+			local := toAlloc.Alloc()
+			toR.LFIB.BindILM(local, mpls.NHLFE{Op: mpls.OpSwap, OutLabel: boundary, OutLink: linkToFrom})
+			sp.Originate(&bgp.VPNRoute{
+				Prefix:    addr.VPNPrefix{RD: cfg.RD, Prefix: p},
+				NextHop:   ospf.Loopback(toASBR),
+				Label:     local,
+				RTs:       cfg.Exports,
+				LocalPref: 100,
+				ASPathLen: 1,
+				OriginPE:  toASBR,
+			})
+		}
+	}
+	to.ConvergeVPNs()
+}

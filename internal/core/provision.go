@@ -1,0 +1,543 @@
+package core
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/device"
+	"mplsvpn/internal/ipsec"
+	"mplsvpn/internal/mpls"
+	"mplsvpn/internal/ospf"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/qos"
+	"mplsvpn/internal/rsvp"
+	"mplsvpn/internal/topo"
+	"mplsvpn/internal/vpn"
+
+	"mplsvpn/internal/sim"
+)
+
+// DefineVPN registers a VPN: it gets a fresh RD and a route target that is
+// both its import and export policy (the common intranet case).
+func (b *Backbone) DefineVPN(name string) {
+	rt := addr.RouteTarget{Admin: b.Cfg.BGPAdmin, Assigned: b.nextRD}
+	b.DefineVPNWithRTs(name,
+		[]addr.RouteTarget{rt},
+		[]addr.RouteTarget{rt})
+}
+
+// DefineVPNWithRTs registers a VPN with explicit import/export route
+// targets — the extranet mechanism: an extranet VRF imports the RTs of the
+// VPNs it bridges (§1's "linking customers and partners into extranets on
+// an ad-hoc basis").
+func (b *Backbone) DefineVPNWithRTs(name string, imports, exports []addr.RouteTarget) {
+	if _, dup := b.vpns[name]; dup {
+		panic(fmt.Sprintf("core: VPN %q already defined", name))
+	}
+	b.vpns[name] = &vpnConfig{
+		Name:     name,
+		RD:       addr.RouteDistinguisher{Admin: b.Cfg.BGPAdmin, Assigned: b.nextRD},
+		Imports:  imports,
+		Exports:  exports,
+		SLAClass: -1,
+	}
+	b.nextRD++
+}
+
+// SetVPNSLA assigns a QoS level to an entire VPN (§2.2): all of its
+// traffic is re-marked to class c at the provider edge. Pass class -1 to
+// return to honouring the customer's own DSCP. Applies to VRFs created
+// afterwards and to existing VRFs immediately.
+func (b *Backbone) SetVPNSLA(name string, c qos.Class) {
+	cfg, ok := b.vpns[name]
+	if !ok {
+		panic(fmt.Sprintf("core: VPN %q not defined", name))
+	}
+	cfg.SLAClass = c
+	for _, r := range b.routers {
+		if v, ok := r.VRFs[name]; ok {
+			v.SLAClass = int(c)
+		}
+	}
+}
+
+// RTOf returns the first export route target of a defined VPN (for
+// building extranet import lists).
+func (b *Backbone) RTOf(name string) addr.RouteTarget {
+	cfg, ok := b.vpns[name]
+	if !ok || len(cfg.Exports) == 0 {
+		panic(fmt.Sprintf("core: VPN %q not defined", name))
+	}
+	return cfg.Exports[0]
+}
+
+// SiteSpec describes one customer site to provision.
+type SiteSpec struct {
+	VPN      string
+	Name     string
+	PE       string // attachment PE by name
+	Prefixes []addr.Prefix
+
+	// BackupPE, when set, dual-homes the site: a second access link to
+	// this PE whose BGP exports carry a lower LocalPref, so the backbone
+	// prefers the primary attachment and fails over when it dies
+	// (FailSitePrimary).
+	BackupPE string
+
+	// Access link parameters (defaults: 100 Mb/s, 1 ms).
+	AccessBw    float64
+	AccessDelay sim.Time
+
+	// ShapeRate, when positive, shapes the CE's upstream at this rate
+	// (bits/s) with a token bucket — the customer's purchased access rate.
+	ShapeRate float64
+
+	// Hosts adds that many workstation nodes on a LAN behind the CE
+	// (Fig. 3's PCs). Host k owns the address prefix.Addr + k + 1 and is
+	// reachable through the CE; traffic can originate at hosts via
+	// FlowBetweenHosts. With Hosts == 0 the CE itself terminates the site
+	// prefix (the default, simplest model).
+	Hosts int
+	// LANBw is the host-CE link speed (default 1 Gb/s).
+	LANBw float64
+
+	// Classifier, when set, runs CBQ classification at the CE.
+	Classifier *qos.Classifier
+}
+
+// AddSite provisions a site end to end: a CE node and access link, the VRF
+// at the PE (created on first use), VPN labels for every site prefix with
+// egress ILM entries, BGP export, and a membership announcement. Call
+// ConvergeVPNs afterwards (sites may be added in batches).
+func (b *Backbone) AddSite(spec SiteSpec) *device.Router {
+	if !b.built {
+		panic("core: BuildProvider before AddSite")
+	}
+	cfg, ok := b.vpns[spec.VPN]
+	if !ok {
+		panic(fmt.Sprintf("core: VPN %q not defined", spec.VPN))
+	}
+	if _, dup := b.sites[spec.Name]; dup {
+		panic(fmt.Sprintf("core: site %q already provisioned", spec.Name))
+	}
+	if spec.AccessBw == 0 {
+		spec.AccessBw = 100e6
+	}
+	if spec.AccessDelay == 0 {
+		spec.AccessDelay = sim.Millisecond
+	}
+
+	peID := b.mustNode(spec.PE)
+	pe := b.routers[peID]
+
+	// CE node, router, and access link.
+	ceID := b.G.AddNode("ce-" + spec.Name)
+	ce := device.New(ceID, "ce-"+spec.Name, device.CE, ospf.Loopback(ceID))
+	ce.Classifier = spec.Classifier
+	ce.LocalPrefixes = addr.NewTable[bool]()
+	for _, p := range spec.Prefixes {
+		ce.LocalPrefixes.Insert(p, true)
+	}
+	b.routers[ceID] = ce
+	b.Net.AddRouter(ce)
+	ceToPE, peToCE := b.G.AddDuplexLink(ceID, peID, spec.AccessBw, spec.AccessDelay, 1)
+	ce.IPTable.Insert(addr.Prefix{}, ceToPE) // default route up
+	b.Net.SetScheduler(ceToPE, b.newScheduler())
+	b.Net.SetScheduler(peToCE, b.newScheduler())
+
+	// Workstations on the site LAN (Fig. 3). Each host owns one address;
+	// the CE routes those /32s onto the LAN instead of delivering locally.
+	var hostIDs []topo.NodeID
+	if spec.Hosts > 0 {
+		if spec.LANBw == 0 {
+			spec.LANBw = 1e9
+		}
+		for k := 0; k < spec.Hosts; k++ {
+			hname := fmt.Sprintf("host-%s-%d", spec.Name, k)
+			hid := b.G.AddNode(hname)
+			h := device.New(hid, hname, device.Host, ospf.Loopback(hid))
+			hostAddr := spec.Prefixes[0].Addr + addr.IPv4(k+1)
+			h.LocalPrefixes = addr.NewTable[bool]()
+			h.LocalPrefixes.Insert(addr.HostPrefix(hostAddr), true)
+			toCE, toHost := b.G.AddDuplexLink(hid, ceID, spec.LANBw, 100*sim.Microsecond, 1)
+			h.IPTable.Insert(addr.Prefix{}, toCE)
+			ce.IPTable.Insert(addr.HostPrefix(hostAddr), toHost)
+			// The CE no longer terminates that address itself.
+			b.routers[hid] = h
+			b.Net.AddRouter(h)
+			hostIDs = append(hostIDs, hid)
+		}
+	}
+
+	if spec.ShapeRate > 0 {
+		// Shape upstream to the purchased access rate (bucket = 4 MTU).
+		b.Net.SetShaper(ceToPE, qos.NewTokenBucket(spec.ShapeRate/8, 4*1500))
+	}
+
+	rec := &siteRecord{
+		Spec: spec, CE: ceID, PE: peID,
+		ceToPE: ceToPE, peToCE: peToCE,
+		labels: make(map[addr.Prefix]packet.Label),
+		hosts:  hostIDs,
+	}
+	b.sites[spec.Name] = rec
+	b.siteByCE[ceID] = rec
+	for _, hid := range hostIDs {
+		b.siteByCE[hid] = rec
+	}
+
+	if b.Cfg.PlainIP {
+		b.provisionPlainIPSite(rec)
+	} else {
+		b.provisionVPNSite(rec, cfg, pe)
+		if spec.BackupPE != "" {
+			b.provisionBackupAttachment(rec, cfg)
+		}
+	}
+
+	// Membership discovery (§4.1).
+	if err := b.Registry.Join(vpn.Site{
+		Name: spec.Name, VPN: spec.VPN, PE: peID, Prefixes: spec.Prefixes,
+	}); err != nil {
+		panic(err)
+	}
+	return ce
+}
+
+// provisionVPNSite does the RFC 2547 work at the PE.
+func (b *Backbone) provisionVPNSite(rec *siteRecord, cfg *vpnConfig, pe *device.Router) {
+	v, ok := pe.VRFs[cfg.Name]
+	if !ok {
+		v = vpn.NewVRF(cfg.Name, rec.PE, cfg.RD, cfg.Imports, cfg.Exports)
+		v.SLAClass = int(cfg.SLAClass)
+		pe.VRFs[cfg.Name] = v
+	}
+	pe.BindAccess(rec.ceToPE, cfg.Name)
+	pe.BindSiteAccess(cfg.Name, rec.Spec.Name, rec.peToCE)
+
+	alloc := b.allocs[rec.PE]
+	exports := v.AttachSite(&vpn.Site{
+		Name: rec.Spec.Name, VPN: cfg.Name, PE: rec.PE, Prefixes: rec.Spec.Prefixes,
+	}, func(p addr.Prefix) packet.Label {
+		l := alloc.Alloc()
+		rec.labels[p] = l
+		return l
+	}, ospf.Loopback(rec.PE))
+
+	// Egress data plane: the VPN label pops straight onto the site's
+	// access link.
+	for _, l := range rec.labels {
+		pe.LFIB.BindILM(l, mpls.NHLFE{Op: mpls.OpPop, OutLink: rec.peToCE})
+	}
+	// Control plane: export into BGP.
+	sp, ok := b.BGP.Speaker(rec.PE)
+	if !ok {
+		panic(fmt.Sprintf("core: PE %s has no BGP speaker", pe.Name))
+	}
+	for _, e := range exports {
+		sp.Originate(e)
+	}
+}
+
+// provisionBackupAttachment dual-homes a site: a second access link to the
+// backup PE whose exports carry LocalPref 50 (primary exports carry 100),
+// so remote PEs use the backup path only when the primary withdraws.
+func (b *Backbone) provisionBackupAttachment(rec *siteRecord, cfg *vpnConfig) {
+	peID := b.mustNode(rec.Spec.BackupPE)
+	pe := b.routers[peID]
+	bw := rec.Spec.AccessBw
+	delay := rec.Spec.AccessDelay
+	ceToPE, peToCE := b.G.AddDuplexLink(rec.CE, peID, bw, delay, 1)
+	b.Net.SetScheduler(ceToPE, b.newScheduler())
+	b.Net.SetScheduler(peToCE, b.newScheduler())
+	rec.backupCEToPE = ceToPE
+	rec.backupPE = peID
+
+	v, ok := pe.VRFs[cfg.Name]
+	if !ok {
+		v = vpn.NewVRF(cfg.Name, peID, cfg.RD, cfg.Imports, cfg.Exports)
+		v.SLAClass = int(cfg.SLAClass)
+		pe.VRFs[cfg.Name] = v
+	}
+	pe.BindAccess(ceToPE, cfg.Name)
+	pe.BindSiteAccess(cfg.Name, rec.Spec.Name, peToCE)
+
+	alloc := b.allocs[peID]
+	backupLabels := make(map[addr.Prefix]packet.Label)
+	exports := v.AttachSite(&vpn.Site{
+		Name: rec.Spec.Name, VPN: cfg.Name, PE: peID, Prefixes: rec.Spec.Prefixes,
+	}, func(p addr.Prefix) packet.Label {
+		l := alloc.Alloc()
+		backupLabels[p] = l
+		return l
+	}, ospf.Loopback(peID))
+	for _, l := range backupLabels {
+		pe.LFIB.BindILM(l, mpls.NHLFE{Op: mpls.OpPop, OutLink: peToCE})
+	}
+	sp, ok := b.BGP.Speaker(peID)
+	if !ok {
+		panic(fmt.Sprintf("core: backup PE %s has no BGP speaker", pe.Name))
+	}
+	for _, e := range exports {
+		e.LocalPref = 50 // primary (100) wins while it lives
+		sp.Originate(e)
+	}
+}
+
+// FailSitePrimary severs a dual-homed site's primary attachment: the
+// access link drops, the primary PE withdraws the site's routes, the
+// backbone reconverges onto the backup PE, and the CE repoints its default
+// route at the backup link.
+func (b *Backbone) FailSitePrimary(name string) error {
+	rec, ok := b.sites[name]
+	if !ok {
+		return fmt.Errorf("core: unknown site %q", name)
+	}
+	if rec.Spec.BackupPE == "" {
+		return fmt.Errorf("core: site %q is single-homed", name)
+	}
+	b.G.SetLinkDown(rec.CE, rec.PE, true)
+	pe := b.routers[rec.PE]
+	if v, ok := pe.VRFs[rec.Spec.VPN]; ok {
+		for _, wp := range v.DetachSite(name) {
+			if sp, ok := b.BGP.Speaker(rec.PE); ok {
+				sp.WithdrawLocal(wp)
+			}
+		}
+	}
+	for _, l := range rec.labels {
+		pe.LFIB.UnbindILM(l)
+	}
+	// CE repoints upstream.
+	ce := b.routers[rec.CE]
+	ce.IPTable.Insert(addr.Prefix{}, rec.backupCEToPE)
+	b.ConvergeVPNs()
+	return nil
+}
+
+// provisionPlainIPSite routes the site natively: every provider router and
+// every other CE learns a static route toward the site's prefixes. This is
+// the no-VPN baseline — note the absence of any isolation.
+func (b *Backbone) provisionPlainIPSite(rec *siteRecord) {
+	b.installPlainRoutes(rec)
+	// Existing sites need routes to the new one and vice versa; recompute
+	// all-pairs (cheap at experiment scale).
+	for _, other := range b.sites {
+		if other != rec {
+			b.installPlainRoutes(other)
+		}
+	}
+}
+
+// installPlainRoutes makes rec's prefixes (and CE loopback) reachable from
+// every router using shortest paths over the full graph.
+func (b *Backbone) installPlainRoutes(rec *siteRecord) {
+	spf := make(map[topo.NodeID]*topo.SPFResult)
+	for id, r := range b.routers {
+		if id == rec.CE {
+			continue
+		}
+		res, ok := spf[id]
+		if !ok {
+			res = b.G.SPF(id)
+			spf[id] = res
+		}
+		lid, ok := res.NextHop(b.G, rec.CE)
+		if !ok {
+			continue
+		}
+		for _, p := range rec.Spec.Prefixes {
+			r.IPTable.Insert(p, lid)
+		}
+		r.IPTable.Insert(addr.HostPrefix(ospf.Loopback(rec.CE)), lid)
+	}
+}
+
+// RemoveSite detaches a site: VRF withdrawal, BGP withdrawal, membership
+// leave, and access teardown. ConvergeVPNs must run afterwards.
+func (b *Backbone) RemoveSite(name string) error {
+	rec, ok := b.sites[name]
+	if !ok {
+		return fmt.Errorf("core: unknown site %q", name)
+	}
+	pe := b.routers[rec.PE]
+	if v, ok := pe.VRFs[rec.Spec.VPN]; ok {
+		for _, wp := range v.DetachSite(name) {
+			if sp, ok := b.BGP.Speaker(rec.PE); ok {
+				sp.WithdrawLocal(wp)
+			}
+		}
+	}
+	for _, l := range rec.labels {
+		pe.LFIB.UnbindILM(l)
+	}
+	b.G.SetLinkDown(rec.CE, rec.PE, true)
+	delete(b.sites, name)
+	delete(b.siteByCE, rec.CE)
+	return b.Registry.Leave(rec.Spec.VPN, name)
+}
+
+// ConvergeVPNs runs BGP to steady state and imports the resulting routes
+// into every VRF (§4.2's reachability exchange).
+func (b *Backbone) ConvergeVPNs() {
+	if b.Cfg.PlainIP {
+		return
+	}
+	b.BGP.Converge()
+	for _, peID := range b.peNodes {
+		sp, _ := b.BGP.Speaker(peID)
+		routes := sp.BestRoutes()
+		for _, v := range b.routers[peID].VRFs {
+			// Withdrawn routes must disappear, not linger as stale label
+			// state: purge the BGP-learned set and re-import the current
+			// best paths.
+			v.PurgeRemote()
+			v.ImportRemote(routes)
+		}
+	}
+}
+
+// SetupTELSP signals an RSVP-TE tunnel between two PEs and steers the given
+// class (or all classes with class = -1) of VPN traffic onto it at the
+// ingress. Returns the LSP for inspection/teardown.
+func (b *Backbone) SetupTELSP(name, ingressPE, egressPE string, bandwidth float64, class qos.Class, opt rsvp.SetupOptions) (*rsvp.LSP, error) {
+	return b.SetupTELSPForVPN(name, ingressPE, egressPE, "", bandwidth, class, opt)
+}
+
+// SetupTELSPForVPN is SetupTELSP restricted to one VPN's traffic at the
+// ingress — the per-customer "guaranteed QoS VPN" tunnel of the paper's
+// abstract. An empty vpnName steers every VPN.
+func (b *Backbone) SetupTELSPForVPN(name, ingressPE, egressPE, vpnName string, bandwidth float64, class qos.Class, opt rsvp.SetupOptions) (*rsvp.LSP, error) {
+	if b.RSVP == nil {
+		return nil, fmt.Errorf("core: TE requires MPLS mode")
+	}
+	if vpnName != "" {
+		if _, ok := b.vpns[vpnName]; !ok {
+			return nil, fmt.Errorf("core: VPN %q not defined", vpnName)
+		}
+	}
+	in := b.mustNode(ingressPE)
+	eg := b.mustNode(egressPE)
+	if b.RSVP.DSTE != nil && opt.ClassType == rsvp.CT0 {
+		opt.ClassType = classTypeFor(class)
+	}
+	l, err := b.RSVP.Setup(name, in, eg, bandwidth, opt)
+	if err != nil {
+		return nil, err
+	}
+	req := teRequest{name: name, ingress: in, egress: eg, vpn: vpnName,
+		bandwidth: bandwidth, class: class, opt: opt}
+	b.teRequests = append(b.teRequests, req)
+	b.routers[in].TE[teKeyFor(req)] = l.Entry
+	return l, nil
+}
+
+// teKeyFor derives the ingress steering key from a TE request.
+func teKeyFor(req teRequest) device.TEKey {
+	return device.TEKey{EgressPE: req.egress, Class: req.class, VRF: req.vpn}
+}
+
+// classTypeFor maps a forwarding class to its DS-TE pool: voice and
+// network control draw from the capped premium pool.
+func classTypeFor(c qos.Class) rsvp.ClassType {
+	if c == qos.ClassVoice || c == qos.ClassNetworkControl {
+		return rsvp.CT1
+	}
+	return rsvp.CT0
+}
+
+// configureDSTE applies the premium-pool policy to the RSVP instance.
+func (b *Backbone) configureDSTE() {
+	if b.Cfg.DSTEPremiumFraction <= 0 || b.RSVP == nil {
+		return
+	}
+	var bc [rsvp.NumClassTypes]float64
+	bc[rsvp.CT0] = 1.0
+	bc[rsvp.CT1] = b.Cfg.DSTEPremiumFraction
+	b.RSVP.DSTE = rsvp.NewDSTE(bc)
+}
+
+// Site returns a provisioned site's CE node (injection point for traffic).
+func (b *Backbone) Site(name string) (topo.NodeID, bool) {
+	rec, ok := b.sites[name]
+	if !ok {
+		return -1, false
+	}
+	return rec.CE, true
+}
+
+// SiteNames lists provisioned sites (unsorted).
+func (b *Backbone) SiteNames() []string {
+	out := make([]string, 0, len(b.sites))
+	for n := range b.sites {
+		out = append(out, n)
+	}
+	return out
+}
+
+// BuildIPSecMesh provisions pairwise ESP tunnels between every pair of
+// sites in a VPN (the E3 baseline: a full mesh of encrypted tunnels over a
+// PlainIP backbone). copyToS selects whether gateways copy the inner DSCP
+// to the outer header. It returns the number of tunnels created
+// (N(N-1)/2, feeding the E1 comparison too).
+func (b *Backbone) BuildIPSecMesh(vpnName string, copyToS bool) int {
+	return b.buildIPSecMesh(vpnName, copyToS, 1)
+}
+
+// BuildIPSecMeshPerClass is BuildIPSecMesh with one SA per forwarding
+// class, giving each class its own anti-replay window (the fix for the
+// reordering-vs-replay interaction E3 exposes).
+func (b *Backbone) BuildIPSecMeshPerClass(vpnName string, copyToS bool) int {
+	return b.buildIPSecMesh(vpnName, copyToS, int(qos.NumClasses))
+}
+
+func (b *Backbone) buildIPSecMesh(vpnName string, copyToS bool, sasPerTunnel int) int {
+	var recs []*siteRecord
+	for _, rec := range b.sites {
+		if rec.Spec.VPN == vpnName {
+			recs = append(recs, rec)
+		}
+	}
+	// Deterministic ordering by site name.
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			if recs[j].Spec.Name < recs[i].Spec.Name {
+				recs[i], recs[j] = recs[j], recs[i]
+			}
+		}
+	}
+	spi := uint32(1000)
+	tunnels := 0
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			a, z := recs[i], recs[j]
+			b.buildTunnel(spi, a, z, copyToS, sasPerTunnel)
+			spi += uint32(sasPerTunnel)
+			b.buildTunnel(spi, z, a, copyToS, sasPerTunnel)
+			spi += uint32(sasPerTunnel)
+			tunnels++
+		}
+	}
+	return tunnels
+}
+
+// buildTunnel wires one direction of an ESP tunnel from site a to site z
+// using n parallel SAs (class-indexed at the encapsulating gateway).
+func (b *Backbone) buildTunnel(spi uint32, a, z *siteRecord, copyToS bool, n int) {
+	ceA := b.routers[a.CE]
+	ceZ := b.routers[z.CE]
+	sas := make([]*ipsec.SA, n)
+	for k := 0; k < n; k++ {
+		sa := ipsec.NewSA(spi+uint32(k), ceA.Loopback, ceZ.Loopback)
+		sa.CopyToS = copyToS
+		sas[k] = sa
+		ceZ.DecapSAs[sa.SPI] = ipsec.NewSA(sa.SPI, ceA.Loopback, ceZ.Loopback)
+		ceZ.DecapSAs[sa.SPI].CopyToS = copyToS
+	}
+	if ceA.EncapTunnels == nil {
+		ceA.EncapTunnels = addr.NewTable[[]*ipsec.SA]()
+	}
+	for _, p := range z.Spec.Prefixes {
+		ceA.EncapTunnels.Insert(p, sas)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/trafgen"
+)
+
+// TestMediumSizedVPNAtScale provisions the paper's "medium-sized VPN"
+// (200 sites, §2.1) on a 12-router backbone, converges the control plane,
+// and pushes traffic between 40 random site pairs — an end-to-end load
+// test of provisioning, label distribution, BGP fan-out, and the data
+// plane at once.
+func TestMediumSizedVPNAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	b := NewBackbone(Config{Seed: 200, Scheduler: SchedHybrid})
+	// 4 PEs in a ring of 8 P routers.
+	pes := []string{"PE1", "PE2", "PE3", "PE4"}
+	for _, pe := range pes {
+		b.AddPE(pe)
+	}
+	var ring []string
+	for i := 0; i < 8; i++ {
+		n := fmt.Sprintf("P%d", i)
+		b.AddP(n)
+		ring = append(ring, n)
+	}
+	for i := range ring {
+		b.Link(ring[i], ring[(i+1)%len(ring)], 1e9, sim.Millisecond, 1)
+	}
+	for i, pe := range pes {
+		b.Link(pe, ring[i*2], 1e9, sim.Millisecond, 1)
+	}
+	b.BuildProvider()
+
+	b.DefineVPN("corp")
+	const sites = 200
+	for i := 0; i < sites; i++ {
+		b.AddSite(SiteSpec{
+			VPN: "corp", Name: fmt.Sprintf("site%03d", i), PE: pes[i%4],
+			Prefixes: []addr.Prefix{addr.NewPrefix(addr.IPv4(0x0a000000|uint32(i+1)<<8), 24)},
+		})
+	}
+	b.ConvergeVPNs()
+
+	// Control-plane sanity at scale.
+	totalRoutes := 0
+	for _, pe := range pes {
+		for _, v := range b.Router(pe).VRFs {
+			totalRoutes += v.Size()
+		}
+	}
+	if totalRoutes != sites*4 {
+		t.Fatalf("VRF routes = %d, want %d (200 per PE)", totalRoutes, sites*4)
+	}
+	if got := len(b.Registry.Members("corp")); got != sites {
+		t.Fatalf("membership = %d", got)
+	}
+
+	// Traffic between 40 random pairs.
+	rng := sim.NewRand(7)
+	var flows []*trafgen.Flow
+	for i := 0; i < 40; i++ {
+		from := fmt.Sprintf("site%03d", rng.Intn(sites))
+		to := fmt.Sprintf("site%03d", rng.Intn(sites))
+		if from == to {
+			continue
+		}
+		f, err := b.FlowBetween(fmt.Sprintf("f%d", i), from, to, uint16(3000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trafgen.CBR(b.Net, f, 400, 10*sim.Millisecond, 0, sim.Second)
+		flows = append(flows, f)
+	}
+	b.Net.Run()
+
+	for _, f := range flows {
+		if f.Stats.Delivered != f.Stats.Sent {
+			t.Fatalf("flow %s: %d/%d delivered", f.Stats.Name, f.Stats.Delivered, f.Stats.Sent)
+		}
+	}
+	if b.IsolationViolations != 0 {
+		t.Fatalf("violations at scale: %d", b.IsolationViolations)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/trafgen"
+)
+
+// TestChurnSoak runs a randomized operational soak: sites join and leave,
+// links fail and recover, traffic flows in bursts — with the system
+// invariants checked after every step:
+//
+//   - packet conservation (injected == delivered + dropped at quiescence),
+//   - zero isolation violations,
+//   - reachability exactly tracks current membership.
+//
+// This is the test that churn-related state bugs (stale labels, dangling
+// VRF routes, leftover TE entries) would fail.
+func TestChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			soak(t, seed)
+		})
+	}
+}
+
+func soak(t *testing.T, seed uint64) {
+	t.Helper()
+	b := NewBackbone(Config{Seed: seed, Scheduler: SchedHybrid, FRR: true})
+	pes := []string{"PE1", "PE2", "PE3"}
+	for _, pe := range pes {
+		b.AddPE(pe)
+	}
+	ps := []string{"P1", "P2", "P3"}
+	for _, p := range ps {
+		b.AddP(p)
+	}
+	// Ring of P routers, each PE dual-attached for reroute headroom.
+	core := [][2]string{{"P1", "P2"}, {"P2", "P3"}, {"P3", "P1"}}
+	for _, l := range core {
+		b.Link(l[0], l[1], 100e6, sim.Millisecond, 1)
+	}
+	for i, pe := range pes {
+		b.Link(pe, ps[i], 100e6, sim.Millisecond, 1)
+		b.Link(pe, ps[(i+1)%3], 100e6, sim.Millisecond, 2)
+	}
+	b.BuildProvider()
+	for _, v := range []string{"red", "blue"} {
+		b.DefineVPN(v)
+	}
+
+	rng := sim.NewRand(seed * 977)
+	type live struct{ name, vpn string }
+	var sites []live
+	nextID := 0
+	injectedBefore := 0
+
+	addSite := func() {
+		name := fmt.Sprintf("s%d-%d", seed, nextID)
+		vpnName := []string{"red", "blue"}[rng.Intn(2)]
+		b.AddSite(SiteSpec{
+			VPN: vpnName, Name: name, PE: pes[rng.Intn(len(pes))],
+			Prefixes: []addr.Prefix{addr.NewPrefix(addr.IPv4(0x0a000000|uint32(nextID+1)<<12), 20)},
+		})
+		sites = append(sites, live{name, vpnName})
+		nextID++
+		b.ConvergeVPNs()
+	}
+	removeSite := func() {
+		if len(sites) == 0 {
+			return
+		}
+		i := rng.Intn(len(sites))
+		if err := b.RemoveSite(sites[i].name); err != nil {
+			t.Fatalf("remove: %v", err)
+		}
+		sites = append(sites[:i], sites[i+1:]...)
+		b.ConvergeVPNs()
+	}
+	flipLink := func(down bool) {
+		l := core[rng.Intn(len(core))]
+		if down {
+			b.FailLink(l[0], l[1], 0)
+		} else {
+			b.RestoreLink(l[0], l[1], 0)
+		}
+	}
+
+	burst := func(step int) {
+		// Traffic between every same-VPN ordered pair alive right now.
+		var flows []*trafgen.Flow
+		expectDeliver := map[string]bool{}
+		port := uint16(1000 + step*97)
+		for i, from := range sites {
+			for j, to := range sites {
+				if i == j || from.vpn != to.vpn {
+					continue
+				}
+				f, err := b.FlowBetween(fmt.Sprintf("b%d-%d-%d", step, i, j), from.name, to.name, port)
+				if err != nil {
+					t.Fatalf("flow: %v", err)
+				}
+				port++
+				start := b.E.Now()
+				trafgen.CBR(b.Net, f, 200, 13*sim.Millisecond, start, start+100*sim.Millisecond)
+				flows = append(flows, f)
+				expectDeliver[f.Stats.Name] = true
+			}
+		}
+		b.Net.Run()
+		for _, f := range flows {
+			if expectDeliver[f.Stats.Name] && f.Stats.Delivered == 0 && f.Stats.Sent > 0 {
+				t.Fatalf("step %d: same-VPN flow %s starved (%d sent)", step, f.Stats.Name, f.Stats.Sent)
+			}
+		}
+	}
+
+	// Seed membership.
+	for i := 0; i < 4; i++ {
+		addSite()
+	}
+	downLinks := 0
+	for step := 0; step < 12; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			addSite()
+		case 1:
+			removeSite()
+		case 2:
+			if downLinks < 1 { // keep the core connected: at most one cut
+				flipLink(true)
+				downLinks++
+			}
+		case 3:
+			if downLinks > 0 {
+				flipLink(false)
+				downLinks = 0
+				// Restore may be a no-op on an up link; harmless.
+			}
+		}
+		if len(sites) < 2 {
+			addSite()
+		}
+		burst(step)
+
+		// Invariants after every step.
+		if got := b.Net.Injected - injectedBefore; got > 0 {
+			if b.Net.Injected != b.Net.Delivered+b.Net.Dropped {
+				t.Fatalf("step %d: conservation broken: %d != %d + %d",
+					step, b.Net.Injected, b.Net.Delivered, b.Net.Dropped)
+			}
+		}
+		if b.IsolationViolations != 0 {
+			t.Fatalf("step %d: isolation violations: %d", step, b.IsolationViolations)
+		}
+		for _, v := range []string{"red", "blue"} {
+			want := 0
+			for _, s := range sites {
+				if s.vpn == v {
+					want++
+				}
+			}
+			if got := len(b.Registry.Members(v)); got != want {
+				t.Fatalf("step %d: membership %s = %d, want %d", step, v, got, want)
+			}
+		}
+	}
+}

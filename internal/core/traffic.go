@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+	"mplsvpn/internal/trafgen"
+)
+
+// FlowBetween creates a measured flow from one site to another: the source
+// address is the first host of the origin site's first prefix, the
+// destination the first host of the target site's first prefix. Delivered
+// packets are matched back to the flow by 5-tuple and recorded in its
+// FlowStats.
+func (b *Backbone) FlowBetween(name, fromSite, toSite string, dstPort uint16) (*trafgen.Flow, error) {
+	from, ok := b.sites[fromSite]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown site %q", fromSite)
+	}
+	to, ok := b.sites[toSite]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown site %q", toSite)
+	}
+	if len(from.Spec.Prefixes) == 0 || len(to.Spec.Prefixes) == 0 {
+		return nil, fmt.Errorf("core: sites need prefixes to exchange traffic")
+	}
+	f := trafgen.NewFlow(name, from.CE,
+		firstHost(from.Spec.Prefixes[0]), firstHost(to.Spec.Prefixes[0]), dstPort)
+	f.VPN = from.Spec.VPN
+	b.registerFlow(f)
+	return f, nil
+}
+
+// firstHost returns the .1 address of a prefix.
+func firstHost(p addr.Prefix) addr.IPv4 { return p.Addr + 1 }
+
+// FlowBetweenHosts creates a measured flow originating at a specific
+// workstation behind the origin site's CE (SiteSpec.Hosts must cover the
+// index) and addressed to a specific workstation of the target site.
+func (b *Backbone) FlowBetweenHosts(name, fromSite string, fromHost int, toSite string, toHost int, dstPort uint16) (*trafgen.Flow, error) {
+	from, ok := b.sites[fromSite]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown site %q", fromSite)
+	}
+	to, ok := b.sites[toSite]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown site %q", toSite)
+	}
+	if fromHost < 0 || fromHost >= len(from.hosts) {
+		return nil, fmt.Errorf("core: site %q has no host %d", fromSite, fromHost)
+	}
+	if toHost < 0 || toHost >= to.Spec.Hosts {
+		return nil, fmt.Errorf("core: site %q has no host %d", toSite, toHost)
+	}
+	f := trafgen.NewFlow(name, from.hosts[fromHost],
+		from.Spec.Prefixes[0].Addr+addr.IPv4(fromHost+1),
+		to.Spec.Prefixes[0].Addr+addr.IPv4(toHost+1), dstPort)
+	f.VPN = from.Spec.VPN
+	b.registerFlow(f)
+	return f, nil
+}
+
+// ReregisterFlow refreshes the delivery-dispatch key after a caller
+// mutates a flow's addressing (Src/Dst/ports). Without this, packets of
+// the mutated flow still deliver but stop being credited to its stats.
+func (b *Backbone) ReregisterFlow(f *trafgen.Flow) { b.registerFlow(f) }
+
+// registerFlow wires delivery accounting for a flow (dispatch happens in
+// onDeliver).
+func (b *Backbone) registerFlow(f *trafgen.Flow) {
+	if b.flows == nil {
+		b.flows = make(map[packet.FlowKey]*trafgen.Flow)
+	}
+	key := packet.FlowKey{
+		Src: f.Src, Dst: f.Dst,
+		SrcPort: f.SrcPort, DstPort: f.DstPort, Protocol: f.Proto,
+	}
+	b.flows[key] = f
+}
+
+// RequestResponse builds a transactional exchange between two sites: the
+// client site issues requests, the server site answers, and round-trip
+// times accumulate in the returned ReqResp. Ports: requests go to dstPort,
+// responses return to dstPort+1.
+func (b *Backbone) RequestResponse(name, clientSite, serverSite string, dstPort uint16, respPayload int) (*trafgen.ReqResp, error) {
+	req, err := b.FlowBetween(name+"-req", clientSite, serverSite, dstPort)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.FlowBetween(name+"-resp", serverSite, clientSite, dstPort+1)
+	if err != nil {
+		return nil, err
+	}
+	rr := trafgen.NewReqResp(b.Net, req, resp, respPayload)
+	b.OnDeliver(func(_ topo.NodeID, p *packet.Packet) { rr.HandleDelivery(p) })
+	return rr, nil
+}
+
+// AttachAIMD turns a flow into a greedy congestion-controlled bulk source:
+// deliveries feed Ack (additive increase), network drops feed Loss
+// (multiplicative decrease). Returns the source; call Start on it.
+func (b *Backbone) AttachAIMD(f *trafgen.Flow, payload int, stop sim.Time) *trafgen.AIMD {
+	a := trafgen.NewAIMD(b.Net, f, payload, stop)
+	key := packet.FlowKey{
+		Src: f.Src, Dst: f.Dst,
+		SrcPort: f.SrcPort, DstPort: f.DstPort, Protocol: f.Proto,
+	}
+	if b.aimd == nil {
+		b.aimd = make(map[packet.FlowKey]*trafgen.AIMD)
+		prevDrop := b.Net.OnDrop
+		b.Net.OnDrop = func(at topo.NodeID, p *packet.Packet, reason error) {
+			if src, ok := b.aimd[p.FlowKey()]; ok {
+				src.Loss()
+			}
+			if prevDrop != nil {
+				prevDrop(at, p, reason)
+			}
+		}
+	}
+	b.aimd[key] = a
+	return a
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/overlay"
+	"mplsvpn/internal/stats"
+)
+
+// E1Result carries the structured numbers the benches assert on.
+type E1Result struct {
+	Sites          []int
+	OverlayVCs     []int
+	MPLSPerPEMax   []int // largest single-PE VRF table
+	MPLSTotalState []int // VRF routes + ILM entries, network-wide
+	BGPSessions    []int
+	OverlayAdj     []int
+	Table          *stats.Table
+}
+
+// E1Scalability reproduces the §2.1 claim: overlay VPNs need N(N-1)/2
+// virtual circuits while an MPLS VPN needs per-site state only. For each
+// VPN size it provisions (a) a full-mesh overlay, (b) a hub-and-spoke
+// overlay, and (c) a real MPLS VPN on the 4-PE backbone, then counts
+// provisioning state.
+func E1Scalability(sizes []int) *E1Result {
+	if len(sizes) == 0 {
+		sizes = []int{10, 25, 50, 100, 200}
+	}
+	res := &E1Result{Sites: sizes}
+	res.Table = stats.NewTable(
+		"E1 — provisioning state vs VPN size (paper §2.1: \"10 sites -> 45 VCs; 200 sites -> ~20,000\")",
+		"sites", "overlay_mesh_VCs", "overlay_hub_VCs", "overlay_adjacencies",
+		"mpls_routes_per_PE", "mpls_total_state", "ibgp_sessions", "new_VCs_for_next_site", "mpls_cfg_for_next_site")
+
+	for _, n := range sizes {
+		// (a) overlay mesh and (b) hub and spoke.
+		mesh := overlay.New("mesh", overlay.FullMesh)
+		hub := overlay.New("hub", overlay.HubAndSpoke)
+		for i := 0; i < n; i++ {
+			mesh.AddSite(overlay.SiteID(i), 1e6)
+			hub.AddSite(overlay.SiteID(i), 1e6)
+		}
+		// Marginal cost of site n+1 in the mesh: n new VCs.
+		marginalVCs := mesh.AddSite(overlay.SiteID(n), 1e6)
+
+		// (c) MPLS VPN with n sites spread over 4 PEs.
+		b := fourPEBackbone(core.Config{Seed: uint64(n)})
+		b.DefineVPN("acme")
+		pes := []string{"PE1", "PE2", "PE3", "PE4"}
+		for i := 0; i < n; i++ {
+			b.AddSite(core.SiteSpec{
+				VPN: "acme", Name: fmt.Sprintf("s%04d", i), PE: pes[i%4],
+				Prefixes: []addr.Prefix{prefixForSite(i)},
+			})
+		}
+		b.ConvergeVPNs()
+
+		perPEMax := 0
+		totalVRF := 0
+		for _, pe := range pes {
+			for _, v := range b.Router(pe).VRFs {
+				totalVRF += v.Size()
+				if v.Size() > perPEMax {
+					perPEMax = v.Size()
+				}
+			}
+		}
+		totalILM := 0
+		for _, pe := range pes {
+			totalILM += b.Router(pe).LFIB.ILMSize()
+		}
+		totalState := totalVRF + totalILM
+
+		res.OverlayVCs = append(res.OverlayVCs, mesh.NumVCs()-marginalVCs)
+		res.MPLSPerPEMax = append(res.MPLSPerPEMax, perPEMax)
+		res.MPLSTotalState = append(res.MPLSTotalState, totalState)
+		res.BGPSessions = append(res.BGPSessions, b.BGP.SessionCount())
+		res.OverlayAdj = append(res.OverlayAdj, overlay.MeshVCCount(n))
+
+		res.Table.AddRow(n,
+			overlay.MeshVCCount(n), n-1, overlay.MeshVCCount(n),
+			perPEMax, totalState, b.BGP.SessionCount(),
+			marginalVCs, 1)
+	}
+	return res
+}

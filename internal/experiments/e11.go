@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/qos"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+	"mplsvpn/internal/trafgen"
+)
+
+// E11Result carries the per-VPN service-level numbers.
+type E11Result struct {
+	Table *stats.Table
+	// P99 latency per VPN tier.
+	P99 map[string]float64
+	// Loss per tier.
+	Loss map[string]float64
+	// RemarkedHonoured: with tiering on, a bronze customer marking its
+	// own traffic EF must still be treated as bronze.
+	CheatBlocked bool
+}
+
+// E11VPNTiers reproduces §2.2's managed alternative to per-flow QoS:
+// "A more manageable strategy would be simply assign a QoS level to an
+// entire VPN, and this is how frame relay or ATM networks would work."
+//
+// Three identical customers (gold / silver / bronze) send identical
+// traffic over a shared 10 Mb/s bottleneck. The provider assigns one
+// forwarding class per VPN at the edge; the tiers separate cleanly, and a
+// bronze customer pre-marking its packets EF gains nothing because the PE
+// re-marks on VRF ingress — tiering without per-flow billing.
+func E11VPNTiers(dur sim.Time) *E11Result {
+	if dur == 0 {
+		dur = 5 * sim.Second
+	}
+	res := &E11Result{
+		Table: stats.NewTable("E11 — per-VPN QoS levels: identical workloads, tiered service (§2.2)",
+			"vpn_tier", "class", "sent", "loss%", "p50ms", "p99ms"),
+		P99:  map[string]float64{},
+		Loss: map[string]float64{},
+	}
+
+	b := bottleneckBackbone(core.Config{Seed: 111, Scheduler: core.SchedHybrid})
+	tiers := []struct {
+		vpn   string
+		class qos.Class
+	}{
+		{"gold", qos.ClassVoice},
+		{"silver", qos.ClassBusiness},
+		{"bronze", qos.ClassBestEffort},
+	}
+	var flows []*trafgen.Flow
+	for i, tier := range tiers {
+		b.DefineVPN(tier.vpn)
+		b.SetVPNSLA(tier.vpn, tier.class)
+		b.AddSite(core.SiteSpec{VPN: tier.vpn, Name: tier.vpn + "-west", PE: "PE1",
+			Prefixes: []addr.Prefix{addr.NewPrefix(addr.IPv4(0x0a000000|uint32(i+1)<<16), 16)}})
+		b.AddSite(core.SiteSpec{VPN: tier.vpn, Name: tier.vpn + "-east", PE: "PE2",
+			Prefixes: []addr.Prefix{addr.NewPrefix(addr.IPv4(0x0a600000|uint32(i+1)<<16), 16)}})
+	}
+	b.ConvergeVPNs()
+
+	for i, tier := range tiers {
+		f, err := b.FlowBetween(tier.vpn, tier.vpn+"-west", tier.vpn+"-east", uint16(4000+i))
+		if err != nil {
+			panic(err)
+		}
+		// Identical workload per tier: ~4.5 Mb/s each, 13.5 Mb/s total on
+		// a 10 Mb/s link.
+		trafgen.CBR(b.Net, f, 1400, 2500*sim.Microsecond, 0, dur)
+		flows = append(flows, f)
+	}
+
+	// The cheat: bronze pre-marks EF. The PE re-marks it on VRF ingress,
+	// so it must see bronze service anyway.
+	cheat, err := b.FlowBetween("bronze-cheat", "bronze-west", "bronze-east", 4999)
+	if err != nil {
+		panic(err)
+	}
+	cheat.DSCP = 46 // EF
+	trafgen.CBR(b.Net, cheat, 1400, 5*sim.Millisecond, 0, dur)
+
+	b.Net.RunUntil(dur + sim.Second)
+
+	for i, tier := range tiers {
+		f := flows[i]
+		res.Table.AddRow(tier.vpn, tier.class.String(), f.Stats.Sent,
+			fmt.Sprintf("%.2f", f.Stats.LossRate()*100),
+			fmt.Sprintf("%.2f", f.Stats.Latency.Percentile(50)),
+			fmt.Sprintf("%.2f", f.Stats.Latency.Percentile(99)))
+		res.P99[tier.vpn] = f.Stats.Latency.Percentile(99)
+		res.Loss[tier.vpn] = f.Stats.LossRate()
+	}
+	res.Table.AddRow("bronze(EF-marked)", "best-effort", cheat.Stats.Sent,
+		fmt.Sprintf("%.2f", cheat.Stats.LossRate()*100),
+		fmt.Sprintf("%.2f", cheat.Stats.Latency.Percentile(50)),
+		fmt.Sprintf("%.2f", cheat.Stats.Latency.Percentile(99)))
+	// The cheat flow must perform like bronze, not like gold.
+	res.CheatBlocked = cheat.Stats.Latency.Percentile(99) > 3*res.P99["gold"]
+	res.P99["bronze-cheat"] = cheat.Stats.Latency.Percentile(99)
+	return res
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+	"mplsvpn/internal/trafgen"
+)
+
+// E13Result carries the inter-AS option comparison.
+type E13Result struct {
+	Table *stats.Table
+	// LinksA / LinksB: inter-AS links each option provisions for N VPNs.
+	LinksA, LinksB int
+	// Delivered per option must match.
+	Delivered map[string]int
+}
+
+// E13InterASOptions compares the two implemented RFC 2547 inter-provider
+// interconnects for a growing number of shared VPNs. Option A needs one
+// interconnect (sub)interface and VRF per VPN at each ASBR; option B needs
+// one shared link and per-route label state instead. Both must deliver the
+// same traffic — the §2.1 provisioning-vs-state trade, replayed at the
+// provider boundary the paper's §5 wants VPNs to cross.
+func E13InterASOptions(dur sim.Time, numVPNs int) *E13Result {
+	if dur == 0 {
+		dur = sim.Second
+	}
+	if numVPNs == 0 {
+		numVPNs = 4
+	}
+	res := &E13Result{
+		Table: stats.NewTable("E13 — inter-AS option A vs option B with N shared VPNs",
+			"option", "vpns", "interas_links", "asbr_vrfs", "asbr_ilm_entries", "delivered", "p50ms"),
+		Delivered: map[string]int{},
+	}
+
+	build := func(seed uint64) *core.InterAS {
+		x := core.NewInterAS(seed,
+			[]string{"as1", "as2"},
+			[]core.Config{{Seed: seed}, {Seed: seed + 1}})
+		for _, asn := range []string{"as1", "as2"} {
+			b := x.AS(asn)
+			b.AddPE(asn + "-PE")
+			b.AddP(asn + "-P")
+			b.AddPE(asn + "-ASBR")
+			b.Link(asn+"-PE", asn+"-P", 100e6, sim.Millisecond, 1)
+			b.Link(asn+"-P", asn+"-ASBR", 100e6, sim.Millisecond, 1)
+			b.BuildProvider()
+		}
+		for v := 0; v < numVPNs; v++ {
+			name := fmt.Sprintf("vpn%d", v)
+			for _, asn := range []string{"as1", "as2"} {
+				x.AS(asn).DefineVPN(name)
+			}
+			x.AS("as1").AddSite(core.SiteSpec{VPN: name, Name: name + "-w", PE: "as1-PE",
+				Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+			x.AS("as2").AddSite(core.SiteSpec{VPN: name, Name: name + "-e", PE: "as2-PE",
+				Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+		}
+		x.AS("as1").ConvergeVPNs()
+		x.AS("as2").ConvergeVPNs()
+		return x
+	}
+
+	run := func(option string) {
+		x := build(131)
+		linksBefore := x.G.NumLinks()
+		switch option {
+		case "A":
+			for v := 0; v < numVPNs; v++ {
+				name := fmt.Sprintf("vpn%d", v)
+				if err := x.ConnectVPN(name, "as1", "as1-ASBR", "as2", "as2-ASBR", 100e6, sim.Millisecond); err != nil {
+					panic(err)
+				}
+			}
+		case "B":
+			var names []string
+			for v := 0; v < numVPNs; v++ {
+				names = append(names, fmt.Sprintf("vpn%d", v))
+			}
+			if err := x.ConnectVPNOptionB("as1", "as1-ASBR", "as2", "as2-ASBR", names, 100e6, sim.Millisecond); err != nil {
+				panic(err)
+			}
+		}
+		interASLinks := (x.G.NumLinks() - linksBefore) / 2 // duplex pairs
+
+		var flows []*trafgen.Flow
+		for v := 0; v < numVPNs; v++ {
+			name := fmt.Sprintf("vpn%d", v)
+			f, err := x.FlowBetween(name, "as1", name+"-w", "as2", name+"-e", uint16(5000+v))
+			if err != nil {
+				panic(err)
+			}
+			trafgen.CBR(x.Net, f, 300, 10*sim.Millisecond, 0, dur)
+			flows = append(flows, f)
+		}
+		x.Net.Run()
+
+		asbr2 := x.AS("as2").Router("as2-ASBR")
+		delivered := 0
+		var lat stats.Sample
+		for _, f := range flows {
+			delivered += f.Stats.Delivered
+			lat.Add(f.Stats.Latency.Percentile(50))
+		}
+		res.Delivered[option] = delivered
+		res.Table.AddRow(option, numVPNs, interASLinks,
+			len(asbr2.VRFs), asbr2.LFIB.ILMSize(), delivered, lat.Mean())
+		switch option {
+		case "A":
+			res.LinksA = interASLinks
+		case "B":
+			res.LinksB = interASLinks
+		}
+	}
+
+	run("A")
+	run("B")
+	return res
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/mpls"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+)
+
+// E4Result carries the forwarding-cost numbers.
+type E4Result struct {
+	Table *stats.Table
+	// NsPerOp per configuration name ("ilm", "lpm-1000", ...).
+	NsPerOp map[string]float64
+}
+
+// E4Forwarding reproduces §3's forwarding-cost claim: "The labels enable
+// routers and switches to forward traffic based on information in the
+// labels instead of having to inspect the various fields deep within each
+// and every packet." It measures a label (ILM) lookup against longest-
+// prefix match over routing tables of growing size. Real LSR hardware
+// widens this gap further (TCAM vs trie walks); the shape — label lookup
+// flat, LPM growing with table size — is what the experiment checks.
+func E4Forwarding(tableSizes []int, iters int) *E4Result {
+	if len(tableSizes) == 0 {
+		tableSizes = []int{1000, 10000, 100000}
+	}
+	if iters == 0 {
+		iters = 2_000_000
+	}
+	res := &E4Result{
+		Table:   stats.NewTable("E4 — per-packet forwarding decision cost", "lookup", "table_size", "ns/op"),
+		NsPerOp: map[string]float64{},
+	}
+
+	rng := sim.NewRand(4)
+
+	// ILM: one entry per active LSP; size matches the largest LPM table so
+	// the comparison is like for like.
+	maxSize := tableSizes[len(tableSizes)-1]
+	lfib := mpls.NewLFIB()
+	labels := make([]packet.Label, maxSize)
+	for i := 0; i < maxSize; i++ {
+		labels[i] = packet.Label(16 + i)
+		lfib.BindILM(labels[i], mpls.NHLFE{Op: mpls.OpSwap, OutLabel: packet.Label(16 + i), OutLink: 1})
+	}
+	start := time.Now()
+	var sink int
+	for i := 0; i < iters; i++ {
+		e, _ := lfib.LookupILM(labels[i%maxSize])
+		sink += int(e.OutLabel)
+	}
+	ilmNs := float64(time.Since(start).Nanoseconds()) / float64(iters)
+	res.NsPerOp["ilm"] = ilmNs
+	res.Table.AddRow("mpls-ilm", maxSize, fmt.Sprintf("%.1f", ilmNs))
+
+	// LPM at each table size.
+	for _, size := range tableSizes {
+		t := addr.NewTable[int]()
+		probes := make([]addr.IPv4, 4096)
+		for i := 0; i < size; i++ {
+			ip := addr.IPv4(rng.Uint64())
+			t.Insert(addr.NewPrefix(ip, uint8(12+rng.Intn(13))), i)
+		}
+		for i := range probes {
+			probes[i] = addr.IPv4(rng.Uint64())
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			v, _ := t.Lookup(probes[i%len(probes)])
+			sink += v
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		key := fmt.Sprintf("lpm-%d", size)
+		res.NsPerOp[key] = ns
+		res.Table.AddRow("ip-lpm", size, fmt.Sprintf("%.1f", ns))
+	}
+	_ = sink
+	return res
+}

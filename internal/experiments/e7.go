@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/qos"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+	"mplsvpn/internal/topo"
+	"mplsvpn/internal/trafgen"
+
+	"mplsvpn/internal/core"
+)
+
+// E7Result carries the mapping-fidelity outcome.
+type E7Result struct {
+	Table *stats.Table
+	// Mismatches counts DSCP classes whose marking failed to survive the
+	// backbone or whose backbone queueing class was wrong.
+	Mismatches int
+}
+
+// E7EdgeMapping verifies the §5 end-to-end path of the QoS marking: the
+// CPE's DiffServ codepoint is mapped into the MPLS EXP field at the
+// ingress PE, drives per-class queueing at the bottleneck, and re-emerges
+// intact at the far customer edge. One flow per DiffServ class crosses the
+// backbone; the table records the class queue each used at the core link
+// and the DSCP observed at delivery.
+func E7EdgeMapping() *E7Result {
+	res := &E7Result{
+		Table: stats.NewTable("E7 — DSCP -> EXP -> queue -> DSCP fidelity across the backbone",
+			"dscp_in", "class", "exp", "core_queue_pkts", "dscp_out", "delivered", "ok"),
+	}
+	b := bottleneckBackbone(core.Config{Seed: 71, Scheduler: core.SchedHybrid})
+	twoSiteVPN(b)
+
+	classes := []packet.DSCP{
+		packet.DSCPEF, packet.DSCPAF41, packet.DSCPAF21,
+		packet.DSCPCS1, packet.DSCPBestEffort, packet.DSCPCS6,
+	}
+	dscpOut := map[packet.DSCP]map[packet.DSCP]int{}
+	b.OnDeliver(func(_ topo.NodeID, p *packet.Packet) {
+		// Key by source port to recover the injected class.
+		in := classes[p.L4.DstPort-7000]
+		if dscpOut[in] == nil {
+			dscpOut[in] = map[packet.DSCP]int{}
+		}
+		dscpOut[in][p.IP.DSCP]++
+	})
+
+	flows := make([]*trafgen.Flow, len(classes))
+	for i, d := range classes {
+		f, _ := b.FlowBetween(d.String(), "west", "east", uint16(7000+i))
+		f.DSCP = d
+		flows[i] = f
+		trafgen.CBR(b.Net, f, 200, 20*sim.Millisecond, 0, sim.Second)
+	}
+
+	// Find the bottleneck link P1 -> P2 to read queue counters.
+	p1, _ := b.G.NodeByName("P1")
+	p2, _ := b.G.NodeByName("P2")
+	bl, _ := b.G.FindLink(p1, p2)
+
+	b.Net.Run()
+
+	for i, d := range classes {
+		cls := qos.ClassForDSCP(d)
+		q := b.Net.PortQueue(bl.ID, cls)
+		out := dscpOut[d]
+		okOut := packet.DSCP(255)
+		for o := range out {
+			okOut = o
+		}
+		ok := len(out) == 1 && okOut == d && q != nil && q.Enqueued > 0
+		if !ok {
+			res.Mismatches++
+		}
+		res.Table.AddRow(d.String(), cls.String(), qos.EXPForClass(cls),
+			queueCount(q), okOut.String(), flows[i].Stats.Delivered, ok)
+	}
+	return res
+}
+
+func queueCount(q *qos.Queue) int {
+	if q == nil {
+		return -1
+	}
+	return q.Enqueued
+}

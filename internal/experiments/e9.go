@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+	"mplsvpn/internal/trafgen"
+)
+
+// E9Result carries the design-choice ablation outcomes.
+type E9Result struct {
+	Table *stats.Table
+	// OrderedRounds / IndependentRounds: LDP convergence rounds.
+	OrderedRounds, IndependentRounds int
+	// PopsAtEgressPHP / PopsAtEgressUHP: label pops performed by the
+	// egress PE with and without penultimate-hop popping.
+	PopsAtEgressPHP, PopsAtEgressUHP int
+	// Delivered must match across all ablations: design choices change
+	// cost, not correctness.
+	Delivered map[string]int
+}
+
+// E9Ablations measures the design decisions DESIGN.md §4 calls out, on the
+// same 8-router backbone with the same traffic:
+//
+//   - ordered vs independent LDP control: convergence rounds and messages;
+//   - PHP vs ultimate-hop popping: where the pop work lands;
+//   - route reflector vs iBGP full mesh: sessions at constant correctness.
+//
+// Every row must deliver the same packet count — ablations trade cost, not
+// reachability.
+func E9Ablations(dur sim.Time) *E9Result {
+	if dur == 0 {
+		dur = 2 * sim.Second
+	}
+	res := &E9Result{
+		Table: stats.NewTable("E9 — design-choice ablations (same topology, same traffic)",
+			"config", "ldp_rounds", "ldp_msgs", "egress_pops", "penult_pops", "ibgp_sessions", "delivered"),
+		Delivered: map[string]int{},
+	}
+
+	run := func(name string, cfg core.Config) {
+		b := core.NewBackbone(cfg)
+		b.AddPE("PE1")
+		b.AddP("P1")
+		b.AddP("P2")
+		b.AddP("P3")
+		b.AddPE("PE2")
+		b.Link("PE1", "P1", 100e6, sim.Millisecond, 1)
+		b.Link("P1", "P2", 100e6, sim.Millisecond, 1)
+		b.Link("P2", "P3", 100e6, sim.Millisecond, 1)
+		b.Link("P3", "PE2", 100e6, sim.Millisecond, 1)
+		b.BuildProvider()
+		b.DefineVPN("acme")
+		b.AddSite(core.SiteSpec{VPN: "acme", Name: "west", PE: "PE1",
+			Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+		b.AddSite(core.SiteSpec{VPN: "acme", Name: "east", PE: "PE2",
+			Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+		b.ConvergeVPNs()
+
+		f, _ := b.FlowBetween("f", "west", "east", 80)
+		trafgen.CBR(b.Net, f, 500, 2*sim.Millisecond, 0, dur)
+		b.Net.Run()
+
+		egress := b.Router("PE2")
+		penult := b.Router("P3")
+		res.Table.AddRow(name, b.LDP.Rounds, b.LDP.MessagesSent,
+			egress.LFIB.Popped, penult.LFIB.Popped,
+			b.BGP.SessionCount(), f.Stats.Delivered)
+		res.Delivered[name] = f.Stats.Delivered
+
+		switch name {
+		case "baseline":
+			res.OrderedRounds = b.LDP.Rounds
+			res.PopsAtEgressPHP = egress.LFIB.Popped
+		case "ldp-independent":
+			res.IndependentRounds = b.LDP.Rounds
+		case "no-php":
+			res.PopsAtEgressUHP = egress.LFIB.Popped
+		}
+	}
+
+	run("baseline", core.Config{Seed: 9})
+	run("ldp-independent", core.Config{Seed: 9, LDPIndependent: true})
+	run("no-php", core.Config{Seed: 9, DisablePHP: true})
+	run("route-reflector", core.Config{Seed: 9, RouteReflector: "P1"})
+	return res
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+	"mplsvpn/internal/trafgen"
+)
+
+// prefixForSite assigns site i a unique /24 under 10.0.0.0/8.
+func prefixForSite(i int) addr.Prefix {
+	return addr.NewPrefix(addr.IPv4(0x0a000000|uint32(i+1)<<8), 24)
+}
+
+// fourPEBackbone builds the standard provisioning backbone: 4 PEs in a
+// ring with 2 core routers, all 100 Mb/s.
+func fourPEBackbone(cfg core.Config) *core.Backbone {
+	b := core.NewBackbone(cfg)
+	for _, n := range []string{"PE1", "PE2", "PE3", "PE4"} {
+		b.AddPE(n)
+	}
+	b.AddP("P1")
+	b.AddP("P2")
+	for _, l := range [][2]string{
+		{"PE1", "P1"}, {"PE2", "P1"}, {"PE3", "P2"}, {"PE4", "P2"}, {"P1", "P2"},
+	} {
+		b.Link(l[0], l[1], 100e6, sim.Millisecond, 1)
+	}
+	b.BuildProvider()
+	return b
+}
+
+// bottleneckBackbone builds the E2/E3 topology: fast edges around a slow
+// core link.
+//
+//	ce-* — PE1 —(100M)— P1 —(10M bottleneck)— P2 —(100M)— PE2 — ce-*
+func bottleneckBackbone(cfg core.Config) *core.Backbone {
+	b := core.NewBackbone(cfg)
+	b.AddPE("PE1")
+	b.AddP("P1")
+	b.AddP("P2")
+	b.AddPE("PE2")
+	b.Link("PE1", "P1", 100e6, sim.Millisecond, 1)
+	b.Link("P1", "P2", 10e6, 2*sim.Millisecond, 1)
+	b.Link("P2", "PE2", 100e6, sim.Millisecond, 1)
+	b.BuildProvider()
+	return b
+}
+
+// twoSiteVPN provisions VPN "acme" with one site per edge PE.
+func twoSiteVPN(b *core.Backbone) {
+	b.DefineVPN("acme")
+	b.AddSite(core.SiteSpec{VPN: "acme", Name: "west", PE: "PE1",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+	b.AddSite(core.SiteSpec{VPN: "acme", Name: "east", PE: "PE2",
+		Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+	b.ConvergeVPNs()
+}
+
+// workload is the standard E2/E3 traffic mix over a 10 Mb/s bottleneck:
+//   - voice: 4 calls, 160 B every 20 ms each (~64 kb/s per call), EF
+//   - business: Poisson 500 pkt/s of 400 B (~1.6 Mb/s), AF41
+//   - bulk: CBR 1400 B every 0.9 ms (~12.4 Mb/s), BE — overloads the link
+type workload struct {
+	voice, business, bulk *trafgen.Flow
+}
+
+func startWorkload(b *core.Backbone, dur sim.Time, preMarked bool) workload {
+	var w workload
+	w.voice, _ = b.FlowBetween("voice", "west", "east", 5060)
+	w.business, _ = b.FlowBetween("business", "west", "east", 443)
+	w.bulk, _ = b.FlowBetween("bulk", "west", "east", 80)
+	if preMarked {
+		w.voice.DSCP = packet.DSCPEF
+		w.business.DSCP = packet.DSCPAF41
+		w.bulk.DSCP = packet.DSCPBestEffort
+	}
+	rng := b.E.Rand().Fork()
+	for i := 0; i < 4; i++ {
+		// Stagger call starts to avoid phase locking.
+		trafgen.CBR(b.Net, w.voice, 160, 20*sim.Millisecond, sim.Time(i)*5*sim.Millisecond, dur)
+	}
+	trafgen.Poisson(b.Net, w.business, 400, 500, 0, dur, rng)
+	trafgen.CBR(b.Net, w.bulk, 1400, 900*sim.Microsecond, 0, dur)
+	return w
+}
+
+// classRow formats one flow's metrics into a table row.
+func classRow(t *stats.Table, config string, f *trafgen.Flow) {
+	t.AddRow(config, f.Stats.Name,
+		f.Stats.Sent,
+		fmt.Sprintf("%.2f", f.Stats.LossRate()*100),
+		fmt.Sprintf("%.2f", f.Stats.Latency.Percentile(50)),
+		fmt.Sprintf("%.2f", f.Stats.Latency.Percentile(99)),
+		fmt.Sprintf("%.2f", f.Stats.Jit.Value()),
+		fmt.Sprintf("%.0f", f.Stats.ThroughputBps()/1e3),
+	)
+}
+
+func newClassTable(title string) *stats.Table {
+	return stats.NewTable(title,
+		"config", "class", "sent", "loss%", "p50ms", "p99ms", "jit_ms", "kb/s")
+}

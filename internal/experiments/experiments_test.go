@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mplsvpn/internal/sim"
+)
+
+func TestE1ShapeMatchesPaper(t *testing.T) {
+	res := E1Scalability([]int{10, 50, 200})
+	// The paper's §2.1 numbers.
+	if res.OverlayVCs[0] != 45 {
+		t.Fatalf("10 sites -> %d VCs, paper says 45", res.OverlayVCs[0])
+	}
+	if res.OverlayVCs[2] != 19900 {
+		t.Fatalf("200 sites -> %d VCs, paper says ~20,000", res.OverlayVCs[2])
+	}
+	// MPLS state grows linearly: the 200-site total is ~20x the 10-site
+	// total, not 400x.
+	ratio := float64(res.MPLSTotalState[2]) / float64(res.MPLSTotalState[0])
+	if ratio > 40 {
+		t.Fatalf("MPLS state grew superlinearly: ratio %.1f", ratio)
+	}
+	// Overlay crosses over MPLS well before 200 sites.
+	if res.OverlayVCs[2] < 10*res.MPLSTotalState[2] {
+		t.Fatalf("overlay %d vs MPLS %d: expected >=10x gap at 200 sites",
+			res.OverlayVCs[2], res.MPLSTotalState[2])
+	}
+	// iBGP sessions stay constant in the 4-PE backbone.
+	if res.BGPSessions[0] != res.BGPSessions[2] {
+		t.Fatal("iBGP session count depends on site count")
+	}
+	if res.Table.NumRows() != 3 {
+		t.Fatalf("table rows = %d", res.Table.NumRows())
+	}
+}
+
+func TestE2QoSProtectsVoice(t *testing.T) {
+	res := E2QoS(2 * sim.Second)
+	// The architecture (hybrid + EXP mapping) must hold voice loss at ~0
+	// and p99 well under the FIFO baselines.
+	if res.VoiceLoss["mpls-hybrid"] > 0.001 {
+		t.Fatalf("hybrid voice loss = %v", res.VoiceLoss["mpls-hybrid"])
+	}
+	for _, baseline := range []string{"plain-ip-fifo", "mpls-fifo"} {
+		if res.VoiceP99["mpls-hybrid"] >= res.VoiceP99[baseline] {
+			t.Fatalf("hybrid p99 %.2f not better than %s %.2f",
+				res.VoiceP99["mpls-hybrid"], baseline, res.VoiceP99[baseline])
+		}
+	}
+	// MPLS without EXP mapping must NOT protect voice: labels alone are
+	// not QoS (the paper's point that DiffServ+MPLS must be combined).
+	if res.VoiceP99["mpls-hybrid-noexp"] < 2*res.VoiceP99["mpls-hybrid"] {
+		t.Fatalf("no-EXP ablation too healthy: %.2f vs %.2f",
+			res.VoiceP99["mpls-hybrid-noexp"], res.VoiceP99["mpls-hybrid"])
+	}
+	// Overload lands on bulk in the QoS configs.
+	if res.BulkLoss["mpls-hybrid"] <= 0 {
+		t.Fatal("bulk saw no loss despite 1.4x overload")
+	}
+}
+
+func TestE3IPsecHidesQoS(t *testing.T) {
+	res := E3IPsec(2 * sim.Second)
+	// Hidden ToS: voice suffers like best effort. ToS copy or MPLS: voice
+	// protected.
+	if res.VoiceLoss["mpls-vpn"] > 0.001 {
+		t.Fatalf("mpls voice loss = %v", res.VoiceLoss["mpls-vpn"])
+	}
+	if res.VoiceP99["ipsec-hidden"] <= 2*res.VoiceP99["mpls-vpn"] {
+		t.Fatalf("ipsec-hidden voice p99 %.2f vs mpls %.2f: encryption should have erased QoS",
+			res.VoiceP99["ipsec-hidden"], res.VoiceP99["mpls-vpn"])
+	}
+	if res.VoiceP99["ipsec-toscopy"] >= res.VoiceP99["ipsec-hidden"] {
+		t.Fatal("ToS copy did not restore QoS")
+	}
+	if !strings.Contains(res.Overhead.String(), "ipsec-esp") {
+		t.Fatal("overhead table incomplete")
+	}
+}
+
+func TestE4LabelLookupBeatsLPM(t *testing.T) {
+	res := E4Forwarding([]int{1000, 10000}, 200000)
+	if res.NsPerOp["ilm"] <= 0 {
+		t.Fatal("no ILM measurement")
+	}
+	// Label lookup must not be slower than the large LPM table.
+	if res.NsPerOp["ilm"] > res.NsPerOp["lpm-10000"] {
+		t.Fatalf("ILM %.1fns slower than LPM-10k %.1fns", res.NsPerOp["ilm"], res.NsPerOp["lpm-10000"])
+	}
+}
+
+func TestE5TEAvoidsCongestion(t *testing.T) {
+	res := E5TrafficEngineering(2 * sim.Second)
+	if !res.LongPathUsed {
+		t.Fatal("TE config never used the long path")
+	}
+	// IGP: both flows lose heavily. TE: both clean.
+	igpLoss := res.Loss["igp-shortest/flowA"] + res.Loss["igp-shortest/flowB"]
+	teLoss := res.Loss["rsvp-te/flowA"] + res.Loss["rsvp-te/flowB"]
+	if igpLoss < 0.05 {
+		t.Fatalf("IGP baseline lost only %.3f: bottleneck not binding", igpLoss)
+	}
+	if teLoss > 0.001 {
+		t.Fatalf("TE config still lost %.3f", teLoss)
+	}
+}
+
+func TestE6NoViolations(t *testing.T) {
+	res := E6Isolation(5, 600)
+	if res.Violations != 0 {
+		t.Fatalf("isolation violations: %d", res.Violations)
+	}
+	if res.WrongReachability != 0 {
+		t.Fatalf("wrong reachability outcomes: %d", res.WrongReachability)
+	}
+}
+
+func TestE7MappingFidelity(t *testing.T) {
+	res := E7EdgeMapping()
+	if res.Mismatches != 0 {
+		t.Fatalf("E7 mismatches: %d\n%s", res.Mismatches, res.Table.String())
+	}
+}
+
+func TestE8RestorationAndScaling(t *testing.T) {
+	res := E8Resilience(3 * sim.Second)
+	// Loss grows monotonically with detection delay; instant detection
+	// loses at most a packet or two already in flight on the dying link.
+	if res.LossByDetect[0] > 0.005 {
+		t.Fatalf("instant detection lost traffic: %v", res.LossByDetect[0])
+	}
+	if !(res.LossByDetect[50] < res.LossByDetect[200] && res.LossByDetect[200] < res.LossByDetect[1000]) {
+		t.Fatalf("loss not monotone in detection delay: %v", res.LossByDetect)
+	}
+	// Full mesh is quadratic, RR linear.
+	if res.SessionsFullMesh[32] != 32*31/2 {
+		t.Fatalf("full mesh sessions at 32 PEs = %d", res.SessionsFullMesh[32])
+	}
+	if res.SessionsRR[32] != 31 {
+		t.Fatalf("RR sessions at 32 PEs = %d", res.SessionsRR[32])
+	}
+}
+
+func TestE9AblationsTradeCostNotCorrectness(t *testing.T) {
+	res := E9Ablations(sim.Second)
+	// All ablations deliver identically.
+	base := res.Delivered["baseline"]
+	if base == 0 {
+		t.Fatal("baseline delivered nothing")
+	}
+	for name, d := range res.Delivered {
+		if d != base {
+			t.Fatalf("ablation %s delivered %d != baseline %d", name, d, base)
+		}
+	}
+	// Independent mode converges in fewer rounds.
+	if res.IndependentRounds >= res.OrderedRounds {
+		t.Fatalf("independent %d rounds >= ordered %d", res.IndependentRounds, res.OrderedRounds)
+	}
+	// Disabling PHP doubles the egress PE's pop work.
+	if res.PopsAtEgressUHP != 2*res.PopsAtEgressPHP {
+		t.Fatalf("UHP egress pops = %d, want 2x PHP's %d", res.PopsAtEgressUHP, res.PopsAtEgressPHP)
+	}
+}
+
+func TestE10WeakestCarrierBreaksSLA(t *testing.T) {
+	res := E10MultiCarrier(2 * sim.Second)
+	if res.VoiceP99["both-qos"] > 20 {
+		t.Fatalf("cross-carrier QoS p99 = %.2f ms", res.VoiceP99["both-qos"])
+	}
+	// One best-effort carrier in the chain breaks the end-to-end SLA.
+	if res.VoiceP99["as2-besteffort"] < 2*res.VoiceP99["both-qos"] {
+		t.Fatalf("weakest link did not break SLA: %.2f vs %.2f",
+			res.VoiceP99["as2-besteffort"], res.VoiceP99["both-qos"])
+	}
+	if res.VoiceLoss["both-qos"] > 0.001 {
+		t.Fatalf("voice loss with full QoS: %v", res.VoiceLoss["both-qos"])
+	}
+}
+
+func TestE11TiersSeparate(t *testing.T) {
+	res := E11VPNTiers(2 * sim.Second)
+	if !(res.P99["gold"] < res.P99["silver"] && res.P99["silver"] < res.P99["bronze"]) {
+		t.Fatalf("tiers not ordered: %v", res.P99)
+	}
+	if res.Loss["gold"] > 0.001 {
+		t.Fatalf("gold lost traffic: %v", res.Loss["gold"])
+	}
+	if !res.CheatBlocked {
+		t.Fatal("bronze customer bought gold service by self-marking EF")
+	}
+}
+
+func TestE12FRRIndependentOfDetection(t *testing.T) {
+	res := E12FastReroute(2 * sim.Second)
+	// Unprotected loss grows with detection delay.
+	if !(res.Loss["none"][100] < res.Loss["none"][1000]) {
+		t.Fatalf("unprotected loss not growing: %v", res.Loss["none"])
+	}
+	// FRR loss is tiny and flat regardless of head-end convergence time.
+	for _, d := range []int{100, 300, 1000} {
+		if res.Loss["frr"][d] > 0.01 {
+			t.Fatalf("FRR loss at detect=%dms: %v", d, res.Loss["frr"][d])
+		}
+	}
+}
+
+func TestE13OptionsTradeLinksForState(t *testing.T) {
+	res := E13InterASOptions(sim.Second, 4)
+	if res.LinksA != 4 || res.LinksB != 1 {
+		t.Fatalf("interconnect links A=%d B=%d, want 4 and 1", res.LinksA, res.LinksB)
+	}
+	if res.Delivered["A"] != res.Delivered["B"] || res.Delivered["A"] == 0 {
+		t.Fatalf("options deliver differently: %v", res.Delivered)
+	}
+}

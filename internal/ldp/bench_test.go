@@ -1,0 +1,33 @@
+package ldp
+
+import (
+	"fmt"
+	"testing"
+
+	"mplsvpn/internal/ospf"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+func benchLDP(b *testing.B, n int, mode Mode) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		g := topo.New()
+		ids := make([]topo.NodeID, n)
+		for j := range ids {
+			ids[j] = g.AddNode(fmt.Sprintf("r%d", j))
+		}
+		for j := range ids {
+			g.AddDuplexLink(ids[j], ids[(j+1)%n], 1e9, sim.Millisecond, 1)
+		}
+		d := ospf.NewDomain(g)
+		d.Converge()
+		p := New(g, d)
+		p.Mode = mode
+		p.Converge()
+	}
+}
+
+func BenchmarkLDPOrdered16(b *testing.B)     { benchLDP(b, 16, Ordered) }
+func BenchmarkLDPIndependent16(b *testing.B) { benchLDP(b, 16, Independent) }
+func BenchmarkLDPOrdered48(b *testing.B)     { benchLDP(b, 48, Ordered) }

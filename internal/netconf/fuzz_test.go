@@ -1,0 +1,25 @@
+package netconf
+
+import (
+	"strings"
+	"testing"
+
+	"mplsvpn/internal/core"
+)
+
+// FuzzLoad hardens the config parser: arbitrary text must either load or
+// fail with an error — never panic. (Panics from deliberate API misuse,
+// like linking a node to itself, count as rejection here.)
+func FuzzLoad(f *testing.F) {
+	f.Add("pe A\npe B\nlink A B 10M 1ms 1\nvpn v\nsite v s A 10.1.0.0/16\n")
+	f.Add("run 1s\nflow f a b 80 ef cbr 100 1ms\n")
+	f.Add("# comment\n\n\n")
+	f.Add("link A A 10M 1ms 1")
+	f.Fuzz(func(t *testing.T, conf string) {
+		defer func() { recover() }()
+		sc, err := Load(strings.NewReader(conf), "fuzz", core.Config{Seed: 1})
+		if err == nil && sc == nil {
+			t.Fatal("nil scenario without error")
+		}
+	})
+}

@@ -1,0 +1,455 @@
+// Package netconf loads the plain-text network description language used
+// by cmd/vpnctl: topology, VPNs, sites, TE tunnels, traffic, and events,
+// one directive per line. It turns a file into a fully provisioned
+// core.Backbone plus the scheduled workload — the repository's equivalent
+// of a router-config + test-plan pair.
+//
+// Directives (# starts a comment):
+//
+//	pe   <name>
+//	p    <name>
+//	link <a> <b> <bw> <delay> <metric>
+//	vpn  <name> [sla=<class>]
+//	site <vpn> <site> <pe> <prefix> [hosts=N] [shape=BW] [backup=PE] [bw=BW] [delay=D]
+//	telsp <name> <ingress> <egress> <bw> [<class>]
+//	flow <name> <from> <to> <port> <class> cbr <payload> <interval>
+//	flow <name> <from> <to> <port> <class> poisson <payload> <pkt/s>
+//	flow <name> <from> <to> <port> <class> onoff <payload> <interval> <meanOn> <meanOff>
+//	flow <name> <from> <to> <port> <class> aimd <payload>
+//	fail <a> <b> <at> <detect>
+//	restore <a> <b> <at> <detect>
+//	trace <from-site> <dst-ip> [<class>]
+//	sla <flow> [p99=D] [p50=D] [loss=F] [jitter=D] [mos=F] [kbps=F]
+//	routereflector <node>        (before any vpn/site)
+//	dste <fraction>              (before any vpn/site)
+//	run  <duration>
+//
+// Classes: ef, af41, af21, be/cs0, cs1, cs6. Bandwidth accepts K/M/G
+// suffixes; delays/durations use Go syntax (10ms, 2s).
+package netconf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/qos"
+	"mplsvpn/internal/rsvp"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+	"mplsvpn/internal/trafgen"
+)
+
+// TraceReq is a deferred control-plane traceroute request.
+type TraceReq struct {
+	Site string
+	Dst  addr.IPv4
+	DSCP packet.DSCP
+}
+
+// Scenario is a loaded configuration: the provisioned backbone with its
+// workload already scheduled on the engine. Run it with
+// s.B.Net.RunUntil(s.Duration + slack).
+type Scenario struct {
+	B        *core.Backbone
+	Flows    []*trafgen.Flow
+	Traces   []TraceReq
+	Duration sim.Time
+	// TELSPs records the tunnels established by telsp directives.
+	TELSPs []*rsvp.LSP
+	// SLAs are compliance targets evaluated after the run, keyed by flow
+	// name (Evaluate them against the matching Flow's Stats).
+	SLAs map[string]stats.SLATarget
+}
+
+// ParseBandwidth parses "10M", "2.5G", "100K", or a plain bits/s number.
+func ParseBandwidth(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1e9, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1e3, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	return v * mult, err
+}
+
+// ParseDuration parses Go duration syntax into virtual time.
+func ParseDuration(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(s)
+	return sim.Time(d.Nanoseconds()), err
+}
+
+// ParseClass parses a DiffServ class name.
+func ParseClass(s string) (packet.DSCP, error) {
+	switch strings.ToLower(s) {
+	case "ef":
+		return packet.DSCPEF, nil
+	case "af41":
+		return packet.DSCPAF41, nil
+	case "af21":
+		return packet.DSCPAF21, nil
+	case "be", "cs0":
+		return packet.DSCPBestEffort, nil
+	case "cs1":
+		return packet.DSCPCS1, nil
+	case "cs6":
+		return packet.DSCPCS6, nil
+	}
+	return 0, fmt.Errorf("unknown class %q", s)
+}
+
+// Load parses the configuration from r (name is used in error messages)
+// and provisions a backbone with the given base config. The returned
+// scenario's engine holds all scheduled traffic and events.
+func Load(r io.Reader, name string, cfg core.Config) (*Scenario, error) {
+	b := core.NewBackbone(cfg)
+	sc := &Scenario{B: b, Duration: 5 * sim.Second, SLAs: map[string]stats.SLATarget{}}
+	built := false
+	converged := false
+
+	ensureBuilt := func() {
+		if !built {
+			b.BuildProvider()
+			built = true
+		}
+	}
+	ensureConverged := func() {
+		if !converged {
+			b.ConvergeVPNs()
+			converged = true
+		}
+	}
+
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", name, lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "routereflector":
+			if len(fields) != 2 || built {
+				return nil, fail("routereflector <node> (before any vpn/site)")
+			}
+			b.Cfg.RouteReflector = fields[1]
+		case "dste":
+			if len(fields) != 2 || built {
+				return nil, fail("dste <fraction> (before any vpn/site)")
+			}
+			fr, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || fr < 0 || fr > 1 {
+				return nil, fail("bad dste fraction")
+			}
+			b.Cfg.DSTEPremiumFraction = fr
+		case "sla":
+			if len(fields) < 3 {
+				return nil, fail("sla <flow> [p99=D] [p50=D] [loss=F] [jitter=D] [mos=F] [kbps=F]")
+			}
+			target := stats.SLATarget{Name: fields[1]}
+			for _, opt := range fields[2:] {
+				k, v, found := strings.Cut(opt, "=")
+				if !found {
+					return nil, fail("sla option %q is not key=value", opt)
+				}
+				switch k {
+				case "p99", "p50", "jitter":
+					d, err := ParseDuration(v)
+					if err != nil {
+						return nil, fail("bad %s: %v", k, err)
+					}
+					ms := float64(d) / float64(sim.Millisecond)
+					switch k {
+					case "p99":
+						target.MaxP99Ms = ms
+					case "p50":
+						target.MaxP50Ms = ms
+					default:
+						target.MaxJitterMs = ms
+					}
+				case "loss", "mos", "kbps":
+					x, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return nil, fail("bad %s: %v", k, err)
+					}
+					switch k {
+					case "loss":
+						target.MaxLoss = x
+					case "mos":
+						target.MinMOS = x
+					default:
+						target.MinKbps = x
+					}
+				default:
+					return nil, fail("unknown sla option %q", k)
+				}
+			}
+			sc.SLAs[fields[1]] = target
+		case "trace":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, fail("trace <from-site> <dst-ip> [<class>]")
+			}
+			ip, err := addr.ParseIPv4(fields[2])
+			if err != nil {
+				return nil, fail("bad address: %v", err)
+			}
+			var dscp packet.DSCP
+			if len(fields) == 4 {
+				dscp, err = ParseClass(fields[3])
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+			}
+			sc.Traces = append(sc.Traces, TraceReq{Site: fields[1], Dst: ip, DSCP: dscp})
+		case "fail", "restore":
+			if len(fields) != 5 {
+				return nil, fail("%s <a> <b> <at> <detect>", fields[0])
+			}
+			ensureBuilt()
+			at, err := ParseDuration(fields[3])
+			if err != nil {
+				return nil, fail("bad time: %v", err)
+			}
+			detect, err := ParseDuration(fields[4])
+			if err != nil {
+				return nil, fail("bad detect delay: %v", err)
+			}
+			a, z := fields[1], fields[2]
+			down := fields[0] == "fail"
+			b.E.Schedule(at, func() {
+				if down {
+					b.FailLink(a, z, detect)
+				} else {
+					b.RestoreLink(a, z, detect)
+				}
+			})
+		case "pe":
+			if len(fields) != 2 {
+				return nil, fail("pe needs a name")
+			}
+			b.AddPE(fields[1])
+		case "p":
+			if len(fields) != 2 {
+				return nil, fail("p needs a name")
+			}
+			b.AddP(fields[1])
+		case "link":
+			if len(fields) != 6 {
+				return nil, fail("link <a> <b> <bw> <delay> <metric>")
+			}
+			bw, err := ParseBandwidth(fields[3])
+			if err != nil {
+				return nil, fail("bad bandwidth: %v", err)
+			}
+			d, err := ParseDuration(fields[4])
+			if err != nil {
+				return nil, fail("bad delay: %v", err)
+			}
+			m, err := strconv.Atoi(fields[5])
+			if err != nil {
+				return nil, fail("bad metric: %v", err)
+			}
+			b.Link(fields[1], fields[2], bw, d, m)
+		case "vpn":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fail("vpn <name> [sla=<class>]")
+			}
+			ensureBuilt()
+			b.DefineVPN(fields[1])
+			if len(fields) == 3 {
+				k, v, found := strings.Cut(fields[2], "=")
+				if !found || k != "sla" {
+					return nil, fail("vpn option %q (want sla=<class>)", fields[2])
+				}
+				d, err := ParseClass(v)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				b.SetVPNSLA(fields[1], qos.ClassForDSCP(d))
+			}
+		case "site":
+			if len(fields) < 5 {
+				return nil, fail("site <vpn> <site> <pe> <prefix> [options]")
+			}
+			ensureBuilt()
+			pfx, err := addr.ParsePrefix(fields[4])
+			if err != nil {
+				return nil, fail("bad prefix: %v", err)
+			}
+			spec := core.SiteSpec{
+				VPN: fields[1], Name: fields[2], PE: fields[3],
+				Prefixes: []addr.Prefix{pfx},
+			}
+			for _, opt := range fields[5:] {
+				k, v, found := strings.Cut(opt, "=")
+				if !found {
+					return nil, fail("site option %q is not key=value", opt)
+				}
+				switch k {
+				case "hosts":
+					n, err := strconv.Atoi(v)
+					if err != nil || n < 0 {
+						return nil, fail("bad hosts count %q", v)
+					}
+					spec.Hosts = n
+				case "shape":
+					bw, err := ParseBandwidth(v)
+					if err != nil {
+						return nil, fail("bad shape rate: %v", err)
+					}
+					spec.ShapeRate = bw
+				case "backup":
+					spec.BackupPE = v
+				case "bw":
+					bw, err := ParseBandwidth(v)
+					if err != nil {
+						return nil, fail("bad access bandwidth: %v", err)
+					}
+					spec.AccessBw = bw
+				case "delay":
+					d, err := ParseDuration(v)
+					if err != nil {
+						return nil, fail("bad access delay: %v", err)
+					}
+					spec.AccessDelay = d
+				default:
+					return nil, fail("unknown site option %q", k)
+				}
+			}
+			b.AddSite(spec)
+			converged = false
+		case "telsp":
+			if len(fields) < 5 {
+				return nil, fail("telsp <name> <ingress> <egress> <bw> [<class>]")
+			}
+			ensureBuilt()
+			bw, err := ParseBandwidth(fields[4])
+			if err != nil {
+				return nil, fail("bad bandwidth: %v", err)
+			}
+			class := qos.Class(-1)
+			if len(fields) == 6 {
+				d, err := ParseClass(fields[5])
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				class = qos.ClassForDSCP(d)
+			}
+			lsp, err := b.SetupTELSP(fields[1], fields[2], fields[3], bw, class, rsvp.SetupOptions{})
+			if err != nil {
+				return nil, fail("telsp: %v", err)
+			}
+			sc.TELSPs = append(sc.TELSPs, lsp)
+		case "flow":
+			if len(fields) < 8 {
+				return nil, fail("flow <name> <from> <to> <port> <class> cbr|poisson|onoff|aimd ...")
+			}
+			ensureBuilt()
+			ensureConverged()
+			if err := sc.addFlow(fields, fail); err != nil {
+				return nil, err
+			}
+		case "run":
+			if len(fields) != 2 {
+				return nil, fail("run <duration>")
+			}
+			d, err := ParseDuration(fields[1])
+			if err != nil {
+				return nil, fail("bad duration: %v", err)
+			}
+			sc.Duration = d
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	ensureBuilt()
+	ensureConverged()
+	return sc, nil
+}
+
+// addFlow parses one flow directive and schedules its generator.
+func (sc *Scenario) addFlow(fields []string, fail func(string, ...any) error) error {
+	b := sc.B
+	port, err := strconv.Atoi(fields[4])
+	if err != nil {
+		return fail("bad port: %v", err)
+	}
+	dscp, err := ParseClass(fields[5])
+	if err != nil {
+		return fail("%v", err)
+	}
+	fl, err := b.FlowBetween(fields[1], fields[2], fields[3], uint16(port))
+	if err != nil {
+		return fail("%v", err)
+	}
+	fl.DSCP = dscp
+	payload, err := strconv.Atoi(fields[7])
+	if err != nil {
+		return fail("bad payload: %v", err)
+	}
+	switch fields[6] {
+	case "cbr":
+		if len(fields) != 9 {
+			return fail("flow ... cbr <payload> <interval>")
+		}
+		iv, err := ParseDuration(fields[8])
+		if err != nil {
+			return fail("bad interval: %v", err)
+		}
+		trafgen.CBR(b.Net, fl, payload, iv, 0, sc.Duration)
+	case "poisson":
+		if len(fields) != 9 {
+			return fail("flow ... poisson <payload> <pkt/s>")
+		}
+		rate, err := strconv.ParseFloat(fields[8], 64)
+		if err != nil {
+			return fail("bad rate: %v", err)
+		}
+		trafgen.Poisson(b.Net, fl, payload, rate, 0, sc.Duration, b.E.Rand().Fork())
+	case "onoff":
+		if len(fields) != 11 {
+			return fail("flow ... onoff <payload> <interval> <meanOn> <meanOff>")
+		}
+		iv, err := ParseDuration(fields[8])
+		if err != nil {
+			return fail("bad interval: %v", err)
+		}
+		on, err := ParseDuration(fields[9])
+		if err != nil {
+			return fail("bad meanOn: %v", err)
+		}
+		off, err := ParseDuration(fields[10])
+		if err != nil {
+			return fail("bad meanOff: %v", err)
+		}
+		trafgen.OnOff(b.Net, fl, payload, iv, on, off, 0, sc.Duration, b.E.Rand().Fork())
+	case "aimd":
+		if len(fields) != 8 {
+			return fail("flow ... aimd <payload>")
+		}
+		src := b.AttachAIMD(fl, payload, sc.Duration)
+		src.Start(0)
+	default:
+		return fail("unknown pattern %q", fields[6])
+	}
+	sc.Flows = append(sc.Flows, fl)
+	return nil
+}

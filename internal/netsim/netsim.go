@@ -1,0 +1,236 @@
+// Package netsim runs packets through the topology in virtual time: each
+// directed link has an egress port with a QoS scheduler, transmission takes
+// bytes*8/bandwidth seconds, propagation takes the link delay, and every
+// arrival re-enters the next router's forwarding pipeline.
+//
+// This is the simulated testbed standing in for the paper's hardware: the
+// queueing, scheduling, and reservation behaviour that the QoS experiments
+// measure all happens here.
+package netsim
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/device"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/qos"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+// DefaultQueueBytes is the per-port buffer when no scheduler is installed
+// explicitly: 64 KB, a typical shallow router buffer that congests visibly
+// at the simulated link speeds.
+const DefaultQueueBytes = 64 * 1024
+
+// Network binds the event engine, the topology, and the routers.
+type Network struct {
+	E       *sim.Engine
+	G       *topo.Graph
+	Routers map[topo.NodeID]*device.Router
+
+	ports map[topo.LinkID]*port
+
+	// OnDeliver is invoked when a packet reaches its destination.
+	OnDeliver func(at topo.NodeID, p *packet.Packet)
+	// OnDrop is invoked when a packet is dropped anywhere, with the reason.
+	OnDrop func(at topo.NodeID, p *packet.Packet, reason error)
+
+	// HopDelay is a fixed per-router processing delay (lookup cost).
+	HopDelay sim.Time
+
+	// Counters.
+	Injected  int
+	Delivered int
+	Dropped   int
+}
+
+type port struct {
+	link    topo.LinkID
+	sched   qos.Scheduler
+	busy    bool
+	shaper  *qos.TokenBucket // optional egress shaper
+	pending *packet.Packet   // dequeued but held for shaper conformance
+	txBytes int64            // bytes serialized onto the wire
+	txPkts  int64
+}
+
+// New creates a network over g driven by engine e. Routers are registered
+// with AddRouter; ports get FIFO schedulers by default.
+func New(e *sim.Engine, g *topo.Graph) *Network {
+	return &Network{
+		E: e, G: g,
+		Routers: make(map[topo.NodeID]*device.Router),
+		ports:   make(map[topo.LinkID]*port),
+	}
+}
+
+// AddRouter registers the forwarding element for a node.
+func (n *Network) AddRouter(r *device.Router) {
+	n.Routers[r.Node] = r
+}
+
+// Router returns the device at a node.
+func (n *Network) Router(id topo.NodeID) *device.Router { return n.Routers[id] }
+
+// SetScheduler installs a QoS scheduler on one directed link's egress port.
+func (n *Network) SetScheduler(link topo.LinkID, s qos.Scheduler) {
+	if p, ok := n.ports[link]; ok {
+		p.sched = s
+		return
+	}
+	n.ports[link] = &port{link: link, sched: s}
+}
+
+// SetShaper installs a token-bucket shaper on a port: packets leave no
+// faster than the bucket refills, whatever the physical link rate. This is
+// the CE-side contract enforcement of the paper's CPE ("dictate the amount
+// of bandwidth dedicated to each application") — unlike a policer it
+// delays rather than drops.
+func (n *Network) SetShaper(link topo.LinkID, tb *qos.TokenBucket) {
+	n.portFor(link).shaper = tb
+}
+
+// SetSchedulerFactory installs a scheduler on every directed link.
+func (n *Network) SetSchedulerFactory(f func(l *topo.Link) qos.Scheduler) {
+	for i := 0; i < n.G.NumLinks(); i++ {
+		id := topo.LinkID(i)
+		n.ports[id] = &port{link: id, sched: f(n.G.Link(id))}
+	}
+}
+
+func (n *Network) portFor(link topo.LinkID) *port {
+	p, ok := n.ports[link]
+	if !ok {
+		p = &port{link: link, sched: qos.NewFIFO(DefaultQueueBytes)}
+		n.ports[link] = p
+	}
+	return p
+}
+
+// Inject introduces a packet at a node (a host/CE sourcing traffic). The
+// packet is processed immediately at the injection point.
+func (n *Network) Inject(at topo.NodeID, p *packet.Packet) {
+	p.SentAt = n.E.Now()
+	n.Injected++
+	n.process(at, p, -1)
+}
+
+// process runs one router's pipeline and acts on the verdict.
+func (n *Network) process(at topo.NodeID, p *packet.Packet, inLink topo.LinkID) {
+	r, ok := n.Routers[at]
+	if !ok {
+		n.drop(at, p, fmt.Errorf("netsim: no router at node %d", at))
+		return
+	}
+	v := r.Receive(n.E.Now(), p, inLink)
+	if v.Err != nil {
+		n.drop(at, p, v.Err)
+		return
+	}
+	if v.Deliver {
+		n.Delivered++
+		if n.OnDeliver != nil {
+			n.OnDeliver(at, p)
+		}
+		return
+	}
+	delay := v.Delay + n.HopDelay
+	if delay > 0 {
+		n.E.After(delay, func() { n.enqueue(at, v.OutLink, p) })
+		return
+	}
+	n.enqueue(at, v.OutLink, p)
+}
+
+// enqueue places the packet on the egress port, starting transmission if
+// the port is idle.
+func (n *Network) enqueue(at topo.NodeID, link topo.LinkID, p *packet.Packet) {
+	l := n.G.Link(link)
+	if l.From != at {
+		n.drop(at, p, fmt.Errorf("netsim: router %d forwarded out foreign link %d", at, link))
+		return
+	}
+	if l.Down {
+		n.drop(at, p, fmt.Errorf("netsim: link %d is down", link))
+		return
+	}
+	pt := n.portFor(link)
+	if !pt.sched.Enqueue(n.E.Now(), qos.ClassOf(p), p) {
+		n.drop(at, p, fmt.Errorf("netsim: queue overflow on link %d at %s", link, n.G.Name(at)))
+		return
+	}
+	if !pt.busy {
+		n.transmitNext(pt)
+	}
+}
+
+// transmitNext serializes the scheduler's next packet onto the wire,
+// honouring the port shaper if one is installed.
+func (n *Network) transmitNext(pt *port) {
+	p := pt.pending
+	pt.pending = nil
+	if p == nil {
+		p = pt.sched.Dequeue(n.E.Now())
+	}
+	if p == nil {
+		pt.busy = false
+		return
+	}
+	pt.busy = true
+	if pt.shaper != nil {
+		if d := pt.shaper.DelayUntilConform(n.E.Now(), p.SerializedLen()); d > 0 {
+			pt.pending = p
+			n.E.After(d, func() { n.transmitNext(pt) })
+			return
+		}
+		pt.shaper.Conforms(n.E.Now(), p.SerializedLen())
+	}
+	l := n.G.Link(pt.link)
+	pt.txBytes += int64(p.SerializedLen())
+	pt.txPkts++
+	txTime := sim.Time(float64(p.SerializedLen()*8) / l.Bandwidth * float64(sim.Second))
+	n.E.After(txTime, func() {
+		// Serialization finished: launch propagation, then serve the next
+		// queued packet (the wire is pipelined).
+		if l.Down {
+			n.drop(l.From, p, fmt.Errorf("netsim: link %d went down mid-flight", pt.link))
+		} else {
+			dst := l.To
+			n.E.After(l.Delay, func() { n.process(dst, p, pt.link) })
+		}
+		n.transmitNext(pt)
+	})
+}
+
+func (n *Network) drop(at topo.NodeID, p *packet.Packet, reason error) {
+	n.Dropped++
+	if n.OnDrop != nil {
+		n.OnDrop(at, p, reason)
+	}
+}
+
+// Run executes events until quiescence.
+func (n *Network) Run() { n.E.Run() }
+
+// RunUntil executes events up to the deadline.
+func (n *Network) RunUntil(t sim.Time) { n.E.RunUntil(t) }
+
+// PortQueue exposes the class queue of a link's port for occupancy stats.
+func (n *Network) PortQueue(link topo.LinkID, c qos.Class) *qos.Queue {
+	return n.portFor(link).sched.ClassQueue(c)
+}
+
+// LinkTxBytes returns the bytes serialized onto a directed link so far.
+func (n *Network) LinkTxBytes(link topo.LinkID) int64 { return n.portFor(link).txBytes }
+
+// LinkUtilization returns the fraction of a link's capacity used over the
+// elapsed virtual time (0 before any time has passed).
+func (n *Network) LinkUtilization(link topo.LinkID) float64 {
+	t := n.E.Now().Seconds()
+	if t <= 0 {
+		return 0
+	}
+	l := n.G.Link(link)
+	return float64(n.portFor(link).txBytes*8) / (l.Bandwidth * t)
+}

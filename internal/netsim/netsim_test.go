@@ -1,0 +1,270 @@
+package netsim
+
+import (
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/device"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/qos"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+// pair builds A -> B over one 1 Mb/s link with 1 ms propagation. B delivers
+// 10.2.0.0/16.
+func pair() (*Network, topo.NodeID, topo.NodeID, topo.LinkID) {
+	e := sim.NewEngine(1)
+	g := topo.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	ab, _ := g.AddDuplexLink(a, b, 1e6, sim.Millisecond, 1)
+	n := New(e, g)
+
+	ra := device.New(a, "A", device.CE, addr.MustParseIPv4("10.255.0.0"))
+	ra.IPTable.Insert(addr.Prefix{}, ab)
+	rb := device.New(b, "B", device.CE, addr.MustParseIPv4("10.255.0.1"))
+	rb.LocalPrefixes = addr.NewTable[bool]()
+	rb.LocalPrefixes.Insert(addr.MustParsePrefix("10.2.0.0/16"), true)
+	n.AddRouter(ra)
+	n.AddRouter(rb)
+	return n, a, b, ab
+}
+
+func mkPkt(payload int, dscp packet.DSCP) *packet.Packet {
+	return &packet.Packet{
+		IP: packet.IPv4Header{
+			DSCP: dscp, TTL: 64, Protocol: packet.ProtoUDP,
+			Src: addr.MustParseIPv4("10.1.0.1"), Dst: addr.MustParseIPv4("10.2.0.1"),
+		},
+		Payload: payload,
+	}
+}
+
+func TestDeliveryAndLatency(t *testing.T) {
+	n, a, _, _ := pair()
+	var deliveredAt sim.Time
+	n.OnDeliver = func(_ topo.NodeID, p *packet.Packet) { deliveredAt = n.E.Now() }
+	p := mkPkt(972, 0) // 1000 bytes on the wire
+	n.Inject(a, p)
+	n.Run()
+	if n.Delivered != 1 {
+		t.Fatalf("delivered = %d", n.Delivered)
+	}
+	// 1000 B = 8000 bits at 1 Mb/s = 8 ms tx + 1 ms prop.
+	want := 9 * sim.Millisecond
+	if deliveredAt != want {
+		t.Fatalf("latency = %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestQueueingDelaySerializes(t *testing.T) {
+	n, a, _, _ := pair()
+	var times []sim.Time
+	n.OnDeliver = func(topo.NodeID, *packet.Packet) { times = append(times, n.E.Now()) }
+	n.Inject(a, mkPkt(972, 0))
+	n.Inject(a, mkPkt(972, 0))
+	n.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if times[1]-times[0] != 8*sim.Millisecond {
+		t.Fatalf("second packet spacing = %v, want 8ms (serialization)", times[1]-times[0])
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	n, a, _, ab := pair()
+	n.SetScheduler(ab, qos.NewFIFO(3000)) // room for ~3 packets
+	var reasons []error
+	n.OnDrop = func(_ topo.NodeID, _ *packet.Packet, err error) { reasons = append(reasons, err) }
+	for i := 0; i < 10; i++ {
+		n.Inject(a, mkPkt(972, 0))
+	}
+	n.Run()
+	if n.Dropped == 0 || n.Delivered+n.Dropped != 10 {
+		t.Fatalf("delivered=%d dropped=%d", n.Delivered, n.Dropped)
+	}
+	if len(reasons) != n.Dropped {
+		t.Fatal("OnDrop not called for every drop")
+	}
+}
+
+func TestPriorityOvertakesBestEffort(t *testing.T) {
+	n, a, _, ab := pair()
+	var w [qos.NumClasses]float64
+	w[qos.ClassBestEffort] = 1
+	n.SetScheduler(ab, qos.NewHybrid(0, w))
+	var order []packet.DSCP
+	n.OnDeliver = func(_ topo.NodeID, p *packet.Packet) { order = append(order, p.IP.DSCP) }
+	// Five BE packets queue up; an EF packet injected later must come out
+	// before the queued BE backlog (it only waits for the one in service).
+	for i := 0; i < 5; i++ {
+		n.Inject(a, mkPkt(972, packet.DSCPBestEffort))
+	}
+	n.Inject(a, mkPkt(172, packet.DSCPEF))
+	n.Run()
+	if len(order) != 6 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	// EF should be the second delivery: one BE was already on the wire.
+	if order[1] != packet.DSCPEF {
+		t.Fatalf("delivery order = %v, EF not expedited", order)
+	}
+}
+
+func TestLinkDownDrops(t *testing.T) {
+	n, a, b, _ := pair()
+	n.G.SetLinkDown(a, b, true)
+	n.Inject(a, mkPkt(100, 0))
+	n.Run()
+	if n.Dropped != 1 || n.Delivered != 0 {
+		t.Fatalf("dropped=%d delivered=%d", n.Dropped, n.Delivered)
+	}
+}
+
+func TestHopDelayCharged(t *testing.T) {
+	n, a, _, _ := pair()
+	n.HopDelay = 500 * sim.Microsecond
+	var at sim.Time
+	n.OnDeliver = func(topo.NodeID, *packet.Packet) { at = n.E.Now() }
+	n.Inject(a, mkPkt(972, 0))
+	n.Run()
+	// 8ms tx + 1ms prop + 0.5ms at A (delivery at B is terminal: B's hop
+	// delay applies before forwarding only).
+	if at != 9*sim.Millisecond+500*sim.Microsecond {
+		t.Fatalf("latency with hop delay = %v", at)
+	}
+}
+
+func TestPipelinedTransmission(t *testing.T) {
+	// With a long propagation delay, back-to-back packets are spaced by
+	// serialization time, not serialization+propagation: the wire holds
+	// multiple packets.
+	e := sim.NewEngine(1)
+	g := topo.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	ab, _ := g.AddDuplexLink(a, b, 1e6, 100*sim.Millisecond, 1)
+	_ = ab
+	n := New(e, g)
+	ra := device.New(a, "A", device.CE, addr.MustParseIPv4("10.255.0.0"))
+	ra.IPTable.Insert(addr.Prefix{}, ab)
+	rb := device.New(b, "B", device.CE, addr.MustParseIPv4("10.255.0.1"))
+	rb.LocalPrefixes = addr.NewTable[bool]()
+	rb.LocalPrefixes.Insert(addr.MustParsePrefix("10.2.0.0/16"), true)
+	n.AddRouter(ra)
+	n.AddRouter(rb)
+
+	var times []sim.Time
+	n.OnDeliver = func(topo.NodeID, *packet.Packet) { times = append(times, e.Now()) }
+	n.Inject(a, mkPkt(972, 0))
+	n.Inject(a, mkPkt(972, 0))
+	n.Run()
+	if times[0] != 108*sim.Millisecond {
+		t.Fatalf("first arrival = %v", times[0])
+	}
+	if times[1]-times[0] != 8*sim.Millisecond {
+		t.Fatalf("spacing = %v, wire not pipelined", times[1]-times[0])
+	}
+}
+
+func TestPortQueueVisibility(t *testing.T) {
+	n, a, _, ab := pair()
+	n.SetScheduler(ab, qos.NewPriority(0))
+	for i := 0; i < 3; i++ {
+		n.Inject(a, mkPkt(972, packet.DSCPBestEffort))
+	}
+	// Before running: one packet in service, two queued.
+	q := n.PortQueue(ab, qos.ClassBestEffort)
+	if q.Len() != 2 {
+		t.Fatalf("queued = %d, want 2", q.Len())
+	}
+	n.Run()
+}
+
+func TestShaperLimitsRate(t *testing.T) {
+	// 1 Mb/s link shaped to 200 kb/s: 25 packets of 1000 B take ~1s
+	// shaped (vs ~0.2s unshaped).
+	n, a, _, ab := pair()
+	n.SetShaper(ab, qos.NewTokenBucket(200e3/8, 2000))
+	var last sim.Time
+	n.OnDeliver = func(topo.NodeID, *packet.Packet) { last = n.E.Now() }
+	for i := 0; i < 25; i++ {
+		n.Inject(a, mkPkt(972, 0))
+	}
+	n.Run()
+	if n.Delivered != 25 {
+		t.Fatalf("shaper dropped packets: %d", n.Delivered)
+	}
+	// 25 KB at 25 KB/s ≈ 1s (minus the initial 2 KB burst).
+	if last < 800*sim.Millisecond || last > 1200*sim.Millisecond {
+		t.Fatalf("shaped completion at %v, want ~0.9-1s", last)
+	}
+}
+
+func TestShaperIdlePortResumes(t *testing.T) {
+	// A packet arriving while the shaper is between conformance windows
+	// must still be sent (no lost wakeups).
+	n, a, _, ab := pair()
+	n.SetShaper(ab, qos.NewTokenBucket(1e6/8, 1200))
+	n.Inject(a, mkPkt(972, 0))
+	n.E.RunUntil(50 * sim.Millisecond)
+	n.Inject(a, mkPkt(972, 0))
+	n.Run()
+	if n.Delivered != 2 {
+		t.Fatalf("delivered %d, want 2", n.Delivered)
+	}
+}
+
+func TestUtilizationCounters(t *testing.T) {
+	n, a, _, ab := pair()
+	for i := 0; i < 10; i++ {
+		n.Inject(a, mkPkt(972, 0))
+	}
+	n.Run()
+	if n.LinkTxBytes(ab) != 10*1000 {
+		t.Fatalf("tx bytes = %d", n.LinkTxBytes(ab))
+	}
+	u := n.LinkUtilization(ab)
+	// 10 KB over ~81ms at 1 Mb/s ≈ 98% while transmitting.
+	if u < 0.5 || u > 1.01 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if n.Router(a) == nil {
+		t.Fatal("Router accessor broken")
+	}
+}
+
+func TestSchedulerFactoryAndRunUntil(t *testing.T) {
+	n, a, _, _ := pair()
+	n.SetSchedulerFactory(func(l *topo.Link) qos.Scheduler {
+		return qos.NewPriority(0)
+	})
+	n.Inject(a, mkPkt(972, 0))
+	n.RunUntil(4 * sim.Millisecond) // mid-transmission
+	if n.Delivered != 0 {
+		t.Fatal("delivered before serialization finished")
+	}
+	n.RunUntil(20 * sim.Millisecond)
+	if n.Delivered != 1 {
+		t.Fatalf("delivered = %d", n.Delivered)
+	}
+}
+
+func TestSetSchedulerPreservesShaper(t *testing.T) {
+	n, a, _, ab := pair()
+	n.SetShaper(ab, qos.NewTokenBucket(1e5, 1000))
+	n.SetScheduler(ab, qos.NewFIFO(0)) // must not discard the shaper
+	n.Inject(a, mkPkt(972, 0))
+	n.Inject(a, mkPkt(972, 0))
+	n.Run()
+	if n.Delivered != 2 {
+		t.Fatalf("delivered = %d", n.Delivered)
+	}
+	// Shaped to 100 KB/s: the second packet waits ~10ms for tokens and
+	// finishes at 19ms, versus 17ms unshaped.
+	if n.E.Now() < 18*sim.Millisecond {
+		t.Fatalf("shaper dropped by SetScheduler: finished at %v", n.E.Now())
+	}
+}

@@ -1,0 +1,46 @@
+package ospf
+
+import (
+	"fmt"
+	"testing"
+
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+// ringOf builds an n-router ring.
+func ringOf(n int) *topo.Graph {
+	g := topo.New()
+	ids := make([]topo.NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("r%d", i))
+	}
+	for i := range ids {
+		g.AddDuplexLink(ids[i], ids[(i+1)%n], 1e9, sim.Millisecond, 1)
+	}
+	return g
+}
+
+func benchConverge(b *testing.B, n int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		d := NewDomain(ringOf(n))
+		d.Converge()
+	}
+}
+
+func BenchmarkConverge8(b *testing.B)  { benchConverge(b, 8) }
+func BenchmarkConverge32(b *testing.B) { benchConverge(b, 32) }
+func BenchmarkConverge64(b *testing.B) { benchConverge(b, 64) }
+
+func BenchmarkReconvergeAfterFailure(b *testing.B) {
+	g := ringOf(32)
+	d := NewDomain(g)
+	d.Converge()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		down := i%2 == 0
+		g.SetLinkDown(0, 1, down)
+		d.NotifyLinkChange(0, 1)
+	}
+}

@@ -1,0 +1,136 @@
+// Package overlay models the pre-MPLS baseline of §2.1: a VPN built from
+// point-to-point virtual circuits (frame relay / ATM PVCs, or equivalently
+// per-pair IP tunnels). Its purpose is experiment E1 — counting the
+// provisioning state an overlay needs as the site count grows:
+//
+//	"A network with N points of service would create N(N-1)/2 virtual
+//	circuits if each service-point-to-partner flow were mapped to a
+//	virtual circuit. ... In a network with 200 service points (a
+//	medium-sized VPN), about 20,000 virtual circuits would be required."
+package overlay
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SiteID identifies a customer site in an overlay VPN.
+type SiteID int
+
+// VC is one provisioned virtual circuit between two sites. Each VC carries
+// its own configuration burden: two endpoints to configure, a committed
+// information rate to manage, and (for IP tunnels) a routing adjacency.
+type VC struct {
+	A, B SiteID
+	// CIRBps is the committed rate; overlay QoS is per-VC, so the operator
+	// must size every one of these individually (§2.2's administration
+	// burden).
+	CIRBps float64
+}
+
+// Topology selects how sites are interconnected.
+type Topology int
+
+// Overlay interconnection patterns.
+const (
+	// FullMesh provisions a VC per site pair: any-to-any connectivity,
+	// N(N-1)/2 circuits.
+	FullMesh Topology = iota
+	// HubAndSpoke provisions one VC per spoke to a hub site: N-1 circuits
+	// but all spoke-to-spoke traffic detours through the hub (the latency
+	// penalty measured in E1's secondary column).
+	HubAndSpoke
+)
+
+// VPN is one overlay VPN's provisioning state.
+type VPN struct {
+	Name     string
+	Topology Topology
+	sites    []SiteID
+	vcs      []VC
+}
+
+// New creates an empty overlay VPN with the given interconnection pattern.
+func New(name string, t Topology) *VPN {
+	return &VPN{Name: name, Topology: t}
+}
+
+// AddSite provisions connectivity for a new site: VCs to every existing
+// site (full mesh) or to the hub (hub-and-spoke; the first site added is
+// the hub). It returns the number of new VCs — the incremental provisioning
+// work the operator performs, which for a mesh grows linearly with VPN size
+// and is exactly the pain §2.1 describes.
+func (v *VPN) AddSite(s SiteID, cirBps float64) int {
+	added := 0
+	switch v.Topology {
+	case FullMesh:
+		for _, o := range v.sites {
+			v.vcs = append(v.vcs, VC{A: o, B: s, CIRBps: cirBps})
+			added++
+		}
+	case HubAndSpoke:
+		if len(v.sites) > 0 {
+			v.vcs = append(v.vcs, VC{A: v.sites[0], B: s, CIRBps: cirBps})
+			added++
+		}
+	}
+	v.sites = append(v.sites, s)
+	return added
+}
+
+// NumSites returns the number of sites.
+func (v *VPN) NumSites() int { return len(v.sites) }
+
+// NumVCs returns the total circuits provisioned — the E1 headline number.
+func (v *VPN) NumVCs() int { return len(v.vcs) }
+
+// VCs returns the provisioned circuits sorted by endpoints.
+func (v *VPN) VCs() []VC {
+	out := append([]VC(nil), v.vcs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// EndpointConfigs returns the number of per-device tunnel endpoint
+// configurations (2 per VC): a proxy for operator workload.
+func (v *VPN) EndpointConfigs() int { return 2 * len(v.vcs) }
+
+// RoutingAdjacencies returns the number of routing protocol adjacencies the
+// customer must run over the overlay (one per VC): with a mesh, each CE
+// peers with N-1 others, the "hop intensive routed infrastructure" MPLS
+// flattens (§3).
+func (v *VPN) RoutingAdjacencies() int { return len(v.vcs) }
+
+// PathHops returns how many VC hops traffic between two sites crosses:
+// 1 in a mesh, 2 via the hub for spoke-to-spoke traffic.
+func (v *VPN) PathHops(a, b SiteID) (int, error) {
+	if a == b {
+		return 0, nil
+	}
+	has := func(s SiteID) bool {
+		for _, x := range v.sites {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(a) || !has(b) {
+		return 0, fmt.Errorf("overlay: site not in VPN")
+	}
+	if v.Topology == FullMesh {
+		return 1, nil
+	}
+	if len(v.sites) > 0 && (a == v.sites[0] || b == v.sites[0]) {
+		return 1, nil
+	}
+	return 2, nil
+}
+
+// MeshVCCount is the closed form the paper quotes: N(N-1)/2.
+func MeshVCCount(sites int) int { return sites * (sites - 1) / 2 }

@@ -1,0 +1,108 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperNumbers(t *testing.T) {
+	// §2.1's two data points: 10 sites -> 45 VCs; 200 sites -> 19,900
+	// ("about 20,000").
+	if got := MeshVCCount(10); got != 45 {
+		t.Fatalf("MeshVCCount(10) = %d, want 45", got)
+	}
+	if got := MeshVCCount(200); got != 19900 {
+		t.Fatalf("MeshVCCount(200) = %d, want 19900", got)
+	}
+}
+
+func TestFullMeshProvisioning(t *testing.T) {
+	v := New("acme", FullMesh)
+	for i := 0; i < 10; i++ {
+		v.AddSite(SiteID(i), 1e6)
+	}
+	if v.NumVCs() != 45 {
+		t.Fatalf("NumVCs = %d, want 45", v.NumVCs())
+	}
+	if v.NumSites() != 10 {
+		t.Fatalf("NumSites = %d", v.NumSites())
+	}
+	if v.EndpointConfigs() != 90 {
+		t.Fatalf("EndpointConfigs = %d", v.EndpointConfigs())
+	}
+	if v.RoutingAdjacencies() != 45 {
+		t.Fatalf("RoutingAdjacencies = %d", v.RoutingAdjacencies())
+	}
+}
+
+func TestIncrementalCostGrows(t *testing.T) {
+	// Adding the k-th site to a mesh costs k-1 new VCs: the marginal pain
+	// grows with VPN size.
+	v := New("x", FullMesh)
+	for i := 0; i < 20; i++ {
+		added := v.AddSite(SiteID(i), 1e6)
+		if added != i {
+			t.Fatalf("adding site %d created %d VCs, want %d", i, added, i)
+		}
+	}
+}
+
+func TestHubAndSpoke(t *testing.T) {
+	v := New("hub", HubAndSpoke)
+	for i := 0; i < 10; i++ {
+		v.AddSite(SiteID(i), 1e6)
+	}
+	if v.NumVCs() != 9 {
+		t.Fatalf("hub-and-spoke NumVCs = %d, want 9", v.NumVCs())
+	}
+	// Spoke-to-spoke pays the hub detour.
+	h, err := v.PathHops(3, 7)
+	if err != nil || h != 2 {
+		t.Fatalf("spoke-spoke hops = %d err=%v, want 2", h, err)
+	}
+	h, _ = v.PathHops(0, 7)
+	if h != 1 {
+		t.Fatalf("hub-spoke hops = %d, want 1", h)
+	}
+	h, _ = v.PathHops(4, 4)
+	if h != 0 {
+		t.Fatalf("self hops = %d", h)
+	}
+}
+
+func TestPathHopsUnknownSite(t *testing.T) {
+	v := New("x", FullMesh)
+	v.AddSite(1, 1e6)
+	if _, err := v.PathHops(1, 99); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+// Property: a full-mesh overlay of n sites always has exactly n(n-1)/2 VCs,
+// however the sites are added.
+func TestMeshCountProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		sites := int(n%64) + 1
+		v := New("p", FullMesh)
+		for i := 0; i < sites; i++ {
+			v.AddSite(SiteID(i*7), 1e6)
+		}
+		return v.NumVCs() == MeshVCCount(sites)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCsSorted(t *testing.T) {
+	v := New("s", FullMesh)
+	for _, s := range []SiteID{5, 1, 3} {
+		v.AddSite(s, 1e6)
+	}
+	vcs := v.VCs()
+	for i := 1; i < len(vcs); i++ {
+		if vcs[i-1].A > vcs[i].A || (vcs[i-1].A == vcs[i].A && vcs[i-1].B > vcs[i].B) {
+			t.Fatalf("VCs not sorted: %v", vcs)
+		}
+	}
+}

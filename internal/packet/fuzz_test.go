@@ -1,0 +1,49 @@
+package packet
+
+import "testing"
+
+// FuzzUnmarshalIPv4 hardens the header parser against arbitrary bytes:
+// it must never panic, and anything it accepts must re-marshal to the
+// same bytes (checksum included).
+func FuzzUnmarshalIPv4(f *testing.F) {
+	h := IPv4Header{TTL: 64, Protocol: ProtoUDP, TotalLen: 120, Src: 1, Dst: 2}
+	b := h.Marshal()
+	f.Add(b[:])
+	f.Add([]byte{})
+	f.Add([]byte{0x45, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalIPv4(data)
+		if err != nil {
+			return
+		}
+		round := got.Marshal()
+		for i := range round {
+			if round[i] != data[i] {
+				t.Fatalf("accepted header does not round-trip at byte %d", i)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalLabelStack checks the stack parser never panics and that
+// accepted stacks round-trip.
+func FuzzUnmarshalLabelStack(f *testing.F) {
+	s := LabelStack{{Label: 100, EXP: 5, TTL: 64}, {Label: 200, TTL: 63}}
+	f.Add(s.Marshal())
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stack, n, err := UnmarshalLabelStack(data)
+		if err != nil {
+			return
+		}
+		round := stack.Marshal()
+		if len(round) != n {
+			t.Fatalf("consumed %d bytes but re-marshals to %d", n, len(round))
+		}
+		for i := range round {
+			if round[i] != data[i] {
+				t.Fatalf("stack does not round-trip at byte %d", i)
+			}
+		}
+	})
+}

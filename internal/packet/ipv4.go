@@ -1,0 +1,183 @@
+// Package packet defines the wire formats moved through the simulator:
+// IPv4 headers (with real marshal/unmarshal and checksums), MPLS label-stack
+// entries, a minimal UDP-style transport header, and the ESP encapsulation
+// used by the IPSec baseline.
+//
+// Packets are carried between simulated routers as structured values for
+// speed, but every header type round-trips through its real byte layout and
+// the data-plane tests exercise that encoding, so the formats are honest.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mplsvpn/internal/addr"
+)
+
+// Protocol numbers used by the simulator (real IANA values).
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+	ProtoESP  uint8 = 50
+)
+
+// IPv4HeaderLen is the length of a header without options. The simulator
+// never generates options.
+const IPv4HeaderLen = 20
+
+// DSCP is the DiffServ codepoint carried in the upper six bits of the IPv4
+// ToS byte. The named values cover the per-hop behaviours the experiments
+// use: EF for voice, AF classes for assured business traffic, CS0/BE for
+// best effort.
+type DSCP uint8
+
+// Standard DiffServ codepoints (RFC 2474, RFC 2597, RFC 3246).
+const (
+	DSCPBestEffort DSCP = 0  // CS0 / default PHB
+	DSCPCS1        DSCP = 8  // scavenger
+	DSCPAF11       DSCP = 10 // assured forwarding class 1, low drop
+	DSCPAF12       DSCP = 12
+	DSCPAF13       DSCP = 14
+	DSCPAF21       DSCP = 18
+	DSCPAF22       DSCP = 20
+	DSCPAF23       DSCP = 22
+	DSCPAF31       DSCP = 26
+	DSCPAF32       DSCP = 28
+	DSCPAF33       DSCP = 30
+	DSCPAF41       DSCP = 34
+	DSCPAF42       DSCP = 36
+	DSCPAF43       DSCP = 38
+	DSCPCS6        DSCP = 48 // network control
+	DSCPEF         DSCP = 46 // expedited forwarding (voice)
+)
+
+// String names the well-known codepoints.
+func (d DSCP) String() string {
+	switch d {
+	case DSCPBestEffort:
+		return "BE"
+	case DSCPCS1:
+		return "CS1"
+	case DSCPAF11:
+		return "AF11"
+	case DSCPAF12:
+		return "AF12"
+	case DSCPAF13:
+		return "AF13"
+	case DSCPAF21:
+		return "AF21"
+	case DSCPAF22:
+		return "AF22"
+	case DSCPAF23:
+		return "AF23"
+	case DSCPAF31:
+		return "AF31"
+	case DSCPAF32:
+		return "AF32"
+	case DSCPAF33:
+		return "AF33"
+	case DSCPAF41:
+		return "AF41"
+	case DSCPAF42:
+		return "AF42"
+	case DSCPAF43:
+		return "AF43"
+	case DSCPEF:
+		return "EF"
+	case DSCPCS6:
+		return "CS6"
+	}
+	return fmt.Sprintf("DSCP(%d)", uint8(d))
+}
+
+// IPv4Header models the fixed part of an IPv4 header.
+type IPv4Header struct {
+	DSCP     DSCP
+	ECN      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src      addr.IPv4
+	Dst      addr.IPv4
+}
+
+// Marshal encodes the header into its 20-byte wire form, computing the
+// checksum.
+func (h *IPv4Header) Marshal() [IPv4HeaderLen]byte {
+	var b [IPv4HeaderLen]byte
+	b[0] = 4<<4 | 5 // version 4, IHL 5 words
+	b[1] = uint8(h.DSCP)<<2 | h.ECN&0x3
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags&0x7)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	// checksum at [10:12] computed over the header with checksum zero
+	binary.BigEndian.PutUint32(b[12:16], uint32(h.Src))
+	binary.BigEndian.PutUint32(b[16:20], uint32(h.Dst))
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:]))
+	return b
+}
+
+// UnmarshalIPv4 decodes a 20-byte header and verifies the checksum.
+func UnmarshalIPv4(b []byte) (IPv4Header, error) {
+	var h IPv4Header
+	if len(b) < IPv4HeaderLen {
+		return h, fmt.Errorf("packet: IPv4 header too short (%d bytes)", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return h, fmt.Errorf("packet: IP version %d, want 4", v)
+	}
+	if ihl := b[0] & 0xf; ihl != 5 {
+		return h, fmt.Errorf("packet: unsupported IHL %d", ihl)
+	}
+	if !VerifyChecksum(b[:IPv4HeaderLen]) {
+		return h, fmt.Errorf("packet: bad IPv4 header checksum")
+	}
+	h.DSCP = DSCP(b[1] >> 2)
+	h.ECN = b[1] & 0x3
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Src = addr.IPv4(binary.BigEndian.Uint32(b[12:16]))
+	h.Dst = addr.IPv4(binary.BigEndian.Uint32(b[16:20]))
+	return h, nil
+}
+
+// Checksum computes the RFC 1071 internet checksum of b with any existing
+// checksum field already zeroed (for an IPv4 header, bytes 10-11 are treated
+// as zero regardless).
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether the checksum stored at bytes 10-11 matches
+// the header contents.
+func VerifyChecksum(b []byte) bool {
+	if len(b) < 12 {
+		return false
+	}
+	return binary.BigEndian.Uint16(b[10:12]) == Checksum(b)
+}

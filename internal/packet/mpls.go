@@ -1,0 +1,140 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Label is a 20-bit MPLS label value.
+type Label uint32
+
+// Reserved label values (RFC 3032).
+const (
+	LabelIPv4ExplicitNull Label = 0
+	LabelRouterAlert      Label = 1
+	LabelImplicitNull     Label = 3 // signalled, never on the wire: requests PHP
+	MinDynamicLabel       Label = 16
+	MaxLabel              Label = 1<<20 - 1
+)
+
+// LabelStackEntryLen is the wire size of one MPLS shim header.
+const LabelStackEntryLen = 4
+
+// LabelStackEntry is one 32-bit MPLS shim header: 20-bit label, 3-bit EXP
+// (traffic class), bottom-of-stack bit, and TTL. The EXP field is the QoS
+// carrier the paper builds on: "The network edge will then map the
+// CPE-specified DiffServ/ToS service level specification into the QoS field
+// of the MPLS header."
+type LabelStackEntry struct {
+	Label Label
+	EXP   uint8 // 3 bits
+	S     bool  // bottom of stack
+	TTL   uint8
+}
+
+// Marshal encodes the entry into its 4-byte wire form.
+func (e LabelStackEntry) Marshal() [LabelStackEntryLen]byte {
+	var b [LabelStackEntryLen]byte
+	v := uint32(e.Label&MaxLabel)<<12 | uint32(e.EXP&0x7)<<9 | uint32(e.TTL)
+	if e.S {
+		v |= 1 << 8
+	}
+	binary.BigEndian.PutUint32(b[:], v)
+	return b
+}
+
+// UnmarshalLabelStackEntry decodes one shim header.
+func UnmarshalLabelStackEntry(b []byte) (LabelStackEntry, error) {
+	if len(b) < LabelStackEntryLen {
+		return LabelStackEntry{}, fmt.Errorf("packet: label stack entry too short (%d bytes)", len(b))
+	}
+	v := binary.BigEndian.Uint32(b[:4])
+	return LabelStackEntry{
+		Label: Label(v >> 12),
+		EXP:   uint8(v >> 9 & 0x7),
+		S:     v>>8&1 == 1,
+		TTL:   uint8(v),
+	}, nil
+}
+
+// LabelStack is an MPLS label stack; index 0 is the top (outermost) entry.
+type LabelStack []LabelStackEntry
+
+// Marshal encodes the whole stack, fixing up the S bit so only the last
+// entry has it set.
+func (s LabelStack) Marshal() []byte {
+	out := make([]byte, 0, len(s)*LabelStackEntryLen)
+	for i, e := range s {
+		e.S = i == len(s)-1
+		b := e.Marshal()
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// UnmarshalLabelStack decodes entries until the bottom-of-stack bit. It
+// returns the stack and the number of bytes consumed.
+func UnmarshalLabelStack(b []byte) (LabelStack, int, error) {
+	var s LabelStack
+	off := 0
+	for {
+		e, err := UnmarshalLabelStackEntry(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		s = append(s, e)
+		off += LabelStackEntryLen
+		if e.S {
+			return s, off, nil
+		}
+		if off >= len(b) {
+			return nil, 0, fmt.Errorf("packet: label stack ran past end of buffer without S bit")
+		}
+	}
+}
+
+// Push adds an entry on top of the stack.
+func (s LabelStack) Push(e LabelStackEntry) LabelStack {
+	return append(LabelStack{e}, s...)
+}
+
+// Pop removes the top entry. It panics on an empty stack; callers check
+// Depth first.
+func (s LabelStack) Pop() (LabelStackEntry, LabelStack) {
+	if len(s) == 0 {
+		panic("packet: pop of empty label stack")
+	}
+	return s[0], s[1:]
+}
+
+// Top returns the outermost entry without removing it.
+func (s LabelStack) Top() LabelStackEntry {
+	if len(s) == 0 {
+		panic("packet: top of empty label stack")
+	}
+	return s[0]
+}
+
+// Depth returns the number of entries.
+func (s LabelStack) Depth() int { return len(s) }
+
+// Clone returns an independent copy of the stack.
+func (s LabelStack) Clone() LabelStack {
+	if s == nil {
+		return nil
+	}
+	out := make(LabelStack, len(s))
+	copy(out, s)
+	return out
+}
+
+func (s LabelStack) String() string {
+	out := "["
+	for i, e := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d(exp=%d,ttl=%d)", e.Label, e.EXP, e.TTL)
+	}
+	return out + "]"
+}

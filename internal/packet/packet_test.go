@@ -1,0 +1,281 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mplsvpn/internal/addr"
+)
+
+func TestIPv4MarshalRoundTrip(t *testing.T) {
+	h := IPv4Header{
+		DSCP:     DSCPEF,
+		ECN:      1,
+		TotalLen: 1500,
+		ID:       0x1234,
+		Flags:    2,
+		FragOff:  0,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      addr.MustParseIPv4("10.1.2.3"),
+		Dst:      addr.MustParseIPv4("192.168.9.8"),
+	}
+	b := h.Marshal()
+	got, err := UnmarshalIPv4(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	h := IPv4Header{TTL: 64, Protocol: ProtoUDP, TotalLen: 100,
+		Src: addr.MustParseIPv4("1.2.3.4"), Dst: addr.MustParseIPv4("5.6.7.8")}
+	b := h.Marshal()
+	b[8] = 63 // flip TTL without updating checksum
+	if _, err := UnmarshalIPv4(b[:]); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestIPv4RejectsBadVersionAndLength(t *testing.T) {
+	h := IPv4Header{TTL: 1}
+	b := h.Marshal()
+	b[0] = 6 << 4
+	if _, err := UnmarshalIPv4(b[:]); err == nil {
+		t.Fatal("accepted version 6")
+	}
+	if _, err := UnmarshalIPv4(b[:10]); err == nil {
+		t.Fatal("accepted short buffer")
+	}
+}
+
+// Property: every representable header round-trips.
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(dscp, ecn, flags, ttl, proto uint8, totalLen, id, frag uint16, src, dst uint32) bool {
+		h := IPv4Header{
+			DSCP: DSCP(dscp & 0x3f), ECN: ecn & 0x3,
+			TotalLen: totalLen, ID: id,
+			Flags: flags & 0x7, FragOff: frag & 0x1fff,
+			TTL: ttl, Protocol: proto,
+			Src: addr.IPv4(src), Dst: addr.IPv4(dst),
+		}
+		b := h.Marshal()
+		got, err := UnmarshalIPv4(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelStackEntryRoundTrip(t *testing.T) {
+	f := func(label uint32, exp, ttl uint8, s bool) bool {
+		e := LabelStackEntry{Label: Label(label) & MaxLabel, EXP: exp & 0x7, S: s, TTL: ttl}
+		b := e.Marshal()
+		got, err := UnmarshalLabelStackEntry(b[:])
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelStackMarshalRoundTrip(t *testing.T) {
+	s := LabelStack{
+		{Label: 1000, EXP: 5, TTL: 255},
+		{Label: 2000, EXP: 3, TTL: 254},
+		{Label: 3000, EXP: 0, TTL: 64},
+	}
+	b := s.Marshal()
+	if len(b) != 12 {
+		t.Fatalf("marshalled length = %d, want 12", len(b))
+	}
+	got, n, err := UnmarshalLabelStack(b)
+	if err != nil || n != 12 {
+		t.Fatalf("unmarshal: n=%d err=%v", n, err)
+	}
+	if got.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", got.Depth())
+	}
+	for i := range s {
+		wantS := i == 2
+		if got[i].Label != s[i].Label || got[i].EXP != s[i].EXP || got[i].TTL != s[i].TTL || got[i].S != wantS {
+			t.Fatalf("entry %d = %+v", i, got[i])
+		}
+	}
+}
+
+func TestLabelStackMissingBottom(t *testing.T) {
+	e := LabelStackEntry{Label: 5, S: false}
+	b := e.Marshal()
+	if _, _, err := UnmarshalLabelStack(b[:]); err == nil {
+		t.Fatal("accepted stack without bottom-of-stack bit")
+	}
+}
+
+func TestLabelStackPushPop(t *testing.T) {
+	var s LabelStack
+	s = s.Push(LabelStackEntry{Label: 100})
+	s = s.Push(LabelStackEntry{Label: 200})
+	if s.Top().Label != 200 {
+		t.Fatalf("top = %d, want 200", s.Top().Label)
+	}
+	e, s := s.Pop()
+	if e.Label != 200 || s.Depth() != 1 || s.Top().Label != 100 {
+		t.Fatalf("pop broke stack: %v %v", e, s)
+	}
+}
+
+func TestLabelStackPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LabelStack{}.Pop()
+}
+
+func TestPacketSerializedLen(t *testing.T) {
+	p := &Packet{Payload: 100}
+	if p.SerializedLen() != IPv4HeaderLen+L4HeaderLen+100 {
+		t.Fatalf("plain IP len = %d", p.SerializedLen())
+	}
+	p.MPLS = LabelStack{{Label: 16}, {Label: 17}}
+	if p.SerializedLen() != IPv4HeaderLen+8+L4HeaderLen+100 {
+		t.Fatalf("MPLS len = %d", p.SerializedLen())
+	}
+	p.MPLS = nil
+	p.ESP = &ESPInfo{AuthBytes: 16, PadBytes: 4}
+	want := IPv4HeaderLen + L4HeaderLen + 100 + 8 + 16 + IPv4HeaderLen + 4 + 16
+	if p.SerializedLen() != want {
+		t.Fatalf("ESP len = %d, want %d", p.SerializedLen(), want)
+	}
+}
+
+func TestPacketCloneIndependence(t *testing.T) {
+	p := &Packet{MPLS: LabelStack{{Label: 1}}, ESP: &ESPInfo{SPI: 9}}
+	q := p.Clone()
+	q.MPLS[0].Label = 2
+	q.ESP.SPI = 10
+	if p.MPLS[0].Label != 1 || p.ESP.SPI != 9 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestFlowKey(t *testing.T) {
+	p := &Packet{
+		IP: IPv4Header{Src: addr.MustParseIPv4("1.1.1.1"), Dst: addr.MustParseIPv4("2.2.2.2"), Protocol: ProtoUDP},
+		L4: L4Header{SrcPort: 1000, DstPort: 2000},
+	}
+	k := p.FlowKey()
+	if k.Src != p.IP.Src || k.DstPort != 2000 || k.Protocol != ProtoUDP {
+		t.Fatalf("flow key = %+v", k)
+	}
+}
+
+func TestDSCPStrings(t *testing.T) {
+	if DSCPEF.String() != "EF" || DSCPBestEffort.String() != "BE" || DSCPAF41.String() != "AF41" {
+		t.Fatal("unexpected DSCP names")
+	}
+	if DSCP(63).String() != "DSCP(63)" {
+		t.Fatalf("unknown DSCP formatting: %s", DSCP(63))
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	for d := DSCP(0); d < 64; d++ {
+		if DSCP(d).String() == "" {
+			t.Fatalf("empty name for DSCP %d", d)
+		}
+	}
+	s := LabelStack{{Label: 5, EXP: 3, TTL: 10}, {Label: 6, EXP: 1, TTL: 9}}
+	if got := s.String(); !strings.Contains(got, "5(exp=3,ttl=10)") || !strings.Contains(got, "6(") {
+		t.Fatalf("stack String = %q", got)
+	}
+	p := &Packet{
+		IP: IPv4Header{DSCP: DSCPEF, TTL: 7,
+			Src: addr.MustParseIPv4("1.1.1.1"), Dst: addr.MustParseIPv4("2.2.2.2")},
+		MPLS:    LabelStack{{Label: 5}},
+		ESP:     &ESPInfo{SPI: 9},
+		Payload: 10,
+	}
+	got := p.String()
+	for _, want := range []string{"1.1.1.1", "2.2.2.2", "EF", "mpls=", "esp(spi=9)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("packet String %q missing %q", got, want)
+		}
+	}
+	k := p.FlowKey()
+	if !strings.Contains(k.String(), "1.1.1.1") {
+		t.Fatalf("flow key String = %q", k.String())
+	}
+}
+
+func TestFlowHashProperties(t *testing.T) {
+	base := &Packet{
+		IP: IPv4Header{Src: 1, Dst: 2, Protocol: ProtoUDP},
+		L4: L4Header{SrcPort: 1000, DstPort: 2000},
+	}
+	h := base.FlowHash()
+	if h != base.FlowHash() {
+		t.Fatal("hash not deterministic")
+	}
+	other := base.Clone()
+	other.L4.SrcPort = 1001
+	if other.FlowHash() == h {
+		t.Fatal("port change did not change hash")
+	}
+	// Spread: 1024 flows over 16 buckets, no bucket wildly empty.
+	buckets := make([]int, 16)
+	for i := 0; i < 1024; i++ {
+		p := base.Clone()
+		p.L4.SrcPort = uint16(i)
+		buckets[p.FlowHash()%16]++
+	}
+	for i, c := range buckets {
+		if c == 0 {
+			t.Fatalf("bucket %d empty: %v", i, buckets)
+		}
+	}
+}
+
+func TestVerifyChecksumShortBuffer(t *testing.T) {
+	if VerifyChecksum([]byte{1, 2, 3}) {
+		t.Fatal("short buffer verified")
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd-length buffers pad the final byte; just ensure stability.
+	b := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0, 0, 13}
+	if Checksum(b) != Checksum(b) {
+		t.Fatal("checksum unstable")
+	}
+}
+
+func TestUnmarshalLabelStackEntryShort(t *testing.T) {
+	if _, err := UnmarshalLabelStackEntry([]byte{1, 2}); err == nil {
+		t.Fatal("short entry accepted")
+	}
+}
+
+func TestTopPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LabelStack{}.Top()
+}
+
+func TestCloneNilStack(t *testing.T) {
+	p := &Packet{}
+	q := p.Clone()
+	if q.MPLS != nil || q.ESP != nil {
+		t.Fatal("clone invented state")
+	}
+}

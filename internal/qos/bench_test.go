@@ -1,0 +1,66 @@
+package qos
+
+import (
+	"testing"
+
+	"mplsvpn/internal/packet"
+)
+
+func benchScheduler(b *testing.B, s Scheduler) {
+	b.Helper()
+	pkts := make([]*packet.Packet, 64)
+	for i := range pkts {
+		pkts[i] = pkt(500, packet.DSCP(i%64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%len(pkts)]
+		c := ClassForDSCP(p.IP.DSCP)
+		if s.Enqueue(0, c, p) && i%4 == 3 {
+			for j := 0; j < 4; j++ {
+				s.Dequeue(0)
+			}
+		}
+	}
+}
+
+func BenchmarkSchedulerFIFO(b *testing.B)     { benchScheduler(b, NewFIFO(0)) }
+func BenchmarkSchedulerPriority(b *testing.B) { benchScheduler(b, NewPriority(0)) }
+func BenchmarkSchedulerWFQ(b *testing.B) {
+	var w [NumClasses]float64
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	benchScheduler(b, NewWFQ(0, w))
+}
+func BenchmarkSchedulerDRR(b *testing.B) {
+	var q [NumClasses]int
+	for i := range q {
+		q[i] = 1500
+	}
+	benchScheduler(b, NewDRR(0, q))
+}
+func BenchmarkSchedulerHybrid(b *testing.B) {
+	var w [NumClasses]float64
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	benchScheduler(b, NewHybrid(0, w))
+}
+
+func BenchmarkTokenBucket(b *testing.B) {
+	tb := NewTokenBucket(1e9, 1e6)
+	for i := 0; i < b.N; i++ {
+		tb.Conforms(0, 1000)
+	}
+}
+
+func BenchmarkClassifier(b *testing.B) {
+	cl := VoiceDataPolicy(5060, 1e9)
+	p := pkt(200, 0)
+	p.L4.DstPort = 5060
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Classify(0, p)
+	}
+}

@@ -1,0 +1,147 @@
+package qos
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+)
+
+// Rule matches packets by any subset of the 5-tuple plus the incoming DSCP.
+// Zero-valued fields are wildcards.
+type Rule struct {
+	SrcPrefix addr.Prefix // zero value (0.0.0.0/0) matches everything
+	DstPrefix addr.Prefix
+	Protocol  uint8  // 0 = any
+	SrcPort   uint16 // 0 = any
+	DstPort   uint16
+	MatchDSCP bool // when set, DSCP must equal the field below
+	DSCP      packet.DSCP
+}
+
+// Matches reports whether p satisfies the rule.
+func (r Rule) Matches(p *packet.Packet) bool {
+	if !r.SrcPrefix.Contains(p.IP.Src) || !r.DstPrefix.Contains(p.IP.Dst) {
+		return false
+	}
+	if r.Protocol != 0 && r.Protocol != p.IP.Protocol {
+		return false
+	}
+	if r.SrcPort != 0 && r.SrcPort != p.L4.SrcPort {
+		return false
+	}
+	if r.DstPort != 0 && r.DstPort != p.L4.DstPort {
+		return false
+	}
+	if r.MatchDSCP && r.DSCP != p.IP.DSCP {
+		return false
+	}
+	return true
+}
+
+// ClassPolicy is one classifier entry: a rule, the class it selects, the
+// DSCP to write, and an optional committed-rate meter. Traffic exceeding
+// the meter is either remarked to OverflowDSCP (AF-style demotion) or
+// dropped (policing).
+type ClassPolicy struct {
+	Name string
+	Rule Rule
+
+	Class Class
+	DSCP  packet.DSCP
+
+	// Meter, when non-nil, enforces a rate contract on the aggregate
+	// matching this policy.
+	Meter *SrTCM
+	// OverflowDSCP is applied to yellow traffic. Red traffic is dropped
+	// when DropRed is set, remarked to OverflowDSCP otherwise.
+	OverflowDSCP packet.DSCP
+	DropRed      bool
+
+	// Counters.
+	Matched  int
+	Remarked int
+	Policed  int
+}
+
+// Classifier is the CBQ-style edge classifier the paper places at the
+// customer premises: an ordered list of class policies with a default
+// class. It classifies, marks the DSCP, and enforces the per-class rate
+// contracts, producing traffic the provider edge can trust.
+type Classifier struct {
+	Policies []*ClassPolicy
+	Default  Class
+}
+
+// NewClassifier returns a classifier whose unmatched traffic is marked
+// best effort.
+func NewClassifier() *Classifier {
+	return &Classifier{Default: ClassBestEffort}
+}
+
+// Add appends a policy (evaluation is first-match).
+func (cl *Classifier) Add(p *ClassPolicy) *Classifier {
+	cl.Policies = append(cl.Policies, p)
+	return cl
+}
+
+// Classify assigns p a class and DSCP marking. It returns the class and
+// false if the packet was policed (caller drops it).
+func (cl *Classifier) Classify(now sim.Time, p *packet.Packet) (Class, bool) {
+	for _, pol := range cl.Policies {
+		if !pol.Rule.Matches(p) {
+			continue
+		}
+		pol.Matched++
+		if pol.Meter != nil {
+			switch pol.Meter.Mark(now, p.SerializedLen()) {
+			case Green:
+				// in contract
+			case Yellow:
+				pol.Remarked++
+				p.IP.DSCP = pol.OverflowDSCP
+				return ClassForDSCP(pol.OverflowDSCP), true
+			case Red:
+				if pol.DropRed {
+					pol.Policed++
+					return pol.Class, false
+				}
+				pol.Remarked++
+				p.IP.DSCP = pol.OverflowDSCP
+				return ClassForDSCP(pol.OverflowDSCP), true
+			}
+		}
+		p.IP.DSCP = pol.DSCP
+		return pol.Class, true
+	}
+	p.IP.DSCP = DSCPForClass(cl.Default)
+	return cl.Default, true
+}
+
+// String summarizes the policy table.
+func (cl *Classifier) String() string {
+	s := ""
+	for _, p := range cl.Policies {
+		s += fmt.Sprintf("%-10s -> %-11s dscp=%-4s matched=%d remarked=%d policed=%d\n",
+			p.Name, p.Class, p.DSCP, p.Matched, p.Remarked, p.Policed)
+	}
+	return s
+}
+
+// VoiceDataPolicy builds the canonical CPE policy used in the examples and
+// experiment E2: UDP traffic to voicePort is EF with a policer at
+// voiceRate; everything else is best effort.
+func VoiceDataPolicy(voicePort uint16, voiceRateBytesPerSec float64) *Classifier {
+	cl := NewClassifier()
+	cl.Add(&ClassPolicy{
+		Name:         "voice",
+		Rule:         Rule{Protocol: packet.ProtoUDP, DstPort: voicePort},
+		Class:        ClassVoice,
+		DSCP:         packet.DSCPEF,
+		Meter:        NewSrTCM(voiceRateBytesPerSec, 4*1500, 8*1500),
+		OverflowDSCP: packet.DSCPBestEffort,
+		DropRed:      true,
+	})
+	return cl
+}

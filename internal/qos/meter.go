@@ -1,0 +1,121 @@
+package qos
+
+import (
+	"mplsvpn/internal/sim"
+)
+
+// TokenBucket is the standard single-rate meter: tokens accrue at Rate
+// bytes/second up to Burst bytes. It underlies policers (drop on exceed),
+// shapers (delay on exceed), and the srTCM colour marker.
+type TokenBucket struct {
+	Rate   float64 // bytes per second
+	Burst  float64 // bucket depth in bytes
+	tokens float64
+	last   sim.Time
+	inited bool
+}
+
+// NewTokenBucket returns a bucket that starts full.
+func NewTokenBucket(rateBytesPerSec, burstBytes float64) *TokenBucket {
+	return &TokenBucket{Rate: rateBytesPerSec, Burst: burstBytes, tokens: burstBytes}
+}
+
+func (tb *TokenBucket) refill(now sim.Time) {
+	if !tb.inited {
+		tb.last = now
+		tb.inited = true
+		return
+	}
+	if now > tb.last {
+		tb.tokens += (now - tb.last).Seconds() * tb.Rate
+		if tb.tokens > tb.Burst {
+			tb.tokens = tb.Burst
+		}
+		tb.last = now
+	}
+}
+
+// Conforms reports whether a packet of n bytes conforms at time now, and
+// consumes tokens if it does.
+func (tb *TokenBucket) Conforms(now sim.Time, n int) bool {
+	tb.refill(now)
+	if tb.tokens >= float64(n) {
+		tb.tokens -= float64(n)
+		return true
+	}
+	return false
+}
+
+// Tokens returns the current token level (after refilling to now).
+func (tb *TokenBucket) Tokens(now sim.Time) float64 {
+	tb.refill(now)
+	return tb.tokens
+}
+
+// DelayUntilConform returns how long a packet of n bytes must wait before
+// the bucket would admit it — the shaping delay. Returns 0 if it conforms
+// now. A packet larger than the bucket depth can never conform; callers
+// must size Burst ≥ MTU.
+func (tb *TokenBucket) DelayUntilConform(now sim.Time, n int) sim.Time {
+	tb.refill(now)
+	deficit := float64(n) - tb.tokens
+	if deficit <= 0 {
+		return 0
+	}
+	return sim.Time(deficit / tb.Rate * float64(sim.Second))
+}
+
+// Color is the srTCM marking result.
+type Color int
+
+// srTCM colours (RFC 2697): green conforms to CIR/CBS, yellow fits the
+// excess burst, red exceeds both.
+const (
+	Green Color = iota
+	Yellow
+	Red
+)
+
+func (c Color) String() string {
+	switch c {
+	case Green:
+		return "green"
+	case Yellow:
+		return "yellow"
+	default:
+		return "red"
+	}
+}
+
+// SrTCM is a single-rate three-colour marker (RFC 2697, colour-blind mode).
+// The provider edge uses it to implement the AF drop-precedence ladder:
+// green stays in contract, yellow is carried at higher drop precedence,
+// red is policed.
+type SrTCM struct {
+	c *TokenBucket // committed: CIR/CBS
+	e *TokenBucket // excess: CIR/EBS (fed by overflow of c)
+}
+
+// NewSrTCM builds a marker with the given committed information rate
+// (bytes/s), committed burst size, and excess burst size (bytes).
+func NewSrTCM(cirBytesPerSec, cbs, ebs float64) *SrTCM {
+	return &SrTCM{
+		c: NewTokenBucket(cirBytesPerSec, cbs),
+		e: NewTokenBucket(cirBytesPerSec, ebs),
+	}
+}
+
+// Mark colours a packet of n bytes at time now.
+func (m *SrTCM) Mark(now sim.Time, n int) Color {
+	// RFC 2697: both buckets fill at CIR; C overflows into E. Two
+	// independent buckets at the same rate approximate this closely and
+	// keep the arithmetic simple; the committed bucket is always consulted
+	// first so green traffic never borrows excess tokens.
+	if m.c.Conforms(now, n) {
+		return Green
+	}
+	if m.e.Conforms(now, n) {
+		return Yellow
+	}
+	return Red
+}

@@ -1,0 +1,141 @@
+// Package qos implements the DiffServ toolkit the paper's end-to-end QoS
+// architecture is built from: traffic classification at the customer
+// premises ("the customer premises device could use technologies such as
+// CBQ to classify traffic and DiffServ/ToS to mark it"), token-bucket
+// metering and policing at the provider edge, DSCP↔MPLS-EXP mapping ("map
+// the CPE-specified DiffServ/ToS service level specification into the QoS
+// field of the MPLS header"), and per-hop behaviours realized by queue
+// schedulers (strict priority, WFQ, WRR) with RED/WRED drop management.
+package qos
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/packet"
+)
+
+// Class is a forwarding class index, the internal handle a router uses once
+// a packet has been classified. Classes are ordered by priority: lower index
+// = higher priority.
+type Class int
+
+// The forwarding classes used throughout the system. They mirror the 3-bit
+// MPLS EXP space so the backbone can recover the class from a label alone.
+const (
+	ClassNetworkControl Class = iota // CS6: routing protocol traffic
+	ClassVoice                       // EF: expedited forwarding
+	ClassBusiness                    // AF4x: low-latency business data
+	ClassAssured                     // AF2x/AF1x: assured forwarding
+	ClassBestEffort                  // default PHB
+	ClassScavenger                   // CS1: less than best effort
+	NumClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassNetworkControl:
+		return "control"
+	case ClassVoice:
+		return "voice"
+	case ClassBusiness:
+		return "business"
+	case ClassAssured:
+		return "assured"
+	case ClassBestEffort:
+		return "best-effort"
+	case ClassScavenger:
+		return "scavenger"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// EXPForClass maps a forwarding class to the 3-bit MPLS EXP codepoint the
+// provider edge writes into the label stack entry. This is the paper's §5
+// edge mapping, made concrete.
+func EXPForClass(c Class) uint8 {
+	switch c {
+	case ClassNetworkControl:
+		return 6
+	case ClassVoice:
+		return 5
+	case ClassBusiness:
+		return 4
+	case ClassAssured:
+		return 2
+	case ClassBestEffort:
+		return 0
+	case ClassScavenger:
+		return 1
+	}
+	return 0
+}
+
+// ClassForEXP is the backbone-side inverse of EXPForClass: LSRs recover the
+// forwarding class from the label header without touching the IP packet.
+func ClassForEXP(exp uint8) Class {
+	switch exp {
+	case 6, 7:
+		return ClassNetworkControl
+	case 5:
+		return ClassVoice
+	case 4, 3:
+		return ClassBusiness
+	case 2:
+		return ClassAssured
+	case 1:
+		return ClassScavenger
+	default:
+		return ClassBestEffort
+	}
+}
+
+// ClassForDSCP maps a DiffServ codepoint to the forwarding class: the PHB
+// selection a DiffServ node performs on the ToS byte.
+func ClassForDSCP(d packet.DSCP) Class {
+	switch {
+	case d == packet.DSCPEF:
+		return ClassVoice
+	case d >= packet.DSCPCS6:
+		return ClassNetworkControl
+	case d >= packet.DSCPAF41 && d <= packet.DSCPAF43:
+		return ClassBusiness
+	case d >= packet.DSCPAF11 && d <= packet.DSCPAF33:
+		return ClassAssured
+	case d == packet.DSCPCS1:
+		return ClassScavenger
+	default:
+		return ClassBestEffort
+	}
+}
+
+// DSCPForClass returns the canonical codepoint written when a class must be
+// re-expressed as a DSCP (e.g. restoring the ToS byte at the egress PE).
+func DSCPForClass(c Class) packet.DSCP {
+	switch c {
+	case ClassNetworkControl:
+		return packet.DSCPCS6
+	case ClassVoice:
+		return packet.DSCPEF
+	case ClassBusiness:
+		return packet.DSCPAF41
+	case ClassAssured:
+		return packet.DSCPAF21
+	case ClassScavenger:
+		return packet.DSCPCS1
+	default:
+		return packet.DSCPBestEffort
+	}
+}
+
+// ClassOf determines the forwarding class of a packet as a core LSR would:
+// from the top label's EXP bits when a label stack is present, otherwise
+// from the IP DSCP. An ESP packet whose inner header is hidden and whose
+// outer DSCP was not copied classifies as best effort — precisely the
+// failure mode the paper ascribes to IPSec VPNs (§3).
+func ClassOf(p *packet.Packet) Class {
+	if p.MPLS.Depth() > 0 {
+		return ClassForEXP(p.MPLS.Top().EXP)
+	}
+	return ClassForDSCP(p.IP.DSCP)
+}

@@ -1,0 +1,134 @@
+package qos
+
+import (
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+)
+
+// DropPolicy decides whether an arriving packet is dropped instead of being
+// enqueued. Implementations: TailDrop, RED.
+type DropPolicy interface {
+	// ShouldDrop is consulted before enqueue. queueBytes/queuePkts describe
+	// the queue occupancy *before* this packet.
+	ShouldDrop(now sim.Time, p *packet.Packet, queueBytes, queuePkts int) bool
+}
+
+// TailDrop drops only when the queue is full; the limit lives in the Queue
+// itself, so TailDrop never drops on its own.
+type TailDrop struct{}
+
+// ShouldDrop always returns false: tail-drop behaviour is the queue's
+// byte/packet limit.
+func (TailDrop) ShouldDrop(sim.Time, *packet.Packet, int, int) bool { return false }
+
+// RED is Random Early Detection (Floyd & Jacobson 1993) over the queue's
+// byte occupancy, with the standard EWMA average and linear drop-probability
+// ramp between MinBytes and MaxBytes. WRED is built from one RED instance
+// per drop precedence.
+type RED struct {
+	MinBytes int
+	MaxBytes int
+	MaxP     float64 // drop probability at MaxBytes
+	Weight   float64 // EWMA weight, typically 0.002..0.2
+
+	avg   float64
+	count int // packets since last drop, for the 1/(1-count*p) spread
+	rng   *sim.Rand
+}
+
+// NewRED returns a RED policy with the given thresholds.
+func NewRED(minBytes, maxBytes int, maxP float64, rng *sim.Rand) *RED {
+	return &RED{MinBytes: minBytes, MaxBytes: maxBytes, MaxP: maxP, Weight: 0.02, rng: rng}
+}
+
+// ShouldDrop implements the RED early-drop decision.
+func (r *RED) ShouldDrop(_ sim.Time, p *packet.Packet, queueBytes, _ int) bool {
+	r.avg = (1-r.Weight)*r.avg + r.Weight*float64(queueBytes)
+	switch {
+	case r.avg < float64(r.MinBytes):
+		r.count = 0
+		return false
+	case r.avg >= float64(r.MaxBytes):
+		r.count = 0
+		return true
+	default:
+		pb := r.MaxP * (r.avg - float64(r.MinBytes)) / float64(r.MaxBytes-r.MinBytes)
+		r.count++
+		pa := pb / (1 - float64(r.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if r.rng.Float64() < pa {
+			r.count = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Queue is a byte- and packet-limited FIFO with a pluggable early-drop
+// policy. One Queue backs each forwarding class at an egress interface.
+type Queue struct {
+	LimitBytes int
+	LimitPkts  int
+	Drop       DropPolicy
+
+	pkts  []*packet.Packet
+	bytes int
+
+	// Counters for the experiment reports.
+	Enqueued     int
+	DroppedFull  int
+	DroppedEarly int
+}
+
+// NewQueue builds a queue with the given limits and tail-drop behaviour.
+func NewQueue(limitBytes, limitPkts int) *Queue {
+	return &Queue{LimitBytes: limitBytes, LimitPkts: limitPkts, Drop: TailDrop{}}
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.pkts) }
+
+// Bytes returns the queued byte count.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Enqueue appends p unless a limit or the drop policy rejects it. It
+// reports whether the packet was accepted.
+func (q *Queue) Enqueue(now sim.Time, p *packet.Packet) bool {
+	n := p.SerializedLen()
+	if (q.LimitBytes > 0 && q.bytes+n > q.LimitBytes) ||
+		(q.LimitPkts > 0 && len(q.pkts)+1 > q.LimitPkts) {
+		q.DroppedFull++
+		return false
+	}
+	if q.Drop != nil && q.Drop.ShouldDrop(now, p, q.bytes, len(q.pkts)) {
+		q.DroppedEarly++
+		return false
+	}
+	p.EnqueuedAt = now
+	q.pkts = append(q.pkts, p)
+	q.bytes += n
+	q.Enqueued++
+	return true
+}
+
+// Dequeue removes and returns the head packet, or nil when empty.
+func (q *Queue) Dequeue() *packet.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	q.bytes -= p.SerializedLen()
+	return p
+}
+
+// Head returns the head packet without removing it, or nil when empty.
+func (q *Queue) Head() *packet.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	return q.pkts[0]
+}

@@ -1,0 +1,78 @@
+package rsvp
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/topo"
+)
+
+// ClassType is a DS-TE class type: LSPs of the same class type share a
+// per-link bandwidth pool, so premium (voice) reservations can be capped
+// below link capacity regardless of how much best-effort TE runs. This is
+// the "assign a QoS level to an entire VPN" mechanism of §2.2 carried into
+// admission control (RFC 4124's Maximum Allocation Model, simplified).
+type ClassType int
+
+// Class types. CT0 is the default pool; CT1 is the premium pool.
+const (
+	CT0 ClassType = iota
+	CT1
+	NumClassTypes
+)
+
+func (c ClassType) String() string {
+	return fmt.Sprintf("CT%d", int(c))
+}
+
+// DSTE tracks per-class-type reservations against per-link pool limits.
+type DSTE struct {
+	// BC[ct] is the fraction of every link's bandwidth that class type ct
+	// may reserve (Maximum Allocation Model: pools are independent caps;
+	// the link's total reservation is additionally bounded by capacity via
+	// the flat ReservedBw accounting).
+	BC [NumClassTypes]float64
+
+	reserved map[topo.LinkID]*[NumClassTypes]float64
+}
+
+// NewDSTE builds a DS-TE allocator. A common deployment: CT1 (premium)
+// capped at 40% so voice reservations can never crowd out everything else,
+// CT0 allowed the full link.
+func NewDSTE(bc [NumClassTypes]float64) *DSTE {
+	return &DSTE{BC: bc, reserved: make(map[topo.LinkID]*[NumClassTypes]float64)}
+}
+
+func (d *DSTE) pools(l topo.LinkID) *[NumClassTypes]float64 {
+	p, ok := d.reserved[l]
+	if !ok {
+		p = &[NumClassTypes]float64{}
+		d.reserved[l] = p
+	}
+	return p
+}
+
+// Fits reports whether a reservation of bw for class type ct fits the pool
+// on link l (given the link's capacity).
+func (d *DSTE) Fits(l *topo.Link, ct ClassType, bw float64) bool {
+	pool := d.pools(l.ID)
+	return pool[ct]+bw <= d.BC[ct]*l.Bandwidth
+}
+
+// Reserve books pool bandwidth (callers must have checked Fits).
+func (d *DSTE) Reserve(l topo.LinkID, ct ClassType, bw float64) {
+	d.pools(l)[ct] += bw
+}
+
+// Release returns pool bandwidth.
+func (d *DSTE) Release(l topo.LinkID, ct ClassType, bw float64) {
+	p := d.pools(l)
+	p[ct] -= bw
+	if p[ct] < 0 {
+		p[ct] = 0
+	}
+}
+
+// Reserved returns the pool usage of class type ct on link l.
+func (d *DSTE) Reserved(l topo.LinkID, ct ClassType) float64 {
+	return d.pools(l)[ct]
+}

@@ -1,0 +1,120 @@
+package rsvp
+
+import (
+	"testing"
+
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+// twoNode builds A -- B with one 10 Mb/s link.
+func twoNode() (*topo.Graph, topo.NodeID, topo.NodeID) {
+	g := topo.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	g.AddDuplexLink(a, b, 10e6, sim.Millisecond, 1)
+	return g, a, b
+}
+
+func dsteProto(g *topo.Graph) *Protocol {
+	p := New(g, nil, nil)
+	var bc [NumClassTypes]float64
+	bc[CT0] = 1.0 // data may fill the link
+	bc[CT1] = 0.4 // premium capped at 40%
+	p.DSTE = NewDSTE(bc)
+	return p
+}
+
+func TestDSTEPremiumPoolCap(t *testing.T) {
+	g, a, b := twoNode()
+	p := dsteProto(g)
+	// 4 Mb/s of premium fits the 40% pool exactly.
+	if _, err := p.Setup("v1", a, b, 4e6, SetupOptions{ClassType: CT1}); err != nil {
+		t.Fatal(err)
+	}
+	// Any more premium is rejected even though the link has 6 Mb/s free.
+	if _, err := p.Setup("v2", a, b, 1e6, SetupOptions{ClassType: CT1}); err == nil {
+		t.Fatal("premium pool cap not enforced")
+	}
+	// Data still fits in the remaining capacity.
+	if _, err := p.Setup("d1", a, b, 6e6, SetupOptions{ClassType: CT0}); err != nil {
+		t.Fatalf("data LSP rejected: %v", err)
+	}
+	// But not beyond the physical link.
+	if _, err := p.Setup("d2", a, b, 1e6, SetupOptions{ClassType: CT0}); err == nil {
+		t.Fatal("link capacity not enforced")
+	}
+}
+
+func TestDSTETeardownReleasesPool(t *testing.T) {
+	g, a, b := twoNode()
+	p := dsteProto(g)
+	l, err := p.Setup("v1", a, b, 4e6, SetupOptions{ClassType: CT1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, _ := g.FindLink(a, b)
+	if got := p.DSTE.Reserved(lk.ID, CT1); got != 4e6 {
+		t.Fatalf("pool usage = %v", got)
+	}
+	p.Teardown(l.ID)
+	if got := p.DSTE.Reserved(lk.ID, CT1); got != 0 {
+		t.Fatalf("pool not released: %v", got)
+	}
+	if _, err := p.Setup("v2", a, b, 4e6, SetupOptions{ClassType: CT1}); err != nil {
+		t.Fatalf("pool unusable after release: %v", err)
+	}
+}
+
+func TestDSTECSPFRoutesAroundExhaustedPool(t *testing.T) {
+	// Fish: short path's premium pool is exhausted; a new premium LSP must
+	// take the long path even though the short link has raw capacity.
+	g := topo.New()
+	src := g.AddNode("SRC")
+	m := g.AddNode("M")
+	x := g.AddNode("X")
+	y := g.AddNode("Y")
+	dst := g.AddNode("DST")
+	g.AddDuplexLink(src, m, 10e6, sim.Millisecond, 1)
+	g.AddDuplexLink(m, dst, 10e6, sim.Millisecond, 1)
+	g.AddDuplexLink(src, x, 10e6, sim.Millisecond, 2)
+	g.AddDuplexLink(x, y, 10e6, sim.Millisecond, 2)
+	g.AddDuplexLink(y, dst, 10e6, sim.Millisecond, 2)
+	p := dsteProto(g)
+
+	if _, err := p.Setup("v1", src, dst, 4e6, SetupOptions{ClassType: CT1}); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := p.Setup("v2", src, dst, 3e6, SetupOptions{ClassType: CT1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := l2.Path.Nodes(g)
+	if len(nodes) != 4 || nodes[1] != x {
+		t.Fatalf("premium LSP did not avoid the exhausted pool: %v", l2.Path.String(g))
+	}
+}
+
+func TestDSTEPreemptionCannotBypassPool(t *testing.T) {
+	g, a, b := twoNode()
+	p := dsteProto(g)
+	if _, err := p.Setup("v1", a, b, 4e6, SetupOptions{ClassType: CT1, SetupPri: 6, HoldPri: 6}); err != nil {
+		t.Fatal(err)
+	}
+	// Even the strongest setup priority cannot exceed the policy pool.
+	if _, err := p.Setup("v2", a, b, 2e6, SetupOptions{ClassType: CT1, SetupPri: 1, HoldPri: 1}); err == nil {
+		t.Fatal("preemption bypassed the DS-TE pool cap")
+	}
+	if p.Preemptions != 0 {
+		t.Fatal("LSPs were preempted for a pool-policy rejection")
+	}
+}
+
+func TestDSTEOffByDefault(t *testing.T) {
+	g, a, b := twoNode()
+	p := New(g, nil, nil)
+	// Without DS-TE, class type is ignored and the full link is available.
+	if _, err := p.Setup("v1", a, b, 9e6, SetupOptions{ClassType: CT1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,392 @@
+// Package rsvp implements RSVP-TE signalling for traffic-engineered LSPs:
+// CSPF path computation against the live reservation state, PATH/RESV
+// label binding hop by hop, per-link bandwidth admission control, and
+// setup/hold preemption priorities.
+//
+// This layer supplies the paper's missing ingredient: "Without knowledge of
+// the commitments already made by the network, it is impossible to route IP
+// flows along paths where resources, and therefore QoS, could be
+// guaranteed" (§2.2). RSVP-TE tracks those commitments (Link.ReservedBw)
+// and lets operators "control QoS and general traffic flow more precisely
+// to avoid congested, constrained or disabled links" (§3).
+package rsvp
+
+import (
+	"fmt"
+	"sort"
+
+	"mplsvpn/internal/mpls"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/topo"
+)
+
+// State of an LSP.
+type State int
+
+// LSP states.
+const (
+	Up State = iota
+	Down
+)
+
+func (s State) String() string {
+	if s == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// LSP is one traffic-engineered label-switched path.
+type LSP struct {
+	ID        int
+	Name      string
+	Ingress   topo.NodeID
+	Egress    topo.NodeID
+	Bandwidth float64 // reserved bits/s
+	// Priorities are 0 (most important) to 7. An LSP may preempt others
+	// whose HoldPri is numerically greater than its SetupPri.
+	SetupPri int
+	HoldPri  int
+
+	// ClassType selects the DS-TE bandwidth pool (CT0 when DS-TE is off).
+	ClassType ClassType
+
+	State State
+	Path  topo.Path
+	// Entry is the ingress NHLFE: push Entry.OutLabel toward Entry.OutLink.
+	Entry mpls.NHLFE
+	// hopLabels[i] is the label assigned at the i-th node of the path
+	// (position 0 = ingress push label).
+	hopLabels []packet.Label
+}
+
+// Protocol is the RSVP-TE speaker set for one topology. Label tables are
+// shared with LDP through the per-router allocator/LFIB maps.
+type Protocol struct {
+	G      *topo.Graph
+	alloc  map[topo.NodeID]*mpls.Allocator
+	lfib   map[topo.NodeID]*mpls.LFIB
+	lsps   map[int]*LSP
+	nextID int
+
+	// DSTE, when non-nil, enforces per-class-type pool limits on every
+	// reservation (RFC 4124 MAM).
+	DSTE *DSTE
+
+	// Signalling statistics.
+	PathMessages int
+	ResvMessages int
+	Preemptions  int
+	SetupFails   int
+}
+
+// New creates the protocol. alloc and lfib give each router's shared label
+// machinery; missing entries are created on demand.
+func New(g *topo.Graph, alloc map[topo.NodeID]*mpls.Allocator, lfib map[topo.NodeID]*mpls.LFIB) *Protocol {
+	if alloc == nil {
+		alloc = make(map[topo.NodeID]*mpls.Allocator)
+	}
+	if lfib == nil {
+		lfib = make(map[topo.NodeID]*mpls.LFIB)
+	}
+	return &Protocol{G: g, alloc: alloc, lfib: lfib, lsps: make(map[int]*LSP), nextID: 1}
+}
+
+func (p *Protocol) allocFor(n topo.NodeID) *mpls.Allocator {
+	a, ok := p.alloc[n]
+	if !ok {
+		a = mpls.NewAllocator()
+		p.alloc[n] = a
+	}
+	return a
+}
+
+// LFIBFor returns router n's label forwarding table, creating it if needed.
+func (p *Protocol) LFIBFor(n topo.NodeID) *mpls.LFIB {
+	f, ok := p.lfib[n]
+	if !ok {
+		f = mpls.NewLFIB()
+		p.lfib[n] = f
+	}
+	return f
+}
+
+// LSPs returns all LSPs sorted by ID.
+func (p *Protocol) LSPs() []*LSP {
+	out := make([]*LSP, 0, len(p.lsps))
+	for _, l := range p.lsps {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the LSP with the given id.
+func (p *Protocol) Get(id int) (*LSP, bool) {
+	l, ok := p.lsps[id]
+	return l, ok
+}
+
+// SetupOptions refine LSP establishment.
+type SetupOptions struct {
+	// Explicit pins the path instead of running CSPF (an explicit-route
+	// object). Bandwidth admission still applies.
+	Explicit *topo.Path
+	SetupPri int // default 4
+	HoldPri  int // default 4
+	// ClassType selects the DS-TE pool (meaningful when Protocol.DSTE set).
+	ClassType ClassType
+}
+
+// Setup signals a TE LSP from ingress to egress reserving bandwidth bits/s.
+// Path selection is CSPF over links with enough unreserved bandwidth; if no
+// path exists, lower-priority LSPs are preempted where that frees one.
+func (p *Protocol) Setup(name string, ingress, egress topo.NodeID, bandwidth float64, opt SetupOptions) (*LSP, error) {
+	if opt.SetupPri == 0 && opt.HoldPri == 0 {
+		opt.SetupPri, opt.HoldPri = 4, 4
+	}
+	if opt.HoldPri > opt.SetupPri {
+		// A holder weaker than its own setup invites preemption loops;
+		// clamp as real implementations do.
+		opt.HoldPri = opt.SetupPri
+	}
+
+	path, err := p.findPath(ingress, egress, bandwidth, opt)
+	if err != nil {
+		p.SetupFails++
+		return nil, err
+	}
+
+	l := &LSP{
+		ID: p.nextID, Name: name,
+		Ingress: ingress, Egress: egress,
+		Bandwidth: bandwidth,
+		SetupPri:  opt.SetupPri, HoldPri: opt.HoldPri,
+		ClassType: opt.ClassType,
+		Path:      *path, State: Up,
+	}
+	p.nextID++
+	p.signal(l)
+	p.lsps[l.ID] = l
+	return l, nil
+}
+
+// findPath runs CSPF, preempting weaker LSPs if necessary.
+func (p *Protocol) findPath(ingress, egress topo.NodeID, bw float64, opt SetupOptions) (*topo.Path, error) {
+	if opt.Explicit != nil {
+		for _, lid := range opt.Explicit.Links {
+			l := p.G.Link(lid)
+			if l.Down {
+				return nil, fmt.Errorf("rsvp: explicit route uses down link %d", lid)
+			}
+			if !p.poolFits(l, opt.ClassType, bw) {
+				return nil, fmt.Errorf("rsvp: DS-TE pool %v exhausted on link %d", opt.ClassType, lid)
+			}
+			if l.AvailableBw() < bw && !p.preemptOn(lid, bw, opt.SetupPri) {
+				return nil, fmt.Errorf("rsvp: admission control rejects explicit route on link %d (%s->%s): need %.0f, have %.0f",
+					lid, p.G.Name(l.From), p.G.Name(l.To), bw, l.AvailableBw())
+			}
+		}
+		return opt.Explicit, nil
+	}
+
+	res := p.G.CSPF(ingress, topo.Constraints{MinAvailableBw: bw, ExcludeLinks: p.poolExclusions(opt.ClassType, bw)})
+	if path, ok := res.PathTo(p.G, egress); ok {
+		return &path, nil
+	}
+
+	// No room: attempt preemption along the unconstrained shortest path.
+	plain := p.G.SPF(ingress)
+	path, ok := plain.PathTo(p.G, egress)
+	if !ok {
+		return nil, fmt.Errorf("rsvp: no route %s -> %s", p.G.Name(ingress), p.G.Name(egress))
+	}
+	for _, lid := range path.Links {
+		l := p.G.Link(lid)
+		if !p.poolFits(l, opt.ClassType, bw) {
+			// Preemption cannot help a pool cap: the pool is a policy
+			// limit, not a capacity conflict.
+			return nil, fmt.Errorf("rsvp: DS-TE pool %v exhausted on link %d", opt.ClassType, lid)
+		}
+		if l.AvailableBw() >= bw {
+			continue
+		}
+		if !p.preemptOn(lid, bw, opt.SetupPri) {
+			return nil, fmt.Errorf("rsvp: insufficient bandwidth %s -> %s for %.0f b/s", p.G.Name(ingress), p.G.Name(egress), bw)
+		}
+	}
+	return &path, nil
+}
+
+// poolFits checks the DS-TE pool when enabled.
+func (p *Protocol) poolFits(l *topo.Link, ct ClassType, bw float64) bool {
+	if p.DSTE == nil {
+		return true
+	}
+	return p.DSTE.Fits(l, ct, bw)
+}
+
+// poolExclusions prunes links whose DS-TE pool cannot take bw of class ct.
+func (p *Protocol) poolExclusions(ct ClassType, bw float64) map[topo.LinkID]bool {
+	if p.DSTE == nil {
+		return nil
+	}
+	ex := map[topo.LinkID]bool{}
+	for i := 0; i < p.G.NumLinks(); i++ {
+		lid := topo.LinkID(i)
+		if !p.DSTE.Fits(p.G.Link(lid), ct, bw) {
+			ex[lid] = true
+		}
+	}
+	return ex
+}
+
+// preemptOn tears down weaker LSPs using link lid until bw fits. Returns
+// success.
+func (p *Protocol) preemptOn(lid topo.LinkID, bw float64, setupPri int) bool {
+	link := p.G.Link(lid)
+	// Victims: LSPs on this link with hold priority weaker (greater) than
+	// our setup priority, weakest first, then largest first.
+	var victims []*LSP
+	for _, l := range p.lsps {
+		if l.State != Up || l.HoldPri <= setupPri {
+			continue
+		}
+		for _, ll := range l.Path.Links {
+			if ll == lid {
+				victims = append(victims, l)
+				break
+			}
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].HoldPri != victims[j].HoldPri {
+			return victims[i].HoldPri > victims[j].HoldPri
+		}
+		if victims[i].Bandwidth != victims[j].Bandwidth {
+			return victims[i].Bandwidth > victims[j].Bandwidth
+		}
+		return victims[i].ID < victims[j].ID
+	})
+	for _, v := range victims {
+		if link.AvailableBw() >= bw {
+			break
+		}
+		p.Teardown(v.ID)
+		v.State = Down
+		p.Preemptions++
+	}
+	return link.AvailableBw() >= bw
+}
+
+// signal walks the path egress-to-ingress assigning labels and reserving
+// bandwidth: the RESV leg of RSVP-TE. PHP is used at the egress.
+func (p *Protocol) signal(l *LSP) {
+	p.PathMessages += len(l.Path.Links) // PATH downstream
+	p.ResvMessages += len(l.Path.Links) // RESV upstream
+
+	nodes := l.Path.Nodes(p.G)
+	n := len(nodes)
+	l.hopLabels = make([]packet.Label, n)
+
+	// Egress wants PHP: the label "assigned" by the last node is implicit
+	// null, handled by its upstream neighbor.
+	downstream := packet.LabelImplicitNull
+	l.hopLabels[n-1] = downstream
+	for i := n - 2; i >= 0; i-- {
+		node := nodes[i]
+		outLink := l.Path.Links[i]
+		if i == 0 {
+			// Ingress: no incoming label; it pushes the downstream label.
+			l.Entry = mpls.NHLFE{Op: mpls.OpPush, OutLabel: downstream, OutLink: outLink}
+			l.hopLabels[0] = downstream
+			break
+		}
+		local := p.allocFor(node).Alloc()
+		p.LFIBFor(node).BindILM(local, mpls.NHLFE{Op: mpls.OpSwap, OutLabel: downstream, OutLink: outLink})
+		l.hopLabels[i] = local
+		downstream = local
+	}
+	for _, lid := range l.Path.Links {
+		p.G.Link(lid).ReservedBw += l.Bandwidth
+		if p.DSTE != nil {
+			p.DSTE.Reserve(lid, l.ClassType, l.Bandwidth)
+		}
+	}
+}
+
+// Teardown releases an LSP's reservations and label state.
+func (p *Protocol) Teardown(id int) bool {
+	l, ok := p.lsps[id]
+	if !ok || l.State != Up {
+		return false
+	}
+	for _, lid := range l.Path.Links {
+		link := p.G.Link(lid)
+		link.ReservedBw -= l.Bandwidth
+		if link.ReservedBw < 0 {
+			link.ReservedBw = 0
+		}
+		if p.DSTE != nil {
+			p.DSTE.Release(lid, l.ClassType, l.Bandwidth)
+		}
+	}
+	nodes := l.Path.Nodes(p.G)
+	for i := 1; i < len(nodes)-1; i++ {
+		if l.hopLabels[i] != packet.LabelImplicitNull {
+			p.LFIBFor(nodes[i]).UnbindILM(l.hopLabels[i])
+		}
+	}
+	l.State = Down
+	delete(p.lsps, id)
+	return true
+}
+
+// SetupBypass signals a facility-backup bypass tunnel (RFC 4090) around a
+// directed link: an LSP from the link's head (the point of local repair)
+// to its tail (the merge point) that avoids the protected fibre in both
+// directions. Bypass tunnels reserve no bandwidth — they are an insurance
+// path, engineered to exist rather than to guarantee rate.
+func (p *Protocol) SetupBypass(name string, protected topo.LinkID) (*LSP, error) {
+	l := p.G.Link(protected)
+	ex := map[topo.LinkID]bool{protected: true}
+	if rev, ok := p.G.Reverse(protected); ok {
+		ex[rev.ID] = true
+	}
+	res := p.G.CSPF(l.From, topo.Constraints{ExcludeLinks: ex})
+	path, ok := res.PathTo(p.G, l.To)
+	if !ok {
+		return nil, fmt.Errorf("rsvp: no bypass path around link %s -> %s",
+			p.G.Name(l.From), p.G.Name(l.To))
+	}
+	return p.Setup(name, l.From, l.To, 0, SetupOptions{Explicit: &path, SetupPri: 7, HoldPri: 7})
+}
+
+// Reoptimize re-signals an LSP make-before-break: the new path is
+// computed and established while the old one still carries traffic, the
+// caller swaps its ingress entry, and only then is the old path torn down
+// — so re-optimization never drops a packet. Returns the replacement LSP
+// (which may ride the same path if nothing better exists).
+func (p *Protocol) Reoptimize(id int) (*LSP, error) {
+	old, ok := p.lsps[id]
+	if !ok || old.State != Up {
+		return nil, fmt.Errorf("rsvp: LSP %d is not up", id)
+	}
+	// Make: signal the replacement first (its reservation coexists with
+	// the old one during the transition, as RFC 3209 shared-explicit
+	// style re-routing intends).
+	nl, err := p.Setup(old.Name, old.Ingress, old.Egress, old.Bandwidth, SetupOptions{
+		SetupPri: old.SetupPri, HoldPri: old.HoldPri, ClassType: old.ClassType,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rsvp: make-before-break blocked: %w", err)
+	}
+	// Break: release the old path.
+	p.Teardown(old.ID)
+	return nl, nil
+}
+
+// ReservedOn reports the total bandwidth reserved on a link by up LSPs.
+func (p *Protocol) ReservedOn(lid topo.LinkID) float64 {
+	return p.G.Link(lid).ReservedBw
+}

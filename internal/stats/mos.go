@@ -1,0 +1,77 @@
+package stats
+
+// Voice-quality scoring: a simplified ITU-T G.107 E-model mapping one-way
+// delay and packet loss to an R-factor and a mean opinion score (MOS).
+// This is how a provider would express the paper's voice SLA ("performance
+// characteristics rivaling those of frame relay") to a customer.
+
+// RFactor computes the E-model transmission rating from one-way delay
+// (milliseconds, including codec and jitter buffer) and packet loss
+// fraction, for a G.711 call with standard defaults (R0=93.2).
+//
+// The delay impairment follows G.107's Id approximation: minor below the
+// 150 ms interactivity knee, steep beyond it. The equipment impairment Ie
+// for G.711 with random loss uses the common Ie-eff fit (Bpl = 25.1).
+func RFactor(oneWayDelayMs float64, loss float64) float64 {
+	const r0 = 93.2
+
+	// Delay impairment Id.
+	d := oneWayDelayMs
+	id := 0.024 * d
+	if d > 177.3 {
+		id += 0.11 * (d - 177.3)
+	}
+
+	// Effective equipment impairment Ie-eff for G.711 (Ie=0, Bpl=25.1).
+	const bpl = 25.1
+	ieEff := 95 * (loss * 100) / (loss*100 + bpl)
+
+	r := r0 - id - ieEff
+	if r < 0 {
+		r = 0
+	}
+	if r > 100 {
+		r = 100
+	}
+	return r
+}
+
+// MOS converts an R-factor to a mean opinion score on the 1..4.5 scale
+// (ITU-T G.107 Annex B).
+func MOS(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	}
+	return 1 + 0.035*r + 7e-6*r*(r-60)*(100-r)
+}
+
+// VoiceQuality grades a flow's measured latency/loss as a call rating.
+type VoiceQuality struct {
+	R   float64
+	MOS float64
+}
+
+// Grade returns the human label providers print on SLA reports.
+func (v VoiceQuality) Grade() string {
+	switch {
+	case v.MOS >= 4.0:
+		return "toll quality"
+	case v.MOS >= 3.6:
+		return "acceptable"
+	case v.MOS >= 3.1:
+		return "degraded"
+	default:
+		return "unusable"
+	}
+}
+
+// ScoreVoice rates a measured flow: median one-way delay plus a jitter
+// buffer of twice the measured jitter, against the measured loss.
+func ScoreVoice(f *FlowStats) VoiceQuality {
+	delay := f.Latency.Percentile(50) + 2*f.Jit.Value()
+	r := RFactor(delay, f.LossRate())
+	return VoiceQuality{R: r, MOS: MOS(r)}
+}

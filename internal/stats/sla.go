@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SLATarget declares the service levels a flow is sold against — the
+// "granular Service Level Agreements with assured performance" the paper
+// says DiffServ+MPLS finally make offerable. Zero-valued fields are not
+// checked.
+type SLATarget struct {
+	Name        string
+	MaxP99Ms    float64
+	MaxP50Ms    float64
+	MaxLoss     float64 // fraction, e.g. 0.001
+	MaxJitterMs float64
+	MinMOS      float64
+	MinKbps     float64
+}
+
+// SLAResult is the outcome of evaluating a flow against its target.
+type SLAResult struct {
+	Target     SLATarget
+	Pass       bool
+	Violations []string
+}
+
+// Evaluate measures f against the target.
+func (t SLATarget) Evaluate(f *FlowStats) SLAResult {
+	r := SLAResult{Target: t, Pass: true}
+	fail := func(format string, args ...any) {
+		r.Pass = false
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+	if t.MaxP99Ms > 0 {
+		if got := f.Latency.Percentile(99); got > t.MaxP99Ms {
+			fail("p99 %.2fms > %.2fms", got, t.MaxP99Ms)
+		}
+	}
+	if t.MaxP50Ms > 0 {
+		if got := f.Latency.Percentile(50); got > t.MaxP50Ms {
+			fail("p50 %.2fms > %.2fms", got, t.MaxP50Ms)
+		}
+	}
+	if t.MaxLoss > 0 {
+		if got := f.LossRate(); got > t.MaxLoss {
+			fail("loss %.3f%% > %.3f%%", got*100, t.MaxLoss*100)
+		}
+	}
+	if t.MaxJitterMs > 0 {
+		if got := f.Jit.Value(); got > t.MaxJitterMs {
+			fail("jitter %.2fms > %.2fms", got, t.MaxJitterMs)
+		}
+	}
+	if t.MinMOS > 0 {
+		if got := ScoreVoice(f); got.MOS < t.MinMOS {
+			fail("MOS %.2f < %.2f", got.MOS, t.MinMOS)
+		}
+	}
+	if t.MinKbps > 0 {
+		if got := f.ThroughputBps() / 1e3; got < t.MinKbps {
+			fail("throughput %.0fkb/s < %.0fkb/s", got, t.MinKbps)
+		}
+	}
+	return r
+}
+
+// String renders one compliance line.
+func (r SLAResult) String() string {
+	if r.Pass {
+		return fmt.Sprintf("%-12s SLA PASS", r.Target.Name)
+	}
+	return fmt.Sprintf("%-12s SLA FAIL: %s", r.Target.Name, strings.Join(r.Violations, "; "))
+}

@@ -1,0 +1,216 @@
+// Package stats provides the measurement side of the experiment harness:
+// latency distributions with percentiles, RFC 3550 interarrival jitter,
+// loss and throughput accounting, and fixed-width table rendering for the
+// paper-style reports in EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mplsvpn/internal/sim"
+)
+
+// Sample collects scalar observations and answers distribution queries.
+// It keeps every observation; experiment sizes here (≤ a few million points)
+// make that the simplest correct choice.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.sum += x
+}
+
+// AddDuration records a virtual duration in milliseconds.
+func (s *Sample) AddDuration(d sim.Time) { s.Add(float64(d) / float64(sim.Millisecond)) }
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation (0 with no observations).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation (0 with no observations).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// CDFRow is one point of a cumulative distribution table.
+type CDFRow struct {
+	Percentile float64
+	Value      float64
+}
+
+// CDF returns the distribution at the standard report percentiles — the
+// data behind a latency-CDF figure.
+func (s *Sample) CDF() []CDFRow {
+	ps := []float64{10, 25, 50, 75, 90, 95, 99, 99.9}
+	out := make([]CDFRow, len(ps))
+	for i, p := range ps {
+		out[i] = CDFRow{Percentile: p, Value: s.Percentile(p)}
+	}
+	return out
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Jitter computes RFC 3550 §6.4.1 interarrival jitter: a smoothed estimate
+// of transit-time variation, the metric voice SLAs are written against.
+type Jitter struct {
+	lastTransit sim.Time
+	have        bool
+	j           float64 // running jitter in ns
+	n           int
+}
+
+// Observe records a packet that was sent at sent and arrived at arrived.
+func (j *Jitter) Observe(sent, arrived sim.Time) {
+	transit := arrived - sent
+	if j.have {
+		d := float64(transit - j.lastTransit)
+		if d < 0 {
+			d = -d
+		}
+		j.j += (d - j.j) / 16
+	}
+	j.lastTransit = transit
+	j.have = true
+	j.n++
+}
+
+// Value returns the current jitter estimate in milliseconds.
+func (j *Jitter) Value() float64 { return j.j / float64(sim.Millisecond) }
+
+// Count returns the number of packets observed.
+func (j *Jitter) Count() int { return j.n }
+
+// FlowStats aggregates everything measured about one traffic flow (or one
+// traffic class): delivery, loss, latency distribution, jitter, goodput.
+type FlowStats struct {
+	Name      string
+	Sent      int
+	Delivered int
+	Dropped   int
+	Bytes     int64 // delivered payload bytes
+	Latency   Sample
+	Jit       Jitter
+	first     sim.Time
+	last      sim.Time
+	haveTime  bool
+}
+
+// RecordSent notes one transmitted packet.
+func (f *FlowStats) RecordSent() { f.Sent++ }
+
+// RecordDrop notes one packet lost in the network.
+func (f *FlowStats) RecordDrop() { f.Dropped++ }
+
+// RecordDelivery notes a packet that reached its destination.
+func (f *FlowStats) RecordDelivery(sent, arrived sim.Time, payloadBytes int) {
+	f.Delivered++
+	f.Bytes += int64(payloadBytes)
+	f.Latency.AddDuration(arrived - sent)
+	f.Jit.Observe(sent, arrived)
+	if !f.haveTime || sent < f.first {
+		f.first = sent
+	}
+	if !f.haveTime || arrived > f.last {
+		f.last = arrived
+	}
+	f.haveTime = true
+}
+
+// LossRate returns the fraction of sent packets not delivered, counting
+// both recorded drops and packets still in flight at measurement time.
+func (f *FlowStats) LossRate() float64 {
+	if f.Sent == 0 {
+		return 0
+	}
+	return float64(f.Sent-f.Delivered) / float64(f.Sent)
+}
+
+// ThroughputBps returns delivered payload bits per second over the flow's
+// active interval.
+func (f *FlowStats) ThroughputBps() float64 {
+	if !f.haveTime || f.last <= f.first {
+		return 0
+	}
+	return float64(f.Bytes*8) / (f.last - f.first).Seconds()
+}
+
+// Summary formats the headline metrics on one line.
+func (f *FlowStats) Summary() string {
+	return fmt.Sprintf("%-12s sent=%-7d dlvd=%-7d loss=%5.2f%% p50=%6.2fms p99=%7.2fms jit=%5.2fms thr=%8.2fkb/s",
+		f.Name, f.Sent, f.Delivered, f.LossRate()*100,
+		f.Latency.Percentile(50), f.Latency.Percentile(99),
+		f.Jit.Value(), f.ThroughputBps()/1e3)
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"mplsvpn/internal/sim"
+)
+
+// TimeSeries buckets observations into fixed intervals of virtual time:
+// the "figure" primitive of the experiment harness (delivery rate over
+// time, queue depth over time, ...).
+type TimeSeries struct {
+	Name     string
+	Interval sim.Time
+	counts   []float64
+}
+
+// NewTimeSeries creates a series with the given bucket width.
+func NewTimeSeries(name string, interval sim.Time) *TimeSeries {
+	if interval <= 0 {
+		panic("stats: non-positive time series interval")
+	}
+	return &TimeSeries{Name: name, Interval: interval}
+}
+
+// Add accumulates v into the bucket covering time t.
+func (ts *TimeSeries) Add(t sim.Time, v float64) {
+	idx := int(t / ts.Interval)
+	for len(ts.counts) <= idx {
+		ts.counts = append(ts.counts, 0)
+	}
+	ts.counts[idx] += v
+}
+
+// Incr adds 1 at time t (event counting).
+func (ts *TimeSeries) Incr(t sim.Time) { ts.Add(t, 1) }
+
+// Values returns the bucket totals.
+func (ts *TimeSeries) Values() []float64 {
+	return append([]float64(nil), ts.counts...)
+}
+
+// Bucket returns the value of bucket i (0 beyond the end).
+func (ts *TimeSeries) Bucket(i int) float64 {
+	if i < 0 || i >= len(ts.counts) {
+		return 0
+	}
+	return ts.counts[i]
+}
+
+// Len returns the number of buckets.
+func (ts *TimeSeries) Len() int { return len(ts.counts) }
+
+// Render draws an ASCII sparkline-style chart, one row per bucket: the
+// textual equivalent of a paper figure, stable under version control.
+func (ts *TimeSeries) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, v := range ts.counts {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (bucket=%v, max=%.0f)\n", ts.Name, ts.Interval, max)
+	for i, v := range ts.counts {
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%8v |%s %.0f\n",
+			sim.Time(i)*ts.Interval, strings.Repeat("#", bar), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package topo
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// SPFResult holds a shortest-path tree rooted at a source node.
+type SPFResult struct {
+	Source NodeID
+	Dist   []int    // Dist[n] = total metric from Source, or math.MaxInt if unreachable
+	Prev   []LinkID // Prev[n] = link used to reach n (-1 at source/unreachable)
+}
+
+// Constraints restrict link eligibility during CSPF. The zero value imposes
+// no constraints, making CSPF equal to SPF.
+type Constraints struct {
+	// MinAvailableBw prunes links whose unreserved bandwidth is below this
+	// value (bits per second). This is the admission-control input for
+	// RSVP-TE: "Without knowledge of the commitments already made by the
+	// network, it is impossible to route IP flows along paths where
+	// resources ... could be guaranteed" (§2.2).
+	MinAvailableBw float64
+	// ExcludeLinks prunes specific directed links (e.g. for path
+	// protection or to avoid a failed resource).
+	ExcludeLinks map[LinkID]bool
+	// ExcludeNodes prunes transit through specific nodes.
+	ExcludeNodes map[NodeID]bool
+}
+
+type spfItem struct {
+	node NodeID
+	dist int
+	idx  int
+}
+
+type spfHeap []*spfItem
+
+func (h spfHeap) Len() int           { return len(h) }
+func (h spfHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h spfHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *spfHeap) Push(x any)        { it := x.(*spfItem); it.idx = len(*h); *h = append(*h, it) }
+func (h *spfHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// SPF runs Dijkstra from src over up links using IGP metrics.
+func (g *Graph) SPF(src NodeID) *SPFResult {
+	return g.CSPF(src, Constraints{})
+}
+
+// CSPF runs constrained SPF from src: links that fail the constraints are
+// treated as absent. Ties between equal-cost paths are broken by lower link
+// ID, which makes path selection deterministic.
+func (g *Graph) CSPF(src NodeID, c Constraints) *SPFResult {
+	n := g.NumNodes()
+	res := &SPFResult{
+		Source: src,
+		Dist:   make([]int, n),
+		Prev:   make([]LinkID, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = math.MaxInt
+		res.Prev[i] = -1
+	}
+	res.Dist[src] = 0
+
+	h := &spfHeap{}
+	heap.Push(h, &spfItem{node: src, dist: 0})
+	done := make([]bool, n)
+
+	for h.Len() > 0 {
+		it := heap.Pop(h).(*spfItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if c.ExcludeNodes[u] && u != src {
+			// Node excluded from transit: settle it but do not relax
+			// through it.
+			continue
+		}
+		for _, lid := range g.OutLinks(u) {
+			l := g.Link(lid)
+			if l.Down || c.ExcludeLinks[lid] {
+				continue
+			}
+			if c.MinAvailableBw > 0 && l.AvailableBw() < c.MinAvailableBw {
+				continue
+			}
+			v := l.To
+			nd := res.Dist[u] + l.Metric
+			if nd < res.Dist[v] || (nd == res.Dist[v] && res.Prev[v] >= 0 && lid < res.Prev[v]) {
+				res.Dist[v] = nd
+				res.Prev[v] = lid
+				heap.Push(h, &spfItem{node: v, dist: nd})
+			}
+		}
+	}
+	return res
+}
+
+// Reachable reports whether dst has a path in the SPF tree.
+func (r *SPFResult) Reachable(dst NodeID) bool {
+	return dst == r.Source || r.Prev[dst] >= 0
+}
+
+// PathTo extracts the path from the SPF source to dst.
+func (r *SPFResult) PathTo(g *Graph, dst NodeID) (Path, bool) {
+	if dst == r.Source {
+		return Path{}, true
+	}
+	if r.Prev[dst] < 0 {
+		return Path{}, false
+	}
+	var rev []LinkID
+	for at := dst; at != r.Source; {
+		lid := r.Prev[at]
+		rev = append(rev, lid)
+		at = g.Link(lid).From
+	}
+	// reverse
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Path{Links: rev}, true
+}
+
+// NextHop returns the first link on the shortest path from the SPF source
+// to dst.
+func (r *SPFResult) NextHop(g *Graph, dst NodeID) (LinkID, bool) {
+	p, ok := r.PathTo(g, dst)
+	if !ok || len(p.Links) == 0 {
+		return -1, false
+	}
+	return p.Links[0], true
+}
+
+// KShortestPaths returns up to k loop-free paths from src to dst in
+// non-decreasing cost order, using Yen's algorithm over CSPF. Used by the TE
+// planner to offer alternatives when the shortest path lacks capacity.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int, c Constraints) []Path {
+	base := g.CSPF(src, c)
+	first, ok := base.PathTo(g, dst)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		prevNodes := prev.Nodes(g)
+		for i := 0; i < len(prev.Links); i++ {
+			spurNode := prevNodes[i]
+			rootLinks := append([]LinkID(nil), prev.Links[:i]...)
+
+			// Exclude links used by previous paths sharing this root, and
+			// nodes on the root path (except the spur node) to keep paths
+			// loop-free.
+			ex := Constraints{
+				MinAvailableBw: c.MinAvailableBw,
+				ExcludeLinks:   map[LinkID]bool{},
+				ExcludeNodes:   map[NodeID]bool{},
+			}
+			for l := range c.ExcludeLinks {
+				ex.ExcludeLinks[l] = true
+			}
+			for n := range c.ExcludeNodes {
+				ex.ExcludeNodes[n] = true
+			}
+			for _, p := range paths {
+				if sharesRoot(g, p, rootLinks) && i < len(p.Links) {
+					ex.ExcludeLinks[p.Links[i]] = true
+				}
+			}
+			for _, n := range prevNodes[:i] {
+				ex.ExcludeNodes[n] = true
+			}
+
+			spurRes := g.CSPF(spurNode, ex)
+			spur, ok := spurRes.PathTo(g, dst)
+			if !ok {
+				continue
+			}
+			total := Path{Links: append(append([]LinkID(nil), rootLinks...), spur.Links...)}
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool {
+			return candidates[a].Cost(g) < candidates[b].Cost(g)
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func sharesRoot(g *Graph, p Path, root []LinkID) bool {
+	if len(p.Links) < len(root) {
+		return false
+	}
+	for i, l := range root {
+		if p.Links[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, q Path) bool {
+	for _, p := range ps {
+		if len(p.Links) != len(q.Links) {
+			continue
+		}
+		same := true
+		for i := range p.Links {
+			if p.Links[i] != q.Links[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

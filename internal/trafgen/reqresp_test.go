@@ -1,0 +1,58 @@
+package trafgen
+
+import (
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+func TestReqRespRoundTrip(t *testing.T) {
+	n, a := sinkNet()
+	client := NewFlow("req", a,
+		addr.MustParseIPv4("10.1.0.1"), addr.MustParseIPv4("10.2.0.1"), 9000)
+	server := NewFlow("resp", a,
+		addr.MustParseIPv4("10.2.0.1"), addr.MustParseIPv4("10.1.0.1"), 9001)
+	rr := NewReqResp(n, client, server, 500)
+
+	// Every delivery (the sink node delivers everything) feeds the
+	// exchange, as core's OnDeliver hook would.
+	n.OnDeliver = func(_ topo.NodeID, p *packet.Packet) { rr.HandleDelivery(p) }
+
+	rr.SendRequests(100, 10*sim.Millisecond, 0, 200*sim.Millisecond)
+	n.Run()
+
+	if rr.Completed != 21 {
+		t.Fatalf("completed = %d, want 21", rr.Completed)
+	}
+	if rr.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", rr.Outstanding())
+	}
+	if rr.RTT.Count() != 21 {
+		t.Fatalf("RTT samples = %d", rr.RTT.Count())
+	}
+	if rr.Req.Stats.Sent != 21 || rr.Resp.Flow.Stats.Sent != 21 {
+		t.Fatalf("sent counts: req=%d resp=%d", rr.Req.Stats.Sent, rr.Resp.Flow.Stats.Sent)
+	}
+}
+
+func TestReqRespIgnoresForeignPackets(t *testing.T) {
+	n, a := sinkNet()
+	client := NewFlow("req", a,
+		addr.MustParseIPv4("10.1.0.1"), addr.MustParseIPv4("10.2.0.1"), 9000)
+	server := NewFlow("resp", a,
+		addr.MustParseIPv4("10.2.0.1"), addr.MustParseIPv4("10.1.0.1"), 9001)
+	rr := NewReqResp(n, client, server, 500)
+	foreign := &packet.Packet{
+		IP: packet.IPv4Header{Src: addr.MustParseIPv4("9.9.9.9"), Dst: addr.MustParseIPv4("8.8.8.8")},
+		L4: packet.L4Header{SrcPort: 1, DstPort: 2},
+	}
+	if rr.HandleDelivery(foreign) {
+		t.Fatal("foreign packet claimed")
+	}
+	if rr.Completed != 0 {
+		t.Fatal("phantom completion")
+	}
+}

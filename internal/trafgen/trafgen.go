@@ -1,0 +1,200 @@
+// Package trafgen synthesizes the customer workloads of the experiments:
+// constant-bit-rate voice, Poisson data, exponential on-off sources, and a
+// greedy AIMD bulk transfer that probes for bandwidth the way TCP does.
+// These stand in for the production traffic the paper's provider would
+// carry (a documented substitution — see DESIGN.md).
+package trafgen
+
+import (
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/netsim"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+	"mplsvpn/internal/topo"
+)
+
+// Flow describes one traffic stream: where it enters the network, its
+// addressing, and where its statistics accumulate.
+type Flow struct {
+	Name     string
+	At       topo.NodeID // injection node (host/CE)
+	VPN      string      // origin VPN recorded on packets (isolation checks)
+	Src, Dst addr.IPv4
+	SrcPort  uint16
+	DstPort  uint16
+	Proto    uint8
+	DSCP     packet.DSCP // pre-marked DSCP (0 when the CE classifier marks)
+	Stats    *stats.FlowStats
+
+	seq uint64
+}
+
+// NewFlow builds a flow with fresh statistics.
+func NewFlow(name string, at topo.NodeID, src, dst addr.IPv4, dstPort uint16) *Flow {
+	return &Flow{
+		Name: name, At: at, Src: src, Dst: dst,
+		SrcPort: 40000, DstPort: dstPort, Proto: packet.ProtoUDP,
+		Stats: &stats.FlowStats{Name: name},
+	}
+}
+
+// Packet materializes the next packet of the flow.
+func (f *Flow) Packet(payload int) *packet.Packet {
+	f.seq++
+	return &packet.Packet{
+		IP: packet.IPv4Header{
+			DSCP: f.DSCP, TTL: 64, Protocol: f.Proto,
+			Src: f.Src, Dst: f.Dst,
+		},
+		L4:        packet.L4Header{SrcPort: f.SrcPort, DstPort: f.DstPort},
+		Payload:   payload,
+		Seq:       f.seq,
+		OriginVPN: f.VPN,
+	}
+}
+
+// send injects one packet and records it.
+func (f *Flow) send(n *netsim.Network, payload int) {
+	f.Stats.RecordSent()
+	n.Inject(f.At, f.Packet(payload))
+}
+
+// CBR emits fixed-size packets at a fixed interval from start until stop:
+// the voice workload (e.g. 160-byte G.711 frames every 20 ms).
+func CBR(n *netsim.Network, f *Flow, payload int, interval, start, stop sim.Time) {
+	var tick func(t sim.Time)
+	tick = func(t sim.Time) {
+		if t > stop {
+			return
+		}
+		n.E.Schedule(t, func() {
+			f.send(n, payload)
+			tick(t + interval)
+		})
+	}
+	tick(start)
+}
+
+// Poisson emits fixed-size packets with exponential interarrivals at the
+// given mean rate (packets/second): the classic data-traffic model.
+func Poisson(n *netsim.Network, f *Flow, payload int, pktPerSec float64, start, stop sim.Time, rng *sim.Rand) {
+	var next func(t sim.Time)
+	next = func(t sim.Time) {
+		if t > stop {
+			return
+		}
+		n.E.Schedule(t, func() {
+			f.send(n, payload)
+			gap := sim.Time(rng.ExpFloat64() / pktPerSec * float64(sim.Second))
+			if gap < sim.Microsecond {
+				gap = sim.Microsecond
+			}
+			next(t + gap)
+		})
+	}
+	next(start)
+}
+
+// OnOff emits CBR bursts during exponentially distributed on-periods
+// separated by exponential off-periods: a talkspurt/silence voice model or
+// a bursty data source.
+func OnOff(n *netsim.Network, f *Flow, payload int, interval, meanOn, meanOff, start, stop sim.Time, rng *sim.Rand) {
+	var burst func(t sim.Time)
+	burst = func(t sim.Time) {
+		if t > stop {
+			return
+		}
+		onDur := sim.Time(rng.ExpFloat64() * float64(meanOn))
+		end := t + onDur
+		var tick func(u sim.Time)
+		tick = func(u sim.Time) {
+			if u > end || u > stop {
+				// Off period, then the next burst.
+				off := sim.Time(rng.ExpFloat64() * float64(meanOff))
+				if u+off <= stop {
+					n.E.Schedule(u+off, func() { burst(u + off) })
+				}
+				return
+			}
+			n.E.Schedule(u, func() {
+				f.send(n, payload)
+				tick(u + interval)
+			})
+		}
+		tick(t)
+	}
+	n.E.Schedule(start, func() { burst(start) })
+}
+
+// AIMD is a greedy window-based bulk source: it keeps `window` packets in
+// flight, grows the window by one per window's worth of acknowledgements
+// (additive increase), and halves it on loss (multiplicative decrease).
+// Deliveries and drops are fed back by the harness via Ack and Loss.
+type AIMD struct {
+	Flow    *Flow
+	Net     *netsim.Network
+	Payload int
+	Stop    sim.Time
+	RTO     sim.Time // retransmission-timeout stand-in: paces loss detection
+
+	window   float64
+	inFlight int
+	acked    uint64
+}
+
+// NewAIMD creates a bulk source with an initial window of 2 packets.
+func NewAIMD(n *netsim.Network, f *Flow, payload int, stop sim.Time) *AIMD {
+	return &AIMD{
+		Flow: f, Net: n, Payload: payload, Stop: stop,
+		RTO: 200 * sim.Millisecond, window: 2,
+	}
+}
+
+// Start begins transmission at the given time.
+func (a *AIMD) Start(at sim.Time) {
+	a.Net.E.Schedule(at, a.fill)
+}
+
+// fill tops the in-flight count up to the window.
+func (a *AIMD) fill() {
+	if a.Net.E.Now() > a.Stop {
+		return
+	}
+	for a.inFlight < int(a.window) {
+		a.inFlight++
+		a.Flow.send(a.Net, a.Payload)
+	}
+	// Loss detection: if nothing is acked within RTO, assume loss.
+	sent := a.acked
+	a.Net.E.After(a.RTO, func() {
+		if a.acked == sent && a.inFlight > 0 {
+			a.Loss()
+		}
+	})
+}
+
+// Ack records a delivered packet: additive increase.
+func (a *AIMD) Ack() {
+	a.acked++
+	if a.inFlight > 0 {
+		a.inFlight--
+	}
+	a.window += 1 / a.window
+	a.fill()
+}
+
+// Loss records a lost packet: multiplicative decrease.
+func (a *AIMD) Loss() {
+	if a.inFlight > 0 {
+		a.inFlight--
+	}
+	a.window /= 2
+	if a.window < 1 {
+		a.window = 1
+	}
+	a.fill()
+}
+
+// Window exposes the current congestion window (for tests).
+func (a *AIMD) Window() float64 { return a.window }

@@ -1,0 +1,153 @@
+package trafgen
+
+import (
+	"math"
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/device"
+	"mplsvpn/internal/netsim"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+// sinkNet builds a one-node network that delivers everything locally.
+func sinkNet() (*netsim.Network, topo.NodeID) {
+	e := sim.NewEngine(7)
+	g := topo.New()
+	a := g.AddNode("A")
+	n := netsim.New(e, g)
+	r := device.New(a, "A", device.CE, addr.MustParseIPv4("10.255.0.0"))
+	r.LocalPrefixes = addr.NewTable[bool]()
+	r.LocalPrefixes.Insert(addr.Prefix{}, true) // deliver everything
+	n.AddRouter(r)
+	return n, a
+}
+
+func testFlow(at topo.NodeID) *Flow {
+	return NewFlow("f", at,
+		addr.MustParseIPv4("10.1.0.1"), addr.MustParseIPv4("10.2.0.1"), 5060)
+}
+
+func TestCBRCountAndSpacing(t *testing.T) {
+	n, a := sinkNet()
+	f := testFlow(a)
+	CBR(n, f, 160, 20*sim.Millisecond, 0, sim.Second)
+	n.Run()
+	// t=0..1s inclusive at 20ms spacing = 51 packets.
+	if f.Stats.Sent != 51 {
+		t.Fatalf("sent = %d, want 51", f.Stats.Sent)
+	}
+	if n.Delivered != 51 {
+		t.Fatalf("delivered = %d", n.Delivered)
+	}
+}
+
+func TestCBRSequenceNumbers(t *testing.T) {
+	n, a := sinkNet()
+	f := testFlow(a)
+	var seqs []uint64
+	n.OnDeliver = func(_ topo.NodeID, p *packet.Packet) { seqs = append(seqs, p.Seq) }
+	CBR(n, f, 160, 10*sim.Millisecond, 0, 100*sim.Millisecond)
+	n.Run()
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d", i, s)
+		}
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	n, a := sinkNet()
+	f := testFlow(a)
+	rng := sim.NewRand(42)
+	Poisson(n, f, 500, 1000, 0, 10*sim.Second, rng)
+	n.Run()
+	// ~10000 packets expected; allow 5%.
+	if math.Abs(float64(f.Stats.Sent)-10000) > 500 {
+		t.Fatalf("poisson sent = %d, want ~10000", f.Stats.Sent)
+	}
+}
+
+func TestOnOffProducesBurstsAndGaps(t *testing.T) {
+	n, a := sinkNet()
+	f := testFlow(a)
+	rng := sim.NewRand(3)
+	var times []sim.Time
+	n.OnDeliver = func(topo.NodeID, *packet.Packet) { times = append(times, n.E.Now()) }
+	OnOff(n, f, 160, 10*sim.Millisecond, 200*sim.Millisecond, 300*sim.Millisecond, 0, 5*sim.Second, rng)
+	n.Run()
+	if len(times) < 20 {
+		t.Fatalf("on-off produced only %d packets", len(times))
+	}
+	// Distinguishable bursts: some gaps well above the 10ms tick.
+	bigGaps := 0
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] > 50*sim.Millisecond {
+			bigGaps++
+		}
+	}
+	if bigGaps == 0 {
+		t.Fatal("no off-periods observed")
+	}
+	// Average rate strictly below always-on CBR rate.
+	alwaysOn := int(5 * sim.Second / (10 * sim.Millisecond))
+	if f.Stats.Sent >= alwaysOn {
+		t.Fatalf("on-off sent %d >= always-on %d", f.Stats.Sent, alwaysOn)
+	}
+}
+
+func TestFlowPacketFields(t *testing.T) {
+	f := testFlow(0)
+	f.VPN = "acme"
+	f.DSCP = packet.DSCPEF
+	p := f.Packet(99)
+	if p.IP.Src != f.Src || p.IP.Dst != f.Dst || p.L4.DstPort != 5060 {
+		t.Fatalf("packet fields wrong: %+v", p)
+	}
+	if p.OriginVPN != "acme" || p.IP.DSCP != packet.DSCPEF || p.Payload != 99 {
+		t.Fatalf("metadata wrong: %+v", p)
+	}
+}
+
+func TestAIMDGrowsAndBacksOff(t *testing.T) {
+	n, a := sinkNet()
+	f := testFlow(a)
+	g := NewAIMD(n, f, 1000, 10*sim.Second)
+	w0 := g.Window()
+	for i := 0; i < 50; i++ {
+		g.Ack()
+	}
+	if g.Window() <= w0 {
+		t.Fatalf("window did not grow: %v", g.Window())
+	}
+	grown := g.Window()
+	g.Loss()
+	if w := g.Window(); math.Abs(w-grown/2) > 1e-9 {
+		t.Fatalf("window after loss = %v, want %v", w, grown/2)
+	}
+	// Window floors at 1.
+	for i := 0; i < 20; i++ {
+		g.Loss()
+	}
+	if g.Window() < 1 {
+		t.Fatalf("window fell below 1: %v", g.Window())
+	}
+}
+
+func TestAIMDKeepsWindowInFlight(t *testing.T) {
+	n, a := sinkNet()
+	f := testFlow(a)
+	g := NewAIMD(n, f, 1000, sim.Second)
+	g.Start(0)
+	n.E.RunUntil(1 * sim.Millisecond)
+	if f.Stats.Sent != 2 { // initial window
+		t.Fatalf("initial burst = %d, want 2", f.Stats.Sent)
+	}
+	g.Ack()
+	g.Ack()
+	if f.Stats.Sent <= 2 {
+		t.Fatal("acks did not trigger more sends")
+	}
+}
