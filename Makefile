@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover examples record clean
+.PHONY: all build test test-short test-race vet bench cover examples record clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ test:
 # Short mode skips the 200-site scale test and the churn soak.
 test-short:
 	$(GO) test -short ./...
+
+# Race detector over the short suite; the simulation is single-goroutine by
+# design, so this guards the test harness and any future concurrency.
+test-race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	vpnctl -f network.conf [-sched hybrid] [-seed 1] [-v] [-dot topo.dot]
+//	vpnctl -f network.conf [-sched hybrid] [-seed 1] [-v] [-dot topo.dot] [-metrics out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mplsvpn/internal/core"
 	"mplsvpn/internal/netconf"
@@ -27,13 +28,14 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "simulation seed")
 		verb  = flag.Bool("v", false, "verbose: print router counters")
 		dot   = flag.String("dot", "", "write a Graphviz rendering of the network to this file")
+		met   = flag.String("metrics", "", "write a telemetry snapshot to this file after the run ('-' = stdout; a .json suffix selects JSON, anything else text)")
 	)
 	flag.Parse()
 	if *file == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, *sched, *seed, *verb, *dot); err != nil {
+	if err := run(*file, *sched, *seed, *verb, *dot, *met); err != nil {
 		fmt.Fprintln(os.Stderr, "vpnctl:", err)
 		os.Exit(1)
 	}
@@ -55,7 +57,7 @@ func schedKind(s string) (core.SchedulerKind, error) {
 	return 0, fmt.Errorf("unknown scheduler %q", s)
 }
 
-func run(path, sched string, seed uint64, verbose bool, dotFile string) error {
+func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile string) error {
 	kind, err := schedKind(sched)
 	if err != nil {
 		return err
@@ -71,6 +73,9 @@ func run(path, sched string, seed uint64, verbose bool, dotFile string) error {
 		return err
 	}
 	b := sc.B
+	if metricsFile != "" {
+		b.EnableTelemetry(core.TelemetryOptions{Horizon: sc.Duration})
+	}
 	for _, lsp := range sc.TELSPs {
 		fmt.Printf("telsp %s: %s (%.0f b/s reserved)\n", lsp.Name, lsp.Path.String(b.G), lsp.Bandwidth)
 	}
@@ -127,5 +132,39 @@ func run(path, sched string, seed uint64, verbose bool, dotFile string) error {
 				r.Name, r.Delivered, r.DroppedPolicer, r.DroppedNoRoute)
 		}
 	}
+
+	if metricsFile != "" {
+		if err := writeMetrics(b, metricsFile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMetrics renders the telemetry snapshot to dst: "-" prints text to
+// stdout, a .json filename gets the JSON encoding, anything else text.
+func writeMetrics(b *core.Backbone, dst string) error {
+	snap := b.TelemetrySnapshot()
+	if snap == nil {
+		return fmt.Errorf("telemetry not enabled")
+	}
+	if dst == "-" {
+		fmt.Print(snap.Text())
+		return nil
+	}
+	var data []byte
+	if strings.HasSuffix(dst, ".json") {
+		j, err := snap.JSON()
+		if err != nil {
+			return fmt.Errorf("encoding metrics: %w", err)
+		}
+		data = append(j, '\n')
+	} else {
+		data = []byte(snap.Text())
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	fmt.Printf("\ntelemetry snapshot written to %s\n", dst)
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,33 +13,33 @@ import (
 )
 
 func TestRunDemoConfig(t *testing.T) {
-	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, true, ""); err != nil {
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTEConfig(t *testing.T) {
-	if err := run(filepath.Join("testdata", "te.conf"), "fifo", 1, false, ""); err != nil {
+	if err := run(filepath.Join("testdata", "te.conf"), "fifo", 1, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllSchedulers(t *testing.T) {
 	for _, s := range []string{"fifo", "priority", "wfq", "drr", "hybrid"} {
-		if err := run(filepath.Join("testdata", "demo.conf"), s, 1, false, ""); err != nil {
+		if err := run(filepath.Join("testdata", "demo.conf"), s, 1, false, "", ""); err != nil {
 			t.Fatalf("scheduler %s: %v", s, err)
 		}
 	}
 }
 
 func TestBadScheduler(t *testing.T) {
-	if err := run(filepath.Join("testdata", "demo.conf"), "nope", 1, false, ""); err == nil {
+	if err := run(filepath.Join("testdata", "demo.conf"), "nope", 1, false, "", ""); err == nil {
 		t.Fatal("accepted unknown scheduler")
 	}
 }
 
 func TestMissingFile(t *testing.T) {
-	if err := run("testdata/absent.conf", "hybrid", 1, false, ""); err == nil {
+	if err := run("testdata/absent.conf", "hybrid", 1, false, "", ""); err == nil {
 		t.Fatal("accepted missing file")
 	}
 }
@@ -69,7 +70,7 @@ func TestConfigErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := run(writeConf(t, c.body), "hybrid", 1, false, "")
+			err := run(writeConf(t, c.body), "hybrid", 1, false, "", "")
 			if err == nil || !strings.Contains(err.Error(), c.want) {
 				t.Fatalf("err = %v, want containing %q", err, c.want)
 			}
@@ -79,7 +80,7 @@ func TestConfigErrors(t *testing.T) {
 
 func TestDOTFlag(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "topo.dot")
-	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, out); err != nil {
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, out, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -125,7 +126,7 @@ func TestParseDur(t *testing.T) {
 }
 
 func TestRunFailoverConfig(t *testing.T) {
-	if err := run(filepath.Join("testdata", "failover.conf"), "hybrid", 1, false, ""); err != nil {
+	if err := run(filepath.Join("testdata", "failover.conf"), "hybrid", 1, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -133,11 +134,69 @@ func TestRunFailoverConfig(t *testing.T) {
 func TestDirectiveOrderErrors(t *testing.T) {
 	// routereflector after build must fail.
 	body := "pe A\npe B\nlink A B 10M 1ms 1\nvpn v\nroutereflector A\n"
-	if err := run(writeConf(t, body), "hybrid", 1, false, ""); err == nil {
+	if err := run(writeConf(t, body), "hybrid", 1, false, "", ""); err == nil {
 		t.Fatal("routereflector after build accepted")
 	}
-	if err := run(writeConf(t, "dste 2.0\n"), "hybrid", 1, false, ""); err == nil {
+	if err := run(writeConf(t, "dste 2.0\n"), "hybrid", 1, false, "", ""); err == nil {
 		t.Fatal("dste > 1 accepted")
+	}
+}
+
+func TestMetricsFlagText(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.txt")
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"=== telemetry snapshot", "-- metrics", "port_offered_bytes", "-- flow records"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsFlagJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+		Flows []struct {
+			VPN string `json:"vpn"`
+		} `json:"flows"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, data)
+	}
+	if len(snap.Metrics) == 0 || len(snap.Flows) == 0 {
+		t.Fatalf("metrics JSON empty: %d metrics, %d flows", len(snap.Metrics), len(snap.Flows))
+	}
+	var offered float64
+	for _, m := range snap.Metrics {
+		if m.Name == "port_offered_bytes" {
+			offered += m.Value
+		}
+	}
+	if offered == 0 {
+		t.Fatal("no port_offered_bytes in JSON snapshot")
+	}
+}
+
+func TestMetricsFlagStdout(t *testing.T) {
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", "-"); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -156,7 +215,7 @@ telsp prem A B 3M ef
 run 500ms
 flow f s1 s2 80 ef cbr 160 20ms
 `
-	if err := run(writeConf(t, body), "hybrid", 1, false, ""); err != nil {
+	if err := run(writeConf(t, body), "hybrid", 1, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,12 +9,14 @@ package main
 
 import (
 	"fmt"
+	"strings"
 
 	"mplsvpn/internal/addr"
 	"mplsvpn/internal/core"
 	"mplsvpn/internal/qos"
 	"mplsvpn/internal/sim"
 	"mplsvpn/internal/stats"
+	"mplsvpn/internal/telemetry"
 	"mplsvpn/internal/trafgen"
 )
 
@@ -59,6 +61,9 @@ func main() {
 	fmt.Println("voicesla: 8 calls + bulk through a 10 Mb/s bottleneck (~1.4x load)")
 	for _, mode := range []bool{false, true} {
 		b, voice, bulk := build(mode)
+		// The streaming telemetry plane replaces hand-rolled reporting: flow
+		// export attributes bytes per (vpn, site-pair, class) each second.
+		b.EnableTelemetry(core.TelemetryOptions{Interval: sim.Second, Horizon: 5 * sim.Second})
 		b.Net.RunUntil(6 * sim.Second)
 		label := "best-effort (FIFO, no EXP mapping)"
 		if mode {
@@ -69,5 +74,17 @@ func main() {
 		fmt.Println(bulk.Stats.Summary())
 		q := stats.ScoreVoice(voice.Stats)
 		fmt.Printf("voice verdict: %s (E-model R=%.1f, MOS=%.2f)\n", q.Grade(), q.R, q.MOS)
+
+		// Render the operator's view: VPN-level series plus the per-class
+		// flow export (the full registry has a series per port per class).
+		snap := b.TelemetrySnapshot()
+		var kept []telemetry.Metric
+		for _, m := range snap.Metrics {
+			if strings.HasPrefix(m.Name, "vpn_") || strings.HasPrefix(m.Name, "classifier_") {
+				kept = append(kept, m)
+			}
+		}
+		snap.Metrics = kept
+		fmt.Print(snap.Text())
 	}
 }

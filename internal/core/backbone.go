@@ -31,6 +31,7 @@ import (
 	"mplsvpn/internal/qos"
 	"mplsvpn/internal/rsvp"
 	"mplsvpn/internal/sim"
+	"mplsvpn/internal/telemetry"
 	"mplsvpn/internal/topo"
 	"mplsvpn/internal/trafgen"
 	"mplsvpn/internal/vpn"
@@ -180,9 +181,20 @@ type Backbone struct {
 	// flows dispatches delivered packets to their measuring flow.
 	flows map[packet.FlowKey]*trafgen.Flow
 	// teRequests records TE intents for re-signalling after failures.
-	teRequests []teRequest
+	teRequests []*teRequest
 	// aimd dispatches delivery/drop feedback to congestion-controlled sources.
 	aimd map[packet.FlowKey]*trafgen.AIMD
+
+	// siteByPrefix resolves a customer address to its provisioned site
+	// (telemetry flow attribution).
+	siteByPrefix *addr.Table[*siteRecord]
+
+	// Telemetry plane (nil until EnableTelemetry).
+	tel             *telemetry.Telemetry
+	vpnTel          map[string]*vpnTel
+	telHotThreshold float64
+	telPrevTx       []int64   // per-link tx bytes at the last interval roll
+	telLastUtil     []float64 // per-link utilization over the last interval
 }
 
 // NewBackbone creates an empty backbone with the given policy, owning its
@@ -217,18 +229,19 @@ func newBackboneOn(cfg Config, e *sim.Engine, g *topo.Graph, net *netsim.Network
 		cfg.QueueBytes = netsim.DefaultQueueBytes
 	}
 	return &Backbone{
-		Cfg:      cfg,
-		E:        e,
-		G:        g,
-		Net:      net,
-		Registry: vpn.NewRegistry(),
-		BGP:      bgp.NewMesh(),
-		routers:  make(map[topo.NodeID]*device.Router),
-		allocs:   make(map[topo.NodeID]*mpls.Allocator),
-		vpns:     make(map[string]*vpnConfig),
-		sites:    make(map[string]*siteRecord),
-		siteByCE: make(map[topo.NodeID]*siteRecord),
-		nextRD:   1,
+		Cfg:          cfg,
+		E:            e,
+		G:            g,
+		Net:          net,
+		Registry:     vpn.NewRegistry(),
+		BGP:          bgp.NewMesh(),
+		routers:      make(map[topo.NodeID]*device.Router),
+		allocs:       make(map[topo.NodeID]*mpls.Allocator),
+		vpns:         make(map[string]*vpnConfig),
+		sites:        make(map[string]*siteRecord),
+		siteByCE:     make(map[topo.NodeID]*siteRecord),
+		siteByPrefix: addr.NewTable[*siteRecord](),
+		nextRD:       1,
 	}
 }
 
@@ -254,6 +267,9 @@ func (b *Backbone) onDeliver(at topo.NodeID, p *packet.Packet) {
 	}
 	if src, ok := b.aimd[p.FlowKey()]; ok {
 		src.Ack()
+	}
+	if b.tel != nil {
+		b.telDeliver(at, p)
 	}
 	for _, fn := range b.deliverHooks {
 		fn(at, p)
@@ -358,6 +374,7 @@ func (b *Backbone) BuildProvider() {
 		}
 		b.LDP.Converge()
 		b.RSVP = rsvp.New(b.G, b.allocs, lfibs)
+		b.wireTelemetryRSVP()
 		b.configureDSTE()
 		b.signalBypasses()
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"mplsvpn/internal/addr"
 	"mplsvpn/internal/ldp"
 	"mplsvpn/internal/mpls"
@@ -8,6 +10,7 @@ import (
 	"mplsvpn/internal/qos"
 	"mplsvpn/internal/rsvp"
 	"mplsvpn/internal/sim"
+	"mplsvpn/internal/telemetry"
 	"mplsvpn/internal/topo"
 )
 
@@ -20,6 +23,11 @@ type teRequest struct {
 	bandwidth       float64
 	class           qos.Class
 	opt             rsvp.SetupOptions
+
+	// lsp is the currently-signalled instance of this intent (nil when the
+	// last re-signal found no path). The SLA breach action reoptimizes
+	// through it.
+	lsp *rsvp.LSP
 }
 
 // LocalRepairDelay is how quickly a point of local repair activates its
@@ -35,6 +43,10 @@ const LocalRepairDelay = sim.Millisecond
 func (b *Backbone) FailLink(a, z string, detectDelay sim.Time) {
 	na, nz := b.mustNode(a), b.mustNode(z)
 	b.G.SetLinkDown(na, nz, true)
+	if b.tel != nil {
+		b.tel.Journal.Record(b.E.Now(), telemetry.EventLinkDown, "link:"+a+"<->"+z,
+			fmt.Sprintf("detect %v", detectDelay))
+	}
 	if b.Cfg.FRR && detectDelay > LocalRepairDelay {
 		b.E.After(LocalRepairDelay, func() { b.localRepair(na, nz) })
 	}
@@ -76,6 +88,10 @@ func (b *Backbone) localRepair(a, z topo.NodeID) {
 func (b *Backbone) RestoreLink(a, z string, detectDelay sim.Time) {
 	na, nz := b.mustNode(a), b.mustNode(z)
 	b.G.SetLinkDown(na, nz, false)
+	if b.tel != nil {
+		b.tel.Journal.Record(b.E.Now(), telemetry.EventLinkUp, "link:"+a+"<->"+z,
+			fmt.Sprintf("detect %v", detectDelay))
+	}
 	if detectDelay == 0 {
 		b.reconvergeProvider()
 		return
@@ -159,6 +175,7 @@ func (b *Backbone) reconvergeProvider() {
 			lfibs[n] = b.routers[n].LFIB
 		}
 		b.RSVP = rsvp.New(b.G, b.allocs, lfibs)
+		b.wireTelemetryRSVP()
 		b.configureDSTE()
 		for _, n := range b.providerNodes {
 			for k := range b.routers[n].TE {
@@ -168,8 +185,10 @@ func (b *Backbone) reconvergeProvider() {
 		for _, req := range b.teRequests {
 			l, err := b.RSVP.Setup(req.name, req.ingress, req.egress, req.bandwidth, req.opt)
 			if err != nil {
+				req.lsp = nil
 				continue // no path with capacity: fall back to the LDP LSP
 			}
+			req.lsp = l
 			b.routers[req.ingress].TE[teKeyFor(req)] = l.Entry
 		}
 		b.signalBypasses()

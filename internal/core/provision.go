@@ -185,6 +185,12 @@ func (b *Backbone) AddSite(spec SiteSpec) *device.Router {
 	for _, hid := range hostIDs {
 		b.siteByCE[hid] = rec
 	}
+	for _, p := range spec.Prefixes {
+		b.siteByPrefix.Insert(p, rec)
+	}
+	if b.tel != nil && spec.Classifier != nil {
+		spec.Classifier.BindTelemetry(b.tel.Reg, "ce-"+spec.Name)
+	}
 
 	if b.Cfg.PlainIP {
 		b.provisionPlainIPSite(rec)
@@ -425,15 +431,15 @@ func (b *Backbone) SetupTELSPForVPN(name, ingressPE, egressPE, vpnName string, b
 	if err != nil {
 		return nil, err
 	}
-	req := teRequest{name: name, ingress: in, egress: eg, vpn: vpnName,
-		bandwidth: bandwidth, class: class, opt: opt}
+	req := &teRequest{name: name, ingress: in, egress: eg, vpn: vpnName,
+		bandwidth: bandwidth, class: class, opt: opt, lsp: l}
 	b.teRequests = append(b.teRequests, req)
 	b.routers[in].TE[teKeyFor(req)] = l.Entry
 	return l, nil
 }
 
 // teKeyFor derives the ingress steering key from a TE request.
-func teKeyFor(req teRequest) device.TEKey {
+func teKeyFor(req *teRequest) device.TEKey {
 	return device.TEKey{EgressPE: req.egress, Class: req.class, VRF: req.vpn}
 }
 

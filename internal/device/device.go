@@ -123,6 +123,7 @@ type Router struct {
 	DroppedPolicer int
 	IPLookups      int
 	LabelLookups   int
+	EXPMapped      int // pushes that carried a DSCP-derived EXP marking
 }
 
 // New creates a router of the given kind.
@@ -365,6 +366,7 @@ func (r *Router) expFor(p *packet.Packet) uint8 {
 	if !r.MapDSCPToEXP {
 		return 0
 	}
+	r.EXPMapped++
 	return qos.EXPForClass(qos.ClassForDSCP(p.IP.DSCP))
 }
 

@@ -15,6 +15,7 @@ import (
 	"mplsvpn/internal/packet"
 	"mplsvpn/internal/qos"
 	"mplsvpn/internal/sim"
+	"mplsvpn/internal/telemetry"
 	"mplsvpn/internal/topo"
 )
 
@@ -43,6 +44,8 @@ type Network struct {
 	Injected  int
 	Delivered int
 	Dropped   int
+
+	telReg *telemetry.Registry // nil until EnableTelemetry
 }
 
 type port struct {
@@ -53,6 +56,23 @@ type port struct {
 	pending *packet.Packet   // dequeued but held for shaper conformance
 	txBytes int64            // bytes serialized onto the wire
 	txPkts  int64
+
+	// Per-port drop accounting: every packet offered to this port for
+	// egress, and every byte the port refused (queue overflow, link down).
+	offeredBytes int64
+	offeredPkts  int64
+	dropBytes    int64
+	dropPkts     int64
+
+	tel *portTel // nil when telemetry is off — the hot path pays one nil check
+}
+
+// portTel holds the port's pre-resolved telemetry handles, indexed by class
+// so the enqueue path does no map lookups.
+type portTel struct {
+	offered [qos.NumClasses]*telemetry.Counter // bytes offered, per class
+	dropped [qos.NumClasses]*telemetry.Counter // bytes refused, per class
+	util    *telemetry.Gauge
 }
 
 // New creates a network over g driven by engine e. Routers are registered
@@ -75,11 +95,13 @@ func (n *Network) Router(id topo.NodeID) *device.Router { return n.Routers[id] }
 
 // SetScheduler installs a QoS scheduler on one directed link's egress port.
 func (n *Network) SetScheduler(link topo.LinkID, s qos.Scheduler) {
-	if p, ok := n.ports[link]; ok {
-		p.sched = s
-		return
+	p, ok := n.ports[link]
+	if !ok {
+		p = &port{link: link}
+		n.ports[link] = p
 	}
-	n.ports[link] = &port{link: link, sched: s}
+	p.sched = s
+	n.attachPortTel(p)
 }
 
 // SetShaper installs a token-bucket shaper on a port: packets leave no
@@ -95,7 +117,9 @@ func (n *Network) SetShaper(link topo.LinkID, tb *qos.TokenBucket) {
 func (n *Network) SetSchedulerFactory(f func(l *topo.Link) qos.Scheduler) {
 	for i := 0; i < n.G.NumLinks(); i++ {
 		id := topo.LinkID(i)
-		n.ports[id] = &port{link: id, sched: f(n.G.Link(id))}
+		p := &port{link: id, sched: f(n.G.Link(id))}
+		n.ports[id] = p
+		n.attachPortTel(p)
 	}
 }
 
@@ -104,8 +128,67 @@ func (n *Network) portFor(link topo.LinkID) *port {
 	if !ok {
 		p = &port{link: link, sched: qos.NewFIFO(DefaultQueueBytes)}
 		n.ports[link] = p
+		n.attachPortTel(p)
 	}
 	return p
+}
+
+// EnableTelemetry resolves per-port instruments in reg for every existing
+// port; ports created or re-scheduled later attach automatically. Call once,
+// before or after schedulers are installed.
+func (n *Network) EnableTelemetry(reg *telemetry.Registry) {
+	n.telReg = reg
+	for _, p := range n.ports {
+		n.attachPortTel(p)
+	}
+}
+
+// attachPortTel pre-resolves the port's counters so the enqueue path does no
+// registry lookups, and binds drop counters into the scheduler's class
+// queues. Queues shared across classes (FIFO) are bound once without a class
+// label.
+func (n *Network) attachPortTel(p *port) {
+	if n.telReg == nil {
+		return
+	}
+	l := n.G.Link(p.link)
+	linkName := n.G.Name(l.From) + "->" + n.G.Name(l.To)
+	pt := &portTel{util: n.telReg.Gauge("link_utilization", telemetry.Labels{Link: linkName})}
+	for c := qos.Class(0); c < qos.NumClasses; c++ {
+		lbl := telemetry.Labels{Link: linkName, Class: c.String()}
+		pt.offered[c] = n.telReg.Counter("port_offered_bytes", lbl)
+		pt.dropped[c] = n.telReg.Counter("port_dropped_bytes", lbl)
+	}
+	p.tel = pt
+	if p.sched == nil {
+		return
+	}
+	// Group classes by backing queue: a queue serving several classes (a
+	// shared FIFO) gets one unlabelled series instead of the last class's.
+	shared := make(map[*qos.Queue][]qos.Class)
+	for c := qos.Class(0); c < qos.NumClasses; c++ {
+		if q := p.sched.ClassQueue(c); q != nil {
+			shared[q] = append(shared[q], c)
+		}
+	}
+	for q, classes := range shared {
+		lbl := telemetry.Labels{Link: linkName}
+		if len(classes) == 1 {
+			lbl.Class = classes[0].String()
+		}
+		q.TelDropFull = n.telReg.Counter("queue_dropped_full_pkts", lbl)
+		q.TelDropEarly = n.telReg.Counter("queue_dropped_early_pkts", lbl)
+	}
+}
+
+// SampleTelemetry refreshes the sampled per-port gauges (link utilization).
+// Core hangs this off the snapshot OnSample hook.
+func (n *Network) SampleTelemetry() {
+	for id, p := range n.ports {
+		if p.tel != nil {
+			p.tel.util.Set(n.LinkUtilization(id))
+		}
+	}
 }
 
 // Inject introduces a packet at a node (a host/CE sourcing traffic). The
@@ -144,19 +227,38 @@ func (n *Network) process(at topo.NodeID, p *packet.Packet, inLink topo.LinkID) 
 }
 
 // enqueue places the packet on the egress port, starting transmission if
-// the port is idle.
+// the port is idle. Bytes refused here — link down or queue overflow — are
+// charged to the port's drop accounting, so per-port loss is measurable
+// rather than only the network-wide Dropped total.
 func (n *Network) enqueue(at topo.NodeID, link topo.LinkID, p *packet.Packet) {
 	l := n.G.Link(link)
 	if l.From != at {
 		n.drop(at, p, fmt.Errorf("netsim: router %d forwarded out foreign link %d", at, link))
 		return
 	}
+	pt := n.portFor(link)
+	size := int64(p.SerializedLen())
+	cls := qos.ClassOf(p)
+	pt.offeredPkts++
+	pt.offeredBytes += size
+	if pt.tel != nil {
+		pt.tel.offered[cls].Add(size)
+	}
 	if l.Down {
+		pt.dropPkts++
+		pt.dropBytes += size
+		if pt.tel != nil {
+			pt.tel.dropped[cls].Add(size)
+		}
 		n.drop(at, p, fmt.Errorf("netsim: link %d is down", link))
 		return
 	}
-	pt := n.portFor(link)
-	if !pt.sched.Enqueue(n.E.Now(), qos.ClassOf(p), p) {
+	if !pt.sched.Enqueue(n.E.Now(), cls, p) {
+		pt.dropPkts++
+		pt.dropBytes += size
+		if pt.tel != nil {
+			pt.tel.dropped[cls].Add(size)
+		}
 		n.drop(at, p, fmt.Errorf("netsim: queue overflow on link %d at %s", link, n.G.Name(at)))
 		return
 	}
@@ -194,6 +296,11 @@ func (n *Network) transmitNext(pt *port) {
 		// Serialization finished: launch propagation, then serve the next
 		// queued packet (the wire is pipelined).
 		if l.Down {
+			pt.dropPkts++
+			pt.dropBytes += int64(p.SerializedLen())
+			if pt.tel != nil {
+				pt.tel.dropped[qos.ClassOf(p)].Add(int64(p.SerializedLen()))
+			}
 			n.drop(l.From, p, fmt.Errorf("netsim: link %d went down mid-flight", pt.link))
 		} else {
 			dst := l.To
@@ -223,6 +330,17 @@ func (n *Network) PortQueue(link topo.LinkID, c qos.Class) *qos.Queue {
 
 // LinkTxBytes returns the bytes serialized onto a directed link so far.
 func (n *Network) LinkTxBytes(link topo.LinkID) int64 { return n.portFor(link).txBytes }
+
+// LinkOfferedBytes returns the bytes offered to a directed link's egress
+// port so far (transmitted + dropped).
+func (n *Network) LinkOfferedBytes(link topo.LinkID) int64 { return n.portFor(link).offeredBytes }
+
+// LinkDroppedBytes returns the bytes a directed link's egress port refused
+// (queue overflow or link down).
+func (n *Network) LinkDroppedBytes(link topo.LinkID) int64 { return n.portFor(link).dropBytes }
+
+// LinkDroppedPkts returns the packets a directed link's egress port refused.
+func (n *Network) LinkDroppedPkts(link topo.LinkID) int64 { return n.portFor(link).dropPkts }
 
 // LinkUtilization returns the fraction of a link's capacity used over the
 // elapsed virtual time (0 before any time has passed).

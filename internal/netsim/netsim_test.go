@@ -8,6 +8,7 @@ import (
 	"mplsvpn/internal/packet"
 	"mplsvpn/internal/qos"
 	"mplsvpn/internal/sim"
+	"mplsvpn/internal/telemetry"
 	"mplsvpn/internal/topo"
 )
 
@@ -266,5 +267,69 @@ func TestSetSchedulerPreservesShaper(t *testing.T) {
 	// finishes at 19ms, versus 17ms unshaped.
 	if n.E.Now() < 18*sim.Millisecond {
 		t.Fatalf("shaper dropped by SetScheduler: finished at %v", n.E.Now())
+	}
+}
+
+// Regression: bytes refused at enqueue (overflow or down link) must be
+// charged to the egress port's drop accounting, not just the network-wide
+// Dropped counter, so per-link loss is measurable.
+func TestPortDropAccounting(t *testing.T) {
+	n, a, _, ab := pair()
+	n.SetScheduler(ab, qos.NewFIFO(3000)) // room for ~3 packets
+	for i := 0; i < 10; i++ {
+		n.Inject(a, mkPkt(972, 0))
+	}
+	n.Run()
+	if n.Dropped == 0 {
+		t.Fatal("expected overflow drops")
+	}
+	wantBytes := int64(n.Dropped * 1000)
+	if got := n.LinkDroppedBytes(ab); got != wantBytes {
+		t.Fatalf("port dropped bytes = %d, want %d", got, wantBytes)
+	}
+	if got := n.LinkDroppedPkts(ab); got != int64(n.Dropped) {
+		t.Fatalf("port dropped pkts = %d, want %d", got, n.Dropped)
+	}
+	// Conservation at the port: offered = transmitted + dropped.
+	if off, tx := n.LinkOfferedBytes(ab), n.LinkTxBytes(ab); off != tx+wantBytes {
+		t.Fatalf("offered=%d != tx=%d + dropped=%d", off, tx, wantBytes)
+	}
+
+	// Down-link refusals charge the port too.
+	n2, a2, b2, ab2 := pair()
+	n2.G.SetLinkDown(a2, b2, true)
+	n2.Inject(a2, mkPkt(100, 0))
+	n2.Run()
+	if n2.LinkDroppedPkts(ab2) != 1 || n2.LinkDroppedBytes(ab2) != 128 {
+		t.Fatalf("down-link drop not charged: pkts=%d bytes=%d",
+			n2.LinkDroppedPkts(ab2), n2.LinkDroppedBytes(ab2))
+	}
+}
+
+// Telemetry attachment: offered/dropped byte counters per (link, class) and
+// queue drop counters appear in the registry once enabled.
+func TestNetworkTelemetryCounters(t *testing.T) {
+	n, a, _, ab := pair()
+	reg := telemetry.NewRegistry()
+	n.EnableTelemetry(reg)
+	n.SetScheduler(ab, qos.NewFIFO(3000))
+	for i := 0; i < 10; i++ {
+		n.Inject(a, mkPkt(972, 0))
+	}
+	n.Run()
+	lbl := telemetry.Labels{Link: "A->B", Class: "best-effort"}
+	if v := reg.Counter("port_offered_bytes", lbl).Value(); v != 10*1000 {
+		t.Fatalf("offered = %d", v)
+	}
+	if v := reg.Counter("port_dropped_bytes", lbl).Value(); v != int64(n.Dropped*1000) {
+		t.Fatalf("dropped = %d", v)
+	}
+	// The FIFO's shared queue is bound class-unlabelled.
+	if v := reg.Counter("queue_dropped_full_pkts", telemetry.Labels{Link: "A->B"}).Value(); v != int64(n.Dropped) {
+		t.Fatalf("queue drops = %d", v)
+	}
+	n.SampleTelemetry()
+	if u := reg.Gauge("link_utilization", telemetry.Labels{Link: "A->B"}).Value(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
 	}
 }

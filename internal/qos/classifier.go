@@ -6,6 +6,7 @@ import (
 	"mplsvpn/internal/addr"
 	"mplsvpn/internal/packet"
 	"mplsvpn/internal/sim"
+	"mplsvpn/internal/telemetry"
 )
 
 // Rule matches packets by any subset of the 5-tuple plus the incoming DSCP.
@@ -63,6 +64,12 @@ type ClassPolicy struct {
 	Matched  int
 	Remarked int
 	Policed  int
+
+	// Telemetry counters, resolved by BindTelemetry. Nil receivers make
+	// the increments free when telemetry is off.
+	TelMatched  *telemetry.Counter
+	TelRemarked *telemetry.Counter
+	TelPoliced  *telemetry.Counter
 }
 
 // Classifier is the CBQ-style edge classifier the paper places at the
@@ -94,20 +101,24 @@ func (cl *Classifier) Classify(now sim.Time, p *packet.Packet) (Class, bool) {
 			continue
 		}
 		pol.Matched++
+		pol.TelMatched.Inc()
 		if pol.Meter != nil {
 			switch pol.Meter.Mark(now, p.SerializedLen()) {
 			case Green:
 				// in contract
 			case Yellow:
 				pol.Remarked++
+				pol.TelRemarked.Inc()
 				p.IP.DSCP = pol.OverflowDSCP
 				return ClassForDSCP(pol.OverflowDSCP), true
 			case Red:
 				if pol.DropRed {
 					pol.Policed++
+					pol.TelPoliced.Inc()
 					return pol.Class, false
 				}
 				pol.Remarked++
+				pol.TelRemarked.Inc()
 				p.IP.DSCP = pol.OverflowDSCP
 				return ClassForDSCP(pol.OverflowDSCP), true
 			}
@@ -117,6 +128,18 @@ func (cl *Classifier) Classify(now sim.Time, p *packet.Packet) (Class, bool) {
 	}
 	p.IP.DSCP = DSCPForClass(cl.Default)
 	return cl.Default, true
+}
+
+// BindTelemetry resolves per-policy counters in reg, labelled by the edge
+// node applying the policy. Safe to call more than once (re-resolves the
+// same series) and with a nil registry (unbinds nothing — counters stay nil).
+func (cl *Classifier) BindTelemetry(reg *telemetry.Registry, node string) {
+	for _, p := range cl.Policies {
+		l := telemetry.Labels{Node: node, Class: p.Class.String(), Policy: p.Name}
+		p.TelMatched = reg.Counter("classifier_matched_pkts", l)
+		p.TelRemarked = reg.Counter("classifier_remarked_pkts", l)
+		p.TelPoliced = reg.Counter("classifier_policed_pkts", l)
+	}
 }
 
 // String summarizes the policy table.

@@ -3,6 +3,7 @@ package qos
 import (
 	"mplsvpn/internal/packet"
 	"mplsvpn/internal/sim"
+	"mplsvpn/internal/telemetry"
 )
 
 // DropPolicy decides whether an arriving packet is dropped instead of being
@@ -80,6 +81,12 @@ type Queue struct {
 	Enqueued     int
 	DroppedFull  int
 	DroppedEarly int
+
+	// Telemetry counters, bound by netsim when telemetry is enabled. Nil
+	// (the default) makes the increments no-ops, so the hot path pays
+	// nothing when telemetry is off.
+	TelDropFull  *telemetry.Counter
+	TelDropEarly *telemetry.Counter
 }
 
 // NewQueue builds a queue with the given limits and tail-drop behaviour.
@@ -100,10 +107,12 @@ func (q *Queue) Enqueue(now sim.Time, p *packet.Packet) bool {
 	if (q.LimitBytes > 0 && q.bytes+n > q.LimitBytes) ||
 		(q.LimitPkts > 0 && len(q.pkts)+1 > q.LimitPkts) {
 		q.DroppedFull++
+		q.TelDropFull.Inc()
 		return false
 	}
 	if q.Drop != nil && q.Drop.ShouldDrop(now, p, q.bytes, len(q.pkts)) {
 		q.DroppedEarly++
+		q.TelDropEarly.Inc()
 		return false
 	}
 	p.EnqueuedAt = now

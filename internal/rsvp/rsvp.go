@@ -36,6 +36,47 @@ func (s State) String() string {
 	return "down"
 }
 
+// EventKind classifies a signalling event reported through OnEvent.
+type EventKind int
+
+// Signalling event kinds.
+const (
+	EventSetup EventKind = iota
+	EventSetupFailed
+	EventTeardown
+	EventPreempted
+	EventReoptimized
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSetup:
+		return "setup"
+	case EventSetupFailed:
+		return "setup-failed"
+	case EventTeardown:
+		return "teardown"
+	case EventPreempted:
+		return "preempted"
+	case EventReoptimized:
+		return "reoptimized"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one signalling occurrence, reported synchronously through
+// Protocol.OnEvent. The telemetry journal subscribes via this callback, so
+// rsvp stays free of any telemetry dependency.
+type Event struct {
+	Kind      EventKind
+	LSPID     int
+	Name      string
+	Ingress   topo.NodeID
+	Egress    topo.NodeID
+	Bandwidth float64
+	Detail    string // deterministic free text (path, error, victim)
+}
+
 // LSP is one traffic-engineered label-switched path.
 type LSP struct {
 	ID        int
@@ -78,6 +119,9 @@ type Protocol struct {
 	ResvMessages int
 	Preemptions  int
 	SetupFails   int
+
+	// OnEvent, when set, observes every signalling event synchronously.
+	OnEvent func(Event)
 }
 
 // New creates the protocol. alloc and lfib give each router's shared label
@@ -136,6 +180,9 @@ type SetupOptions struct {
 	HoldPri  int // default 4
 	// ClassType selects the DS-TE pool (meaningful when Protocol.DSTE set).
 	ClassType ClassType
+	// Avoid excludes links from path computation — the congestion-aware
+	// constraint ReoptimizeAvoiding uses to steer an LSP off hot links.
+	Avoid map[topo.LinkID]bool
 }
 
 // Setup signals a TE LSP from ingress to egress reserving bandwidth bits/s.
@@ -154,6 +201,8 @@ func (p *Protocol) Setup(name string, ingress, egress topo.NodeID, bandwidth flo
 	path, err := p.findPath(ingress, egress, bandwidth, opt)
 	if err != nil {
 		p.SetupFails++
+		p.emit(Event{Kind: EventSetupFailed, Name: name, Ingress: ingress, Egress: egress,
+			Bandwidth: bandwidth, Detail: err.Error()})
 		return nil, err
 	}
 
@@ -168,7 +217,27 @@ func (p *Protocol) Setup(name string, ingress, egress topo.NodeID, bandwidth flo
 	p.nextID++
 	p.signal(l)
 	p.lsps[l.ID] = l
+	p.emit(Event{Kind: EventSetup, LSPID: l.ID, Name: l.Name, Ingress: l.Ingress,
+		Egress: l.Egress, Bandwidth: l.Bandwidth, Detail: "path " + p.pathString(l.Path)})
 	return l, nil
+}
+
+func (p *Protocol) emit(e Event) {
+	if p.OnEvent != nil {
+		p.OnEvent(e)
+	}
+}
+
+// pathString renders a path as dash-joined node names.
+func (p *Protocol) pathString(path topo.Path) string {
+	s := ""
+	for i, n := range path.Nodes(p.G) {
+		if i > 0 {
+			s += "-"
+		}
+		s += p.G.Name(n)
+	}
+	return s
 }
 
 // findPath runs CSPF, preempting weaker LSPs if necessary.
@@ -178,6 +247,9 @@ func (p *Protocol) findPath(ingress, egress topo.NodeID, bw float64, opt SetupOp
 			l := p.G.Link(lid)
 			if l.Down {
 				return nil, fmt.Errorf("rsvp: explicit route uses down link %d", lid)
+			}
+			if opt.Avoid[lid] {
+				return nil, fmt.Errorf("rsvp: explicit route uses avoided link %d", lid)
 			}
 			if !p.poolFits(l, opt.ClassType, bw) {
 				return nil, fmt.Errorf("rsvp: DS-TE pool %v exhausted on link %d", opt.ClassType, lid)
@@ -190,13 +262,23 @@ func (p *Protocol) findPath(ingress, egress topo.NodeID, bw float64, opt SetupOp
 		return opt.Explicit, nil
 	}
 
-	res := p.G.CSPF(ingress, topo.Constraints{MinAvailableBw: bw, ExcludeLinks: p.poolExclusions(opt.ClassType, bw)})
+	exclude := p.poolExclusions(opt.ClassType, bw)
+	if len(opt.Avoid) > 0 {
+		if exclude == nil {
+			exclude = map[topo.LinkID]bool{}
+		}
+		for lid := range opt.Avoid {
+			exclude[lid] = true
+		}
+	}
+	res := p.G.CSPF(ingress, topo.Constraints{MinAvailableBw: bw, ExcludeLinks: exclude})
 	if path, ok := res.PathTo(p.G, egress); ok {
 		return &path, nil
 	}
 
-	// No room: attempt preemption along the unconstrained shortest path.
-	plain := p.G.SPF(ingress)
+	// No room: attempt preemption along the shortest path that still honours
+	// the avoid set (bandwidth is negotiable via preemption; avoidance is not).
+	plain := p.G.CSPF(ingress, topo.Constraints{ExcludeLinks: opt.Avoid})
 	path, ok := plain.PathTo(p.G, egress)
 	if !ok {
 		return nil, fmt.Errorf("rsvp: no route %s -> %s", p.G.Name(ingress), p.G.Name(egress))
@@ -272,9 +354,12 @@ func (p *Protocol) preemptOn(lid topo.LinkID, bw float64, setupPri int) bool {
 		if link.AvailableBw() >= bw {
 			break
 		}
-		p.Teardown(v.ID)
+		p.teardown(v.ID, false)
 		v.State = Down
 		p.Preemptions++
+		p.emit(Event{Kind: EventPreempted, LSPID: v.ID, Name: v.Name, Ingress: v.Ingress,
+			Egress: v.Egress, Bandwidth: v.Bandwidth,
+			Detail: fmt.Sprintf("hold-pri %d lost link %d", v.HoldPri, lid)})
 	}
 	return link.AvailableBw() >= bw
 }
@@ -316,7 +401,11 @@ func (p *Protocol) signal(l *LSP) {
 }
 
 // Teardown releases an LSP's reservations and label state.
-func (p *Protocol) Teardown(id int) bool {
+func (p *Protocol) Teardown(id int) bool { return p.teardown(id, true) }
+
+// teardown implements Teardown; emit suppresses the generic teardown event
+// when the caller reports a more specific one (preemption, reoptimize).
+func (p *Protocol) teardown(id int, emit bool) bool {
 	l, ok := p.lsps[id]
 	if !ok || l.State != Up {
 		return false
@@ -339,6 +428,10 @@ func (p *Protocol) Teardown(id int) bool {
 	}
 	l.State = Down
 	delete(p.lsps, id)
+	if emit {
+		p.emit(Event{Kind: EventTeardown, LSPID: l.ID, Name: l.Name, Ingress: l.Ingress,
+			Egress: l.Egress, Bandwidth: l.Bandwidth})
+	}
 	return true
 }
 
@@ -368,21 +461,33 @@ func (p *Protocol) SetupBypass(name string, protected topo.LinkID) (*LSP, error)
 // — so re-optimization never drops a packet. Returns the replacement LSP
 // (which may ride the same path if nothing better exists).
 func (p *Protocol) Reoptimize(id int) (*LSP, error) {
+	return p.ReoptimizeAvoiding(id, nil)
+}
+
+// ReoptimizeAvoiding re-signals an LSP make-before-break onto a path that
+// avoids the given links — the congestion-aware variant the SLA watcher
+// drives: the avoid set is the hot links the breached VPN must leave.
+func (p *Protocol) ReoptimizeAvoiding(id int, avoid map[topo.LinkID]bool) (*LSP, error) {
 	old, ok := p.lsps[id]
 	if !ok || old.State != Up {
 		return nil, fmt.Errorf("rsvp: LSP %d is not up", id)
 	}
+	oldPath := p.pathString(old.Path)
 	// Make: signal the replacement first (its reservation coexists with
 	// the old one during the transition, as RFC 3209 shared-explicit
 	// style re-routing intends).
 	nl, err := p.Setup(old.Name, old.Ingress, old.Egress, old.Bandwidth, SetupOptions{
 		SetupPri: old.SetupPri, HoldPri: old.HoldPri, ClassType: old.ClassType,
+		Avoid: avoid,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rsvp: make-before-break blocked: %w", err)
 	}
 	// Break: release the old path.
-	p.Teardown(old.ID)
+	p.teardown(old.ID, false)
+	p.emit(Event{Kind: EventReoptimized, LSPID: nl.ID, Name: nl.Name, Ingress: nl.Ingress,
+		Egress: nl.Egress, Bandwidth: nl.Bandwidth,
+		Detail: fmt.Sprintf("%s => %s", oldPath, p.pathString(nl.Path))})
 	return nl, nil
 }
 

@@ -304,3 +304,102 @@ func TestStateStringsAndReservedOn(t *testing.T) {
 		t.Fatalf("ReservedOn = %v", p.ReservedOn(lk.ID))
 	}
 }
+
+func TestReoptimizeAvoiding(t *testing.T) {
+	g, src, m, _, _, dst := fish()
+	p := New(g, nil, nil)
+
+	var events []Event
+	p.OnEvent = func(e Event) { events = append(events, e) }
+
+	l, err := p.Setup("voice", src, dst, 2e6, SetupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name(l.Path.Nodes(g)[1]) != "M" {
+		t.Fatalf("initial path should ride the short M branch: %s", l.Path.String(g))
+	}
+	// Declare the M->DST link hot; the LSP must move to the long branch.
+	hot, _ := g.FindLink(m, dst)
+	nl, err := p.ReoptimizeAvoiding(l.ID, map[topo.LinkID]bool{hot.ID: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lid := range nl.Path.Links {
+		if lid == hot.ID {
+			t.Fatalf("reoptimized path still uses the avoided link: %s", nl.Path.String(g))
+		}
+	}
+	if hot.ReservedBw != 0 {
+		t.Fatalf("old reservation not released: %v", hot.ReservedBw)
+	}
+	// Events: setup, setup (new path), reoptimized — no bare teardown for
+	// the make-before-break break leg.
+	kinds := []EventKind{}
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{EventSetup, EventSetup, EventReoptimized}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Detail != "SRC-M-DST => SRC-X-Y-DST" {
+		t.Fatalf("reoptimize detail = %q", last.Detail)
+	}
+}
+
+func TestAvoidRejectedWhenNoAlternative(t *testing.T) {
+	g := topo.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	g.AddDuplexLink(a, b, 10e6, sim.Millisecond, 1)
+	p := New(g, nil, nil)
+	l, err := p.Setup("only", a, b, 1e6, SetupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	p.OnEvent = func(e Event) {
+		if e.Kind == EventSetupFailed {
+			failed = true
+		}
+	}
+	if _, err := p.ReoptimizeAvoiding(l.ID, map[topo.LinkID]bool{l.Path.Links[0]: true}); err == nil {
+		t.Fatal("avoiding the only link must fail")
+	}
+	if !failed {
+		t.Fatal("setup failure must be reported through OnEvent")
+	}
+	if got, _ := p.Get(l.ID); got == nil || got.State != Up {
+		t.Fatal("failed reoptimize must leave the original LSP up")
+	}
+}
+
+func TestPreemptionEmitsEvent(t *testing.T) {
+	g := topo.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	g.AddDuplexLink(a, b, 10e6, sim.Millisecond, 1)
+	p := New(g, nil, nil)
+	if _, err := p.Setup("weak", a, b, 8e6, SetupOptions{SetupPri: 6, HoldPri: 6}); err != nil {
+		t.Fatal(err)
+	}
+	var preempted []Event
+	p.OnEvent = func(e Event) {
+		if e.Kind == EventPreempted {
+			preempted = append(preempted, e)
+		}
+	}
+	if _, err := p.Setup("strong", a, b, 8e6, SetupOptions{SetupPri: 2, HoldPri: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(preempted) != 1 || preempted[0].Name != "weak" {
+		t.Fatalf("preempted = %+v", preempted)
+	}
+}

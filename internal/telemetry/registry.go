@@ -1,0 +1,348 @@
+// Package telemetry is the backbone's streaming observability plane: a
+// metrics registry (counters, gauges, fixed-bucket histograms) keyed by
+// typed labels, an IPFIX-style interval flow exporter, a bounded event
+// journal, and an online SLA watcher that closes the paper's QoS loop by
+// reacting to sustained breaches during the run instead of reporting them
+// afterwards.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when disabled. Instruments are resolved once at attach
+//     time into plain pointers held by the hot path; a nil pointer means
+//     "telemetry off" and every method on a nil instrument is a safe no-op,
+//     so the packet path carries no map lookups, no interface calls, and no
+//     allocations either way.
+//  2. Determinism. All iteration that reaches output is over sorted keys,
+//     timestamps are virtual (sim.Time), and nothing reads the wall clock —
+//     two same-seed runs render byte-identical journals and snapshots.
+//  3. No import cycles. This package depends only on internal/sim and the
+//     standard library; data-plane packages import it, and the control
+//     plane (rsvp) reports through a callback instead.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Labels identifies one time series. Empty fields are unset and omitted
+// from rendered output; the struct is comparable so it can key a map
+// without allocation.
+type Labels struct {
+	VPN    string `json:"vpn,omitempty"`
+	Site   string `json:"site,omitempty"`
+	Node   string `json:"node,omitempty"`
+	Link   string `json:"link,omitempty"`   // directed link, "A->B"
+	Class  string `json:"class,omitempty"`  // forwarding class name
+	Policy string `json:"policy,omitempty"` // classifier policy name
+}
+
+// String renders the label set in a fixed field order, e.g.
+// "{vpn=acme,link=PE1->P1,class=voice}". Unset fields are omitted; a fully
+// empty label set renders as "".
+func (l Labels) String() string {
+	var b strings.Builder
+	add := func(k, v string) {
+		if v == "" {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		} else {
+			b.WriteByte('{')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(v)
+	}
+	add("vpn", l.VPN)
+	add("site", l.Site)
+	add("node", l.Node)
+	add("link", l.Link)
+	add("class", l.Class)
+	add("policy", l.Policy)
+	if b.Len() == 0 {
+		return ""
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing int64. All methods are safe on a
+// nil receiver — instrumented code holds a nil *Counter when telemetry is
+// disabled and calls it unconditionally.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins float64, safe on a nil receiver.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the stored value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// DefaultLatencyBounds are the histogram bucket upper bounds (in ms) used
+// for latency series when the caller does not supply its own: half-decade
+// steps from sub-millisecond to one second.
+var DefaultLatencyBounds = []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// Histogram is a fixed-bucket histogram. counts has one slot per bound
+// plus an overflow slot; Observe is a linear scan over ~a dozen bounds,
+// allocation-free, and safe on a nil receiver.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	total  uint64
+	sum    float64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (nil = DefaultLatencyBounds).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (q in (0,1]) by linear interpolation
+// within the containing bucket. Values in the overflow bucket report the
+// last finite bound — a deliberate floor: the caller compares against SLA
+// limits that live well inside the finite range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) < target {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (target - float64(cum-c)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Reset zeroes the histogram (used by interval windows).
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+}
+
+// seriesKey identifies one metric series in the registry.
+type seriesKey struct {
+	name   string
+	labels Labels
+}
+
+// Registry is the metric store. Instruments are get-or-create: resolving
+// the same (name, labels) twice returns the same instrument, so counts
+// from different attach points merge. A nil *Registry resolves every
+// instrument to nil — the disabled plane.
+type Registry struct {
+	counters map[seriesKey]*Counter
+	gauges   map[seriesKey]*Gauge
+	hists    map[seriesKey]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[seriesKey]*Counter),
+		gauges:   make(map[seriesKey]*Gauge),
+		hists:    make(map[seriesKey]*Histogram),
+	}
+}
+
+// Counter resolves (name, labels) to its counter, creating it on first use.
+func (r *Registry) Counter(name string, l Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey{name, l}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge resolves (name, labels) to its gauge, creating it on first use.
+func (r *Registry) Gauge(name string, l Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey{name, l}
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram resolves (name, labels) to its histogram, creating it with the
+// given bounds (nil = DefaultLatencyBounds) on first use.
+func (r *Registry) Histogram(name string, l Labels, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey{name, l}
+	h, ok := r.hists[k]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Bucket is one histogram bucket in a snapshot. LE < 0 denotes the
+// overflow (+Inf) bucket — a sentinel rather than math.Inf so the value
+// survives encoding/json.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Metric is one series frozen into a snapshot.
+type Metric struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels"`
+	Kind   string `json:"kind"` // "counter" | "gauge" | "histogram"
+
+	// Counter/gauge value.
+	Value float64 `json:"value,omitempty"`
+
+	// Histogram summary.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// String renders the metric as one text line.
+func (m Metric) String() string {
+	switch m.Kind {
+	case "histogram":
+		return fmt.Sprintf("%s%s count=%d sum=%.3f", m.Name, m.Labels, m.Count, m.Sum)
+	default:
+		return fmt.Sprintf("%s%s %g", m.Name, m.Labels, m.Value)
+	}
+}
+
+// Snapshot freezes every series, sorted by name then label string, so the
+// output is deterministic regardless of map iteration order.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, c := range r.counters {
+		out = append(out, Metric{Name: k.name, Labels: k.labels, Kind: "counter", Value: float64(c.v)})
+	}
+	for k, g := range r.gauges {
+		out = append(out, Metric{Name: k.name, Labels: k.labels, Kind: "gauge", Value: g.v})
+	}
+	for k, h := range r.hists {
+		m := Metric{Name: k.name, Labels: k.labels, Kind: "histogram", Count: h.total, Sum: h.sum}
+		m.Buckets = make([]Bucket, len(h.counts))
+		for i, c := range h.counts {
+			le := -1.0
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			m.Buckets[i] = Bucket{LE: le, Count: c}
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels.String() < out[j].Labels.String()
+	})
+	return out
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"mplsvpn/internal/sim"
+)
+
+// Telemetry bundles the four components of the observability plane. The
+// integration layer (internal/core) owns the wiring: it resolves registry
+// instruments into the data plane, routes control-plane callbacks into the
+// journal, and feeds deliveries/drops to the exporter and watcher.
+type Telemetry struct {
+	Reg     *Registry
+	Journal *Journal
+	Flows   *FlowExporter
+	Watcher *Watcher // nil when no SLA targets are configured
+
+	// OnSample, when set, runs just before a snapshot is taken — the place
+	// to refresh gauges that are sampled rather than streamed (link
+	// utilization, control-plane totals).
+	OnSample func()
+}
+
+// New assembles a telemetry plane with the given export interval and
+// journal capacity (zero values select the defaults).
+func New(interval sim.Time, journalCap int) *Telemetry {
+	return &Telemetry{
+		Reg:     NewRegistry(),
+		Journal: NewJournal(journalCap),
+		Flows:   NewFlowExporter(interval),
+	}
+}
+
+// Snapshot is the full observability state at one virtual instant: every
+// metric series, the retained flow records, the journal, and SLA status.
+type Snapshot struct {
+	At      sim.Time     `json:"at"`
+	Metrics []Metric     `json:"metrics"`
+	Flows   []FlowRecord `json:"flows"`
+	Events  []Event      `json:"events"`
+	SLA     []SLAStatus  `json:"sla,omitempty"`
+}
+
+// Snapshot rolls the exporter up to now, refreshes sampled gauges, and
+// freezes everything. Deterministic: same seed, same bytes.
+func (t *Telemetry) Snapshot(now sim.Time) *Snapshot {
+	if t == nil {
+		return nil
+	}
+	t.Flows.RollTo(now)
+	if t.OnSample != nil {
+		t.OnSample()
+	}
+	return &Snapshot{
+		At:      now,
+		Metrics: t.Reg.Snapshot(),
+		Flows:   t.Flows.Records(),
+		Events:  t.Journal.Events(),
+		SLA:     t.Watcher.Status(),
+	}
+}
+
+// Text renders the snapshot as the operator-facing report used by vpnctl
+// -metrics and the examples.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== telemetry snapshot @ %v ===\n", s.At)
+
+	fmt.Fprintf(&b, "\n-- metrics (%d series) --\n", len(s.Metrics))
+	for _, m := range s.Metrics {
+		b.WriteString(m.String())
+		b.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&b, "\n-- flow records (%d) --\n", len(s.Flows))
+	for _, r := range s.Flows {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&b, "\n-- events (%d) --\n", len(s.Events))
+	for _, e := range s.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+
+	if len(s.SLA) > 0 {
+		fmt.Fprintf(&b, "\n-- sla --\n")
+		for _, st := range s.SLA {
+			state := "ok"
+			if st.Breached {
+				state = "BREACHED"
+			}
+			fmt.Fprintf(&b, "%-16s %-8s breaches=%d clears=%d\n", st.VPN, state, st.Breaches, st.Clears)
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON with stable field and slice
+// ordering.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
