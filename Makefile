@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench cover examples record clean
+.PHONY: all build test test-short test-race vet bench bench-reconverge fuzz-short cover examples record clean
 
-all: build vet test test-race
+all: build vet test test-race fuzz-short bench-reconverge
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,16 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Reconvergence is the unit of work every injected fault triggers; track it.
+bench-reconverge:
+	$(GO) test -run='^$$' -bench=BenchmarkReconverge -benchmem ./internal/core
+
+# Ten seconds each on the two text-input parsers: the netconf config loader
+# and the chaos scenario DSL.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=10s ./internal/netconf
+	$(GO) test -run='^$$' -fuzz=FuzzScenario -fuzztime=10s ./internal/chaos
 
 cover:
 	$(GO) test -cover ./internal/...

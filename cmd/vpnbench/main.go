@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e13 or all)")
+		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e14 or all)")
 		dur      = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
 		e1N      = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
 		jsonFile = flag.String("json", "", "also write machine-readable results to this file")
@@ -33,7 +33,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"} {
 			want[e] = true
 		}
 	} else {
@@ -124,6 +124,13 @@ func main() {
 		res := experiments.E13InterASOptions(d, 4)
 		results["e13"] = res
 		fmt.Println(res.Table.String())
+	}
+	if want["e14"] {
+		res := experiments.E14FlapStorm(0)
+		results["e14"] = res
+		fmt.Println(res.Table.String())
+		fmt.Printf("resilient run: %d retries, %d degradations, %d restores, %d invariant violations\n\n",
+			res.Retries, res.Degradations, res.Restores, res.Violations)
 	}
 
 	if *jsonFile != "" {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	vpnctl -f network.conf [-sched hybrid] [-seed 1] [-v] [-dot topo.dot] [-metrics out.json]
+//	vpnctl -f network.conf [-sched hybrid] [-seed 1] [-v] [-dot topo.dot] [-metrics out.json] [-chaos faults.scn]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"mplsvpn/internal/chaos"
 	"mplsvpn/internal/core"
 	"mplsvpn/internal/netconf"
 	"mplsvpn/internal/packet"
@@ -29,13 +30,14 @@ func main() {
 		verb  = flag.Bool("v", false, "verbose: print router counters")
 		dot   = flag.String("dot", "", "write a Graphviz rendering of the network to this file")
 		met   = flag.String("metrics", "", "write a telemetry snapshot to this file after the run ('-' = stdout; a .json suffix selects JSON, anything else text)")
+		chs   = flag.String("chaos", "", "fault scenario file to inject during the run (see internal/chaos for the DSL)")
 	)
 	flag.Parse()
 	if *file == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, *sched, *seed, *verb, *dot, *met); err != nil {
+	if err := run(*file, *sched, *seed, *verb, *dot, *met, *chs); err != nil {
 		fmt.Fprintln(os.Stderr, "vpnctl:", err)
 		os.Exit(1)
 	}
@@ -57,7 +59,7 @@ func schedKind(s string) (core.SchedulerKind, error) {
 	return 0, fmt.Errorf("unknown scheduler %q", s)
 }
 
-func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile string) error {
+func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile, chaosFile string) error {
 	kind, err := schedKind(sched)
 	if err != nil {
 		return err
@@ -68,19 +70,42 @@ func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile str
 	}
 	defer f.Close()
 
+	var scenario *chaos.Scenario
+	if chaosFile != "" {
+		cf, err := os.Open(chaosFile)
+		if err != nil {
+			return err
+		}
+		scenario, err = chaos.ParseScenario(cf, chaosFile)
+		cf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
 	sc, err := netconf.Load(f, path, core.Config{Seed: seed, Scheduler: kind})
 	if err != nil {
 		return err
 	}
 	b := sc.B
-	if metricsFile != "" {
-		b.EnableTelemetry(core.TelemetryOptions{Horizon: sc.Duration})
+	horizon := sc.Duration
+	if scenario != nil && scenario.Duration()+sim.Second > horizon {
+		horizon = scenario.Duration() + sim.Second
+	}
+	if metricsFile != "" || scenario != nil {
+		b.EnableTelemetry(core.TelemetryOptions{Horizon: horizon, JournalCap: 4096})
+	}
+	var inj *chaos.Injector
+	if scenario != nil {
+		b.EnableResilience(core.ResilienceOptions{Policy: core.DegradeShrink, Horizon: horizon})
+		inj = chaos.New(b, scenario)
+		inj.Schedule()
 	}
 	for _, lsp := range sc.TELSPs {
 		fmt.Printf("telsp %s: %s (%.0f b/s reserved)\n", lsp.Name, lsp.Path.String(b.G), lsp.Bandwidth)
 	}
 
-	b.Net.RunUntil(sc.Duration + sim.Second)
+	b.Net.RunUntil(horizon + sim.Second)
 
 	fmt.Printf("\n=== SLA report (scheduler=%s, %v simulated) ===\n", sched, sc.Duration)
 	for _, fl := range sc.Flows {
@@ -110,6 +135,27 @@ func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile str
 			b.LDP.MessagesSent, b.LDP.TotalILMEntries())
 	}
 	fmt.Printf("bgp: %d updates, %d sessions\n", b.BGP.UpdatesSent, b.BGP.SessionCount())
+
+	if inj != nil {
+		fmt.Printf("\n=== chaos report ===\n%s\n", inj.Report())
+		for _, v := range inj.Checker.Violations {
+			fmt.Println("  VIOLATION:", v)
+		}
+		if ints := b.TEIntents(); len(ints) > 0 {
+			fmt.Println("TE intents after scenario:")
+			for _, st := range ints {
+				line := fmt.Sprintf("  %-12s %-8s %-9s %.0f/%.0f b/s", st.Name, st.VPN, st.State, st.Bandwidth, st.FullBandwidth)
+				if st.Path != "" {
+					line += "  via " + st.Path
+				}
+				fmt.Println(line)
+			}
+		}
+		if verbose {
+			fmt.Println("\n=== event journal ===")
+			fmt.Print(b.Telemetry().Journal.Render())
+		}
+	}
 
 	for _, tr := range sc.Traces {
 		fmt.Printf("\n=== trace %s -> %s ===\n", tr.Site, tr.Dst)

@@ -1,0 +1,269 @@
+// Package chaos is the deterministic fault-injection plane: scripted
+// scenarios of link flaps, node crash/restart, and PE-CE attachment cuts
+// are scheduled on the simulation engine, every injected event is followed
+// by an invariant check (no cross-VPN leakage, no forwarding loops, byte
+// conservation on every port), and all randomness — flap jitter, control
+// plane loss — is drawn from streams forked off the engine's seed, so the
+// same seed and script always produce byte-identical runs.
+//
+// The scenario DSL is line-based, # comments allowed:
+//
+//	ctrlloss 0.3 extra=300ms
+//	fail PE1 P1 at=1s detect=50ms
+//	restore PE1 P1 at=2s detect=50ms
+//	flap P1 P2 at=3s count=5 down=100ms up=200ms detect=10ms jitter=20ms
+//	crash P2 at=5s detect=100ms
+//	restart P2 at=6s detect=100ms
+//	cut hq at=7s
+//	uncut hq at=8s
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"mplsvpn/internal/sim"
+)
+
+// Op is one fault-injection operation kind.
+type Op int
+
+// Operations.
+const (
+	OpFail Op = iota
+	OpRestore
+	OpFlap
+	OpCrash
+	OpRestart
+	OpCut
+	OpUncut
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpFail:
+		return "fail"
+	case OpRestore:
+		return "restore"
+	case OpFlap:
+		return "flap"
+	case OpCrash:
+		return "crash"
+	case OpRestart:
+		return "restart"
+	case OpCut:
+		return "cut"
+	case OpUncut:
+		return "uncut"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// DefaultDetect is the failure detection delay when a directive gives none.
+const DefaultDetect = 10 * sim.Millisecond
+
+// Event is one scripted fault. Link operations use A and Z; node and site
+// operations use A alone. A flap expands into Count fail/restore pairs
+// spaced Down/Up apart, each transition jittered by up to Jitter.
+type Event struct {
+	At     sim.Time
+	Op     Op
+	A, Z   string
+	Detect sim.Time
+
+	Count    int
+	Down, Up sim.Time
+	Jitter   sim.Time
+}
+
+// Scenario is a parsed fault script.
+type Scenario struct {
+	Name   string
+	Events []Event
+
+	// Control-plane loss model applied for the whole run.
+	CtrlLoss  float64
+	CtrlExtra sim.Time
+}
+
+// EventCount returns the number of individual fault operations the
+// scenario will inject, with flap trains expanded.
+func (s *Scenario) EventCount() int {
+	n := 0
+	for _, ev := range s.Events {
+		if ev.Op == OpFlap {
+			n += 2 * ev.Count
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// Duration returns the virtual time of the last scheduled operation
+// (jitter excluded — add slack when choosing a run horizon).
+func (s *Scenario) Duration() sim.Time {
+	var end sim.Time
+	for _, ev := range s.Events {
+		t := ev.At
+		if ev.Op == OpFlap {
+			t += sim.Time(ev.Count) * (ev.Down + ev.Up)
+		}
+		if t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// ParseScenario reads the fault script DSL. name labels errors and the
+// parsed scenario.
+func ParseScenario(r io.Reader, name string) (*Scenario, error) {
+	sc := &Scenario{Name: name}
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := scan.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", name, lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "ctrlloss":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fail("ctrlloss <prob> [extra=<dur>]")
+			}
+			p, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fail("bad probability %q", fields[1])
+			}
+			sc.CtrlLoss = p
+			sc.CtrlExtra = 100 * sim.Millisecond
+			if len(fields) == 3 {
+				kv, err := parseKVs(fields[2:], "extra")
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				if d, ok := kv["extra"]; ok {
+					sc.CtrlExtra = d
+				}
+			}
+		case "fail", "restore":
+			if len(fields) < 4 {
+				return nil, fail("%s <a> <z> at=<t> [detect=<d>]", fields[0])
+			}
+			kv, err := parseKVs(fields[3:], "at", "detect")
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			at, ok := kv["at"]
+			if !ok {
+				return nil, fail("%s needs at=<t>", fields[0])
+			}
+			ev := Event{At: at, Op: OpFail, A: fields[1], Z: fields[2], Detect: detectOr(kv)}
+			if fields[0] == "restore" {
+				ev.Op = OpRestore
+			}
+			sc.Events = append(sc.Events, ev)
+		case "flap":
+			if len(fields) < 6 {
+				return nil, fail("flap <a> <z> at=<t> count=<n> down=<d> up=<d> [detect=<d>] [jitter=<d>]")
+			}
+			count := 0
+			var rest []string
+			for _, f := range fields[3:] {
+				if c, ok := strings.CutPrefix(f, "count="); ok {
+					n, err := strconv.Atoi(c)
+					if err != nil || n < 1 || n > 10000 {
+						return nil, fail("bad count %q", c)
+					}
+					count = n
+					continue
+				}
+				rest = append(rest, f)
+			}
+			if count == 0 {
+				return nil, fail("flap needs count=<n>")
+			}
+			kv, err := parseKVs(rest, "at", "down", "up", "detect", "jitter")
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			at, okAt := kv["at"]
+			down, okDown := kv["down"]
+			up, okUp := kv["up"]
+			if !okAt || !okDown || !okUp {
+				return nil, fail("flap needs at=, down=, and up=")
+			}
+			if down <= 0 || up <= 0 {
+				return nil, fail("flap periods must be positive")
+			}
+			sc.Events = append(sc.Events, Event{
+				At: at, Op: OpFlap, A: fields[1], Z: fields[2],
+				Detect: detectOr(kv), Count: count, Down: down, Up: up,
+				Jitter: kv["jitter"],
+			})
+		case "crash", "restart", "cut", "uncut":
+			if len(fields) < 3 {
+				return nil, fail("%s <name> at=<t> [detect=<d>]", fields[0])
+			}
+			kv, err := parseKVs(fields[2:], "at", "detect")
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			at, ok := kv["at"]
+			if !ok {
+				return nil, fail("%s needs at=<t>", fields[0])
+			}
+			op := map[string]Op{"crash": OpCrash, "restart": OpRestart, "cut": OpCut, "uncut": OpUncut}[fields[0]]
+			sc.Events = append(sc.Events, Event{At: at, Op: op, A: fields[1], Detect: detectOr(kv)})
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return sc, nil
+}
+
+// detectOr applies the default detection delay.
+func detectOr(kv map[string]sim.Time) sim.Time {
+	if d, ok := kv["detect"]; ok {
+		return d
+	}
+	return DefaultDetect
+}
+
+// parseKVs parses key=<duration> tokens, rejecting unknown keys.
+func parseKVs(tokens []string, allowed ...string) (map[string]sim.Time, error) {
+	ok := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	out := make(map[string]sim.Time)
+	for _, tok := range tokens {
+		k, v, found := strings.Cut(tok, "=")
+		if !found || !ok[k] {
+			return nil, fmt.Errorf("unexpected token %q", tok)
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad duration %q for %s", v, k)
+		}
+		out[k] = sim.Time(d)
+	}
+	return out, nil
+}

@@ -172,6 +172,23 @@ type Backbone struct {
 	built         bool
 	bypasses      map[topo.LinkID]*rsvp.LSP
 
+	// Fault-state tracking (the chaos plane): which links are
+	// administratively failed, which provider routers are crashed, and which
+	// site attachments are cut — so repeated or contradictory fault calls
+	// are rejected instead of silently re-applied.
+	failedLinks map[linkPair]bool
+	nodeDown    map[topo.NodeID]bool
+	cutSites    map[string]bool
+
+	// Control-plane message loss model (SetControlPlaneLoss): a lost
+	// failure notification delays reconvergence by ctrlExtra.
+	ctrlLoss  float64
+	ctrlExtra sim.Time
+	ctrlRng   *sim.Rand
+
+	// res is the TE resilience plane (nil until EnableResilience).
+	res *resilience
+
 	// IsolationViolations counts packets delivered into a different VPN
 	// than they were injected into: must stay zero (E6).
 	IsolationViolations int
@@ -242,6 +259,9 @@ func newBackboneOn(cfg Config, e *sim.Engine, g *topo.Graph, net *netsim.Network
 		siteByCE:     make(map[topo.NodeID]*siteRecord),
 		siteByPrefix: addr.NewTable[*siteRecord](),
 		nextRD:       1,
+		failedLinks:  make(map[linkPair]bool),
+		nodeDown:     make(map[topo.NodeID]bool),
+		cutSites:     make(map[string]bool),
 	}
 }
 
@@ -374,7 +394,7 @@ func (b *Backbone) BuildProvider() {
 		}
 		b.LDP.Converge()
 		b.RSVP = rsvp.New(b.G, b.allocs, lfibs)
-		b.wireTelemetryRSVP()
+		b.wireRSVPHooks()
 		b.configureDSTE()
 		b.signalBypasses()
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mplsvpn/internal/addr"
+	"mplsvpn/internal/rsvp"
 	"mplsvpn/internal/sim"
 	"mplsvpn/internal/trafgen"
 )
@@ -144,4 +145,30 @@ func TestTelemetryDisabledZeroAllocDelta(t *testing.T) {
 		t.Fatalf("enabled (%v) allocates less than disabled (%v)?", on, off)
 	}
 	t.Logf("allocs per 100-pkt burst: disabled=%v enabled=%v", off, on)
+}
+
+// BenchmarkReconverge measures one full provider reconvergence — the unit
+// of work every injected fault triggers, and the hot loop of any chaos
+// scenario: IGP SPF, LDP re-signal, VPN label re-install, and TE CSPF.
+func BenchmarkReconverge(b *testing.B) {
+	bb := fourPEBackboneForTest(Config{Seed: 77, Scheduler: SchedHybrid})
+	bb.DefineVPN("corp")
+	pes := []string{"PE1", "PE2", "PE3", "PE4"}
+	for i := 0; i < 40; i++ {
+		bb.AddSite(SiteSpec{
+			VPN: "corp", Name: fmt.Sprintf("site%02d", i), PE: pes[i%4],
+			Prefixes: []addr.Prefix{addr.NewPrefix(addr.IPv4(0x0a000000|uint32(i+1)<<8), 24)},
+		})
+	}
+	bb.ConvergeVPNs()
+	for i, pe := range pes[1:] {
+		name := fmt.Sprintf("te%d", i)
+		if _, err := bb.SetupTELSPForVPN(name, "PE1", pe, "corp", 1e6, -1, rsvp.SetupOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb.reconvergeProvider()
+	}
 }

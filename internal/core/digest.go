@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/device"
+	"mplsvpn/internal/topo"
+)
+
+// StateDigest renders the provider control-plane state — per-router table
+// sizes and TE steering, every RSVP LSP, and per-link down/reservation
+// state — as deterministic text. Two same-seed runs of the same scenario
+// must produce byte-identical digests; that is the final-state half of the
+// chaos determinism contract (the journal is the event half).
+func (b *Backbone) StateDigest() string {
+	var sb strings.Builder
+	for _, n := range b.providerNodes {
+		r := b.routers[n]
+		fmt.Fprintf(&sb, "router %s ilm=%d ftn=%d", r.Name, r.LFIB.ILMSize(), r.FTN.Size())
+		keys := make([]device.TEKey, 0, len(r.TE))
+		for k := range r.TE {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].EgressPE != keys[j].EgressPE {
+				return keys[i].EgressPE < keys[j].EgressPE
+			}
+			if keys[i].Class != keys[j].Class {
+				return keys[i].Class < keys[j].Class
+			}
+			return keys[i].VRF < keys[j].VRF
+		})
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " te[%s/%v/%s]->link%d", b.G.Name(k.EgressPE), k.Class, k.VRF, r.TE[k].OutLink)
+		}
+		sb.WriteByte('\n')
+	}
+	if b.RSVP != nil {
+		for _, l := range b.RSVP.LSPs() {
+			fmt.Fprintf(&sb, "lsp %d %s %s %.0f %s\n", l.ID, l.Name, l.State, l.Bandwidth, b.pathName(l.Path))
+		}
+	}
+	for i := 0; i < b.G.NumLinks(); i++ {
+		l := b.G.Link(topo.LinkID(i))
+		fmt.Fprintf(&sb, "link %s->%s down=%t resv=%.0f\n", b.G.Name(l.From), b.G.Name(l.To), l.Down, l.ReservedBw)
+	}
+	return sb.String()
+}
+
+// SiteAddr returns the first customer address of a provisioned site — a
+// convenient probe destination for traces and pings.
+func (b *Backbone) SiteAddr(name string) (addr.IPv4, bool) {
+	rec, ok := b.sites[name]
+	if !ok {
+		return 0, false
+	}
+	return firstHost(rec.Spec.Prefixes[0]), true
+}

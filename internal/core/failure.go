@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mplsvpn/internal/addr"
+	"mplsvpn/internal/device"
 	"mplsvpn/internal/ldp"
 	"mplsvpn/internal/mpls"
 	"mplsvpn/internal/ospf"
@@ -28,6 +29,82 @@ type teRequest struct {
 	// last re-signal found no path). The SLA breach action reoptimizes
 	// through it.
 	lsp *rsvp.LSP
+
+	// Resilience bookkeeping (EnableResilience): what the intent originally
+	// asked for, whether it is running degraded, and the retry/backoff state.
+	fullBandwidth float64
+	fullClassType rsvp.ClassType
+	degraded      bool
+	attempts      int
+	retryPending  bool
+}
+
+// linkPair is a direction-normalized link key for fault-state tracking.
+type linkPair struct{ lo, hi topo.NodeID }
+
+func pairKey(a, z topo.NodeID) linkPair {
+	if a > z {
+		a, z = z, a
+	}
+	return linkPair{a, z}
+}
+
+// journal is the nil-safe telemetry journal hook for fault events.
+func (b *Backbone) journal(kind telemetry.EventKind, subject, detail string) {
+	if b.tel != nil {
+		b.tel.Journal.Record(b.E.Now(), kind, subject, detail)
+	}
+}
+
+// rejectOp journals a refused fault-injection call and returns its error,
+// so chaos scripts can see which of their operations were no-ops.
+func (b *Backbone) rejectOp(op, subject, reason string) error {
+	b.journal(telemetry.EventOpRejected, subject, op+": "+reason)
+	return fmt.Errorf("core: %s %s: %s", op, subject, reason)
+}
+
+// linkEndpoints resolves two node names to an existing link's endpoints
+// without panicking.
+func (b *Backbone) linkEndpoints(a, z string) (topo.NodeID, topo.NodeID, error) {
+	na, ok := b.G.NodeByName(a)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown node %q", a)
+	}
+	nz, ok := b.G.NodeByName(z)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown node %q", z)
+	}
+	if _, ok := b.G.FindLink(na, nz); !ok {
+		return 0, 0, fmt.Errorf("no link %s<->%s", a, z)
+	}
+	return na, nz, nil
+}
+
+// scheduleReconverge triggers provider reconvergence after the detection
+// delay, subject to the control-plane loss model: a lost failure
+// notification must be retransmitted, stretching the delay by ctrlExtra.
+func (b *Backbone) scheduleReconverge(detect sim.Time) {
+	if b.ctrlLoss > 0 && b.ctrlRng != nil && b.ctrlRng.Float64() < b.ctrlLoss {
+		b.journal(telemetry.EventCtrlLoss, "ctrl",
+			fmt.Sprintf("notification lost; retransmit adds %v", b.ctrlExtra))
+		detect += b.ctrlExtra
+	}
+	if detect == 0 {
+		b.reconvergeProvider()
+		return
+	}
+	b.E.After(detect, b.reconvergeProvider)
+}
+
+// SetControlPlaneLoss configures the control-plane message loss model:
+// each reconvergence trigger is lost with probability prob, adding extra
+// to its detection delay (the retransmission timeout). The random stream
+// is forked from the engine's, so same-seed runs stay byte-identical.
+func (b *Backbone) SetControlPlaneLoss(prob float64, extra sim.Time) {
+	b.ctrlLoss, b.ctrlExtra = prob, extra
+	if b.ctrlRng == nil {
+		b.ctrlRng = b.E.Rand().Fork()
+	}
 }
 
 // LocalRepairDelay is how quickly a point of local repair activates its
@@ -35,26 +112,33 @@ type teRequest struct {
 // rewrite, orders of magnitude faster than IGP-wide reconvergence.
 const LocalRepairDelay = sim.Millisecond
 
-// FailLink takes the link between two provider routers down. The failure
-// is detected and the control plane reconverges after detectDelay of
-// virtual time (0 = immediately); until then traffic into the dead link is
-// lost — the loss window E8 measures — unless FRR bypass tunnels absorb it
-// within LocalRepairDelay.
-func (b *Backbone) FailLink(a, z string, detectDelay sim.Time) {
-	na, nz := b.mustNode(a), b.mustNode(z)
+// FailLink takes the link between two nodes down. The failure is detected
+// and the control plane reconverges after detectDelay of virtual time
+// (0 = immediately); until then traffic into the dead link is lost — the
+// loss window E8 measures — unless FRR bypass tunnels absorb it within
+// LocalRepairDelay. Unknown names, a missing link, or failing an
+// already-failed link are rejected with an error and a journal entry.
+func (b *Backbone) FailLink(a, z string, detectDelay sim.Time) error {
+	subject := "link:" + a + "<->" + z
+	na, nz, err := b.linkEndpoints(a, z)
+	if err != nil {
+		return b.rejectOp("fail", subject, err.Error())
+	}
+	key := pairKey(na, nz)
+	if b.failedLinks[key] {
+		return b.rejectOp("fail", subject, "already failed")
+	}
+	b.failedLinks[key] = true
 	b.G.SetLinkDown(na, nz, true)
-	if b.tel != nil {
-		b.tel.Journal.Record(b.E.Now(), telemetry.EventLinkDown, "link:"+a+"<->"+z,
-			fmt.Sprintf("detect %v", detectDelay))
+	b.journal(telemetry.EventLinkDown, subject, fmt.Sprintf("detect %v", detectDelay))
+	if b.Cfg.FRR && detectDelay > 0 {
+		// Protection is never slower than reconvergence: the bypass
+		// activates at min(detect, LocalRepairDelay), so even an
+		// aggressively fast detection still goes through local repair.
+		b.E.After(min(detectDelay, LocalRepairDelay), func() { b.localRepair(na, nz) })
 	}
-	if b.Cfg.FRR && detectDelay > LocalRepairDelay {
-		b.E.After(LocalRepairDelay, func() { b.localRepair(na, nz) })
-	}
-	if detectDelay == 0 {
-		b.reconvergeProvider()
-		return
-	}
-	b.E.After(detectDelay, b.reconvergeProvider)
+	b.scheduleReconverge(detectDelay)
+	return nil
 }
 
 // localRepair detours the ILM entries of both endpoints around the failed
@@ -85,18 +169,129 @@ func (b *Backbone) localRepair(a, z topo.NodeID) {
 }
 
 // RestoreLink brings a failed link back and reconverges after detectDelay.
-func (b *Backbone) RestoreLink(a, z string, detectDelay sim.Time) {
-	na, nz := b.mustNode(a), b.mustNode(z)
+// Restoring a link that was never failed, or whose endpoint router is
+// crashed, is rejected with an error and a journal entry.
+func (b *Backbone) RestoreLink(a, z string, detectDelay sim.Time) error {
+	subject := "link:" + a + "<->" + z
+	na, nz, err := b.linkEndpoints(a, z)
+	if err != nil {
+		return b.rejectOp("restore", subject, err.Error())
+	}
+	key := pairKey(na, nz)
+	if !b.failedLinks[key] {
+		return b.rejectOp("restore", subject, "not failed")
+	}
+	if b.nodeDown[na] || b.nodeDown[nz] {
+		return b.rejectOp("restore", subject, "endpoint router is down")
+	}
+	delete(b.failedLinks, key)
 	b.G.SetLinkDown(na, nz, false)
-	if b.tel != nil {
-		b.tel.Journal.Record(b.E.Now(), telemetry.EventLinkUp, "link:"+a+"<->"+z,
-			fmt.Sprintf("detect %v", detectDelay))
+	b.journal(telemetry.EventLinkUp, subject, fmt.Sprintf("detect %v", detectDelay))
+	b.scheduleReconverge(detectDelay)
+	return nil
+}
+
+// CrashNode takes a provider router down hard: every incident link drops
+// in both directions and the router's forwarding state (LFIB, FTN, TE
+// steering) is wiped — a crashed box forgets everything. The surviving
+// network reconverges after detectDelay.
+func (b *Backbone) CrashNode(name string, detectDelay sim.Time) error {
+	subject := "node:" + name
+	id, ok := b.G.NodeByName(name)
+	if !ok {
+		return b.rejectOp("crash", subject, "unknown node")
 	}
-	if detectDelay == 0 {
-		b.reconvergeProvider()
-		return
+	r, isRouter := b.routers[id]
+	if !isRouter || (r.Kind != device.PE && r.Kind != device.P) {
+		return b.rejectOp("crash", subject, "not a provider router")
 	}
-	b.E.After(detectDelay, b.reconvergeProvider)
+	if b.nodeDown[id] {
+		return b.rejectOp("crash", subject, "already down")
+	}
+	b.nodeDown[id] = true
+	for i := 0; i < b.G.NumLinks(); i++ {
+		l := b.G.Link(topo.LinkID(i))
+		if l.From == id || l.To == id {
+			l.Down = true
+		}
+	}
+	r.LFIB = mpls.NewLFIB()
+	r.FTN = mpls.NewFTN()
+	for k := range r.TE {
+		delete(r.TE, k)
+	}
+	b.journal(telemetry.EventNodeDown, subject, fmt.Sprintf("detect %v", detectDelay))
+	b.scheduleReconverge(detectDelay)
+	return nil
+}
+
+// RestartNode brings a crashed router back: incident links come up unless
+// the far endpoint is still down or the fibre was independently failed,
+// and the control plane rebuilds the node's tables from scratch after
+// detectDelay (the restart's convergence time).
+func (b *Backbone) RestartNode(name string, detectDelay sim.Time) error {
+	subject := "node:" + name
+	id, ok := b.G.NodeByName(name)
+	if !ok {
+		return b.rejectOp("restart", subject, "unknown node")
+	}
+	if !b.nodeDown[id] {
+		return b.rejectOp("restart", subject, "not down")
+	}
+	delete(b.nodeDown, id)
+	for i := 0; i < b.G.NumLinks(); i++ {
+		l := b.G.Link(topo.LinkID(i))
+		if l.From != id && l.To != id {
+			continue
+		}
+		other := l.From
+		if other == id {
+			other = l.To
+		}
+		if b.nodeDown[other] || b.failedLinks[pairKey(id, other)] {
+			continue
+		}
+		l.Down = false
+	}
+	b.journal(telemetry.EventNodeUp, subject, fmt.Sprintf("detect %v", detectDelay))
+	b.scheduleReconverge(detectDelay)
+	return nil
+}
+
+// CutSiteAttachment severs a site's access link (backhoe through the last
+// mile). The provider core does not reconverge — access links are outside
+// the IGP — so the site is simply unreachable until restored.
+func (b *Backbone) CutSiteAttachment(site string) error {
+	subject := "site:" + site
+	rec, ok := b.sites[site]
+	if !ok {
+		return b.rejectOp("cut", subject, "unknown site")
+	}
+	if b.cutSites[site] {
+		return b.rejectOp("cut", subject, "already cut")
+	}
+	b.cutSites[site] = true
+	b.G.SetLinkDown(rec.CE, rec.PE, true)
+	b.journal(telemetry.EventLinkDown, subject, "attachment cut")
+	return nil
+}
+
+// RestoreSiteAttachment re-splices a cut site attachment.
+func (b *Backbone) RestoreSiteAttachment(site string) error {
+	subject := "site:" + site
+	rec, ok := b.sites[site]
+	if !ok {
+		return b.rejectOp("uncut", subject, "unknown site")
+	}
+	if !b.cutSites[site] {
+		return b.rejectOp("uncut", subject, "not cut")
+	}
+	delete(b.cutSites, site)
+	if !b.nodeDown[rec.PE] {
+		b.G.SetLinkDown(rec.CE, rec.PE, false)
+	}
+	b.journal(telemetry.EventLinkUp, subject, "attachment restored")
+	return nil
 }
 
 // signalBypasses pre-establishes an FRR bypass around every up core link
@@ -175,18 +370,27 @@ func (b *Backbone) reconvergeProvider() {
 			lfibs[n] = b.routers[n].LFIB
 		}
 		b.RSVP = rsvp.New(b.G, b.allocs, lfibs)
-		b.wireTelemetryRSVP()
+		b.wireRSVPHooks()
 		b.configureDSTE()
 		for _, n := range b.providerNodes {
 			for k := range b.routers[n].TE {
 				delete(b.routers[n].TE, k)
 			}
 		}
+		// The old protocol instance is gone and the new one restarts LSP IDs
+		// at 1: clear every stale pointer first so no event from the fresh
+		// instance can be mis-attributed to an old LSP by ID collision.
+		for _, req := range b.teRequests {
+			req.lsp = nil
+		}
 		for _, req := range b.teRequests {
 			l, err := b.RSVP.Setup(req.name, req.ingress, req.egress, req.bandwidth, req.opt)
 			if err != nil {
-				req.lsp = nil
-				continue // no path with capacity: fall back to the LDP LSP
+				// No path with capacity: fall back to the LDP LSP. With
+				// resilience on, the intent also enters the retry queue so
+				// it re-signals when capacity returns.
+				b.teSignalFailed(req)
+				continue
 			}
 			req.lsp = l
 			b.routers[req.ingress].TE[teKeyFor(req)] = l.Entry

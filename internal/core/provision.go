@@ -432,7 +432,8 @@ func (b *Backbone) SetupTELSPForVPN(name, ingressPE, egressPE, vpnName string, b
 		return nil, err
 	}
 	req := &teRequest{name: name, ingress: in, egress: eg, vpn: vpnName,
-		bandwidth: bandwidth, class: class, opt: opt, lsp: l}
+		bandwidth: bandwidth, class: class, opt: opt, lsp: l,
+		fullBandwidth: bandwidth, fullClassType: opt.ClassType}
 	b.teRequests = append(b.teRequests, req)
 	b.routers[in].TE[teKeyFor(req)] = l.Entry
 	return l, nil

@@ -86,7 +86,7 @@ func (b *Backbone) EnableTelemetry(opts TelemetryOptions) *telemetry.Telemetry {
 		b.tel.Watcher = w
 	}
 
-	b.wireTelemetryRSVP()
+	b.wireRSVPHooks()
 
 	prevDrop := b.Net.OnDrop
 	b.Net.OnDrop = func(at topo.NodeID, p *packet.Packet, reason error) {
@@ -117,29 +117,41 @@ func (b *Backbone) TelemetrySnapshot() *telemetry.Snapshot {
 	return b.tel.Snapshot(b.E.Now())
 }
 
-// wireTelemetryRSVP routes RSVP signalling events into the journal. Must be
-// re-applied whenever b.RSVP is recreated (reconvergeProvider).
-func (b *Backbone) wireTelemetryRSVP() {
-	if b.tel == nil || b.RSVP == nil {
+// wireRSVPHooks routes RSVP signalling events into the telemetry journal
+// and, when resilience is on, into the TE retry queue. Must be re-applied
+// whenever b.RSVP is recreated (reconvergeProvider).
+func (b *Backbone) wireRSVPHooks() {
+	if b.RSVP == nil || (b.tel == nil && b.res == nil) {
 		return
 	}
 	b.RSVP.OnEvent = func(e rsvp.Event) {
-		var kind telemetry.EventKind
-		switch e.Kind {
-		case rsvp.EventSetup:
-			kind = telemetry.EventLSPUp
-		case rsvp.EventSetupFailed:
-			kind = telemetry.EventLSPSetupFailed
-		case rsvp.EventTeardown:
-			kind = telemetry.EventLSPDown
-		case rsvp.EventPreempted:
-			kind = telemetry.EventLSPPreempted
-		case rsvp.EventReoptimized:
-			kind = telemetry.EventLSPReoptimized
-		default:
-			return
+		if b.tel != nil {
+			var kind telemetry.EventKind
+			known := true
+			switch e.Kind {
+			case rsvp.EventSetup:
+				kind = telemetry.EventLSPUp
+			case rsvp.EventSetupFailed:
+				kind = telemetry.EventLSPSetupFailed
+			case rsvp.EventTeardown, rsvp.EventRefreshTimeout:
+				kind = telemetry.EventLSPDown
+			case rsvp.EventPreempted:
+				kind = telemetry.EventLSPPreempted
+			case rsvp.EventReoptimized:
+				kind = telemetry.EventLSPReoptimized
+			default:
+				known = false
+			}
+			if known {
+				b.tel.Journal.Record(b.E.Now(), kind, "lsp:"+e.Name, e.Detail)
+			}
 		}
-		b.tel.Journal.Record(b.E.Now(), kind, "lsp:"+e.Name, e.Detail)
+		// An involuntary loss (preemption or soft-state expiry) re-enters the
+		// retry queue; deliberate teardowns must not, or every reconvergence
+		// would fight itself.
+		if b.res != nil && (e.Kind == rsvp.EventPreempted || e.Kind == rsvp.EventRefreshTimeout) {
+			b.teLost(e.LSPID)
+		}
 	}
 }
 

@@ -125,12 +125,15 @@ func TestSLAWatcherFiresReoptimize(t *testing.T) {
 // byte-identical across runs — the property that makes telemetry output
 // diffable across experiments.
 func TestTelemetryDeterminism(t *testing.T) {
-	_, tel1 := runBreachScenario(7)
-	_, tel2 := runBreachScenario(7)
+	bb1, tel1 := runBreachScenario(7)
+	bb2, tel2 := runBreachScenario(7)
 
 	j1, j2 := tel1.Journal.Render(), tel2.Journal.Render()
 	if j1 != j2 {
 		t.Fatalf("journals differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", j1, j2)
+	}
+	if d1, d2 := bb1.StateDigest(), bb2.StateDigest(); d1 != d2 {
+		t.Fatalf("state digests differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", d1, d2)
 	}
 	s1 := tel1.Snapshot(7 * sim.Second)
 	s2 := tel2.Snapshot(7 * sim.Second)

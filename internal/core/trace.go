@@ -76,7 +76,7 @@ func (b *Backbone) TraceRoute(fromSite string, dst addr.IPv4, dscp packet.DSCP) 
 			return tr
 		}
 		before := p.MPLS.Depth()
-		v := r.Receive(sim.Time(0), p, inLink)
+		v := r.Receive(b.E.Now(), p, inLink)
 		action := describeAction(before, p, v)
 		tr.Hops = append(tr.Hops, Hop{Node: at, Name: r.Name, Action: action, Stack: p.MPLS.Clone()})
 		if v.Err != nil {

@@ -17,6 +17,7 @@
 //	E11 VPN tiers        §2.2  per-VPN QoS levels; self-marking blocked
 //	E12 Fast reroute     §3    RFC 4090 bypass bounds the loss window
 //	E13 Inter-AS A vs B  §5    provisioning-vs-state trade at the boundary
+//	E14 Flap storm       §3/5  TE reservation continuity: retry/backoff + graceful degradation vs LDP fallback
 //
 // Every run is seeded; the recorded numbers in EXPERIMENTS.md regenerate
 // exactly with `go run ./cmd/vpnbench -dur 5s`.

@@ -216,3 +216,22 @@ func TestE13OptionsTradeLinksForState(t *testing.T) {
 		t.Fatalf("options deliver differently: %v", res.Delivered)
 	}
 }
+
+func TestE14ResilienceShrinksLDPFallbackWindow(t *testing.T) {
+	res := E14FlapStorm(0)
+	if res.Violations != 0 {
+		t.Fatalf("invariant violations = %d", res.Violations)
+	}
+	// Baseline: a squeezed intent rides LDP until the next reconvergence.
+	// Resilient: it comes back (degraded) within a few retry backoffs.
+	if res.NoReservation["resilient"] >= res.NoReservation["baseline"] {
+		t.Fatalf("resilience did not shrink the no-reservation window: %v", res.NoReservation)
+	}
+	if res.Degraded["resilient"] == 0 {
+		t.Fatal("no degraded samples — shrink policy never engaged")
+	}
+	if res.Retries == 0 || res.Degradations == 0 || res.Restores == 0 {
+		t.Fatalf("journal counts: retries=%d degradations=%d restores=%d",
+			res.Retries, res.Degradations, res.Restores)
+	}
+}

@@ -54,8 +54,12 @@ type port struct {
 	busy    bool
 	shaper  *qos.TokenBucket // optional egress shaper
 	pending *packet.Packet   // dequeued but held for shaper conformance
-	txBytes int64            // bytes serialized onto the wire
+	txBytes int64            // bytes fully serialized onto the wire
 	txPkts  int64
+	// wireBytes is the size of the packet currently being serialized: it has
+	// left the queue but is not yet tx or drop. At quiescence it is zero, so
+	// offered == tx + drop + queued holds exactly.
+	wireBytes int64
 
 	// Per-port drop accounting: every packet offered to this port for
 	// egress, and every byte the port refused (queue overflow, link down).
@@ -289,20 +293,24 @@ func (n *Network) transmitNext(pt *port) {
 		pt.shaper.Conforms(n.E.Now(), p.SerializedLen())
 	}
 	l := n.G.Link(pt.link)
-	pt.txBytes += int64(p.SerializedLen())
-	pt.txPkts++
+	size := int64(p.SerializedLen())
+	pt.wireBytes += size
 	txTime := sim.Time(float64(p.SerializedLen()*8) / l.Bandwidth * float64(sim.Second))
 	n.E.After(txTime, func() {
-		// Serialization finished: launch propagation, then serve the next
-		// queued packet (the wire is pipelined).
+		// Serialization finished: settle the byte accounting (tx on success,
+		// drop if the link died mid-flight — never both), launch propagation,
+		// then serve the next queued packet (the wire is pipelined).
+		pt.wireBytes -= size
 		if l.Down {
 			pt.dropPkts++
-			pt.dropBytes += int64(p.SerializedLen())
+			pt.dropBytes += size
 			if pt.tel != nil {
-				pt.tel.dropped[qos.ClassOf(p)].Add(int64(p.SerializedLen()))
+				pt.tel.dropped[qos.ClassOf(p)].Add(size)
 			}
 			n.drop(l.From, p, fmt.Errorf("netsim: link %d went down mid-flight", pt.link))
 		} else {
+			pt.txBytes += size
+			pt.txPkts++
 			dst := l.To
 			n.E.After(l.Delay, func() { n.process(dst, p, pt.link) })
 		}
@@ -341,6 +349,41 @@ func (n *Network) LinkDroppedBytes(link topo.LinkID) int64 { return n.portFor(li
 
 // LinkDroppedPkts returns the packets a directed link's egress port refused.
 func (n *Network) LinkDroppedPkts(link topo.LinkID) int64 { return n.portFor(link).dropPkts }
+
+// CheckConservation verifies the per-port byte ledger on every port:
+// every byte offered must be transmitted, dropped, still queued, held by
+// the shaper, or mid-serialization — nothing lost, nothing double-counted.
+// It returns an error naming the first offending port, or nil. Safe to
+// call mid-run: in-flight bytes are tracked, not ignored.
+func (n *Network) CheckConservation() error {
+	for i := 0; i < n.G.NumLinks(); i++ {
+		id := topo.LinkID(i)
+		pt, ok := n.ports[id]
+		if !ok {
+			continue
+		}
+		var queued int64
+		if pt.sched != nil {
+			// Dedupe shared queues (a FIFO serves every class) by pointer.
+			seen := make(map[*qos.Queue]bool)
+			for c := qos.Class(0); c < qos.NumClasses; c++ {
+				if q := pt.sched.ClassQueue(c); q != nil && !seen[q] {
+					seen[q] = true
+					queued += int64(q.Bytes())
+				}
+			}
+		}
+		if pt.pending != nil {
+			queued += int64(pt.pending.SerializedLen())
+		}
+		if got := pt.txBytes + pt.dropBytes + queued + pt.wireBytes; got != pt.offeredBytes {
+			l := n.G.Link(id)
+			return fmt.Errorf("netsim: port %s->%s byte ledger broken: offered=%d tx=%d drop=%d queued=%d wire=%d (sum=%d)",
+				n.G.Name(l.From), n.G.Name(l.To), pt.offeredBytes, pt.txBytes, pt.dropBytes, queued, pt.wireBytes, got)
+		}
+	}
+	return nil
+}
 
 // LinkUtilization returns the fraction of a link's capacity used over the
 // elapsed virtual time (0 before any time has passed).

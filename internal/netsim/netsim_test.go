@@ -333,3 +333,32 @@ func TestNetworkTelemetryCounters(t *testing.T) {
 		t.Fatalf("utilization = %v", u)
 	}
 }
+
+// The per-port byte ledger must balance — offered equals tx + dropped +
+// queued + in-flight — at quiescence and at arbitrary mid-run instants,
+// including while a packet is mid-serialization and after a link goes
+// down under backlog (mid-flight packets drop at serialization end).
+func TestByteConservation(t *testing.T) {
+	n, a, b, _ := pair()
+	for i := 0; i < 6; i++ {
+		n.Inject(a, mkPkt(972, 0))
+	}
+	// Mid-serialization of the first packet (8 ms per packet).
+	n.RunUntil(3 * sim.Millisecond)
+	if err := n.CheckConservation(); err != nil {
+		t.Fatalf("mid-serialization: %v", err)
+	}
+	// Kill the link under backlog; queued packets drain into drops.
+	n.G.SetLinkDown(a, b, true)
+	n.RunUntil(20 * sim.Millisecond)
+	if err := n.CheckConservation(); err != nil {
+		t.Fatalf("mid-drain after link down: %v", err)
+	}
+	n.Run()
+	if err := n.CheckConservation(); err != nil {
+		t.Fatalf("at quiescence: %v", err)
+	}
+	if n.Dropped == 0 {
+		t.Fatal("expected drops after link down")
+	}
+}

@@ -46,6 +46,7 @@ const (
 	EventTeardown
 	EventPreempted
 	EventReoptimized
+	EventRefreshTimeout
 )
 
 func (k EventKind) String() string {
@@ -60,6 +61,8 @@ func (k EventKind) String() string {
 		return "preempted"
 	case EventReoptimized:
 		return "reoptimized"
+	case EventRefreshTimeout:
+		return "refresh-timeout"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -99,6 +102,9 @@ type LSP struct {
 	// hopLabels[i] is the label assigned at the i-th node of the path
 	// (position 0 = ingress push label).
 	hopLabels []packet.Label
+	// refreshMisses counts consecutive refresh scans that found the path
+	// broken; soft-state tears the LSP down once it reaches the limit.
+	refreshMisses int
 }
 
 // Protocol is the RSVP-TE speaker set for one topology. Label tables are
@@ -119,6 +125,7 @@ type Protocol struct {
 	ResvMessages int
 	Preemptions  int
 	SetupFails   int
+	Timeouts     int // LSPs torn down by soft-state refresh expiry
 
 	// OnEvent, when set, observes every signalling event synchronously.
 	OnEvent func(Event)

@@ -1,0 +1,92 @@
+// RSVP soft-state: reservations persist only as long as refreshes keep
+// succeeding. The paper's architecture relies on RSVP-TE reservations
+// staying truthful after failures; without refresh expiry a torn fibre
+// leaves phantom LSPs holding bandwidth forever. Here a periodic refresh
+// scan stands in for the PATH/RESV refresh exchange: an Up LSP whose path
+// crosses a down link misses its refresh, and enough consecutive misses
+// (a hello timeout) tears it down and releases its reservations.
+package rsvp
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/sim"
+)
+
+// DefaultRefreshMisses is the standard RSVP keep multiplier: three missed
+// refreshes expire the state (RFC 2205 K=3).
+const DefaultRefreshMisses = 3
+
+// RefreshScan performs one refresh round over every Up LSP, in ID order so
+// the outcome is deterministic. An LSP whose path crosses a down link
+// accumulates a miss; maxMiss consecutive misses (<=0 selects
+// DefaultRefreshMisses) tear it down, emit EventRefreshTimeout, and count
+// in Timeouts. A clean refresh resets the miss counter. The IDs of the
+// LSPs torn down this round are returned.
+func (p *Protocol) RefreshScan(maxMiss int) []int {
+	if maxMiss <= 0 {
+		maxMiss = DefaultRefreshMisses
+	}
+	var expired []int
+	for _, l := range p.LSPs() {
+		if l.State != Up {
+			continue
+		}
+		if !p.pathBroken(l) {
+			l.refreshMisses = 0
+			continue
+		}
+		l.refreshMisses++
+		if l.refreshMisses < maxMiss {
+			continue
+		}
+		id, name := l.ID, l.Name
+		ingress, egress, bw := l.Ingress, l.Egress, l.Bandwidth
+		detail := fmt.Sprintf("%d refreshes missed on %s", l.refreshMisses, p.pathString(l.Path))
+		p.teardown(id, false)
+		p.Timeouts++
+		expired = append(expired, id)
+		p.emit(Event{Kind: EventRefreshTimeout, LSPID: id, Name: name,
+			Ingress: ingress, Egress: egress, Bandwidth: bw, Detail: detail})
+	}
+	return expired
+}
+
+// pathBroken reports whether any link of the LSP's path is down.
+func (p *Protocol) pathBroken(l *LSP) bool {
+	for _, lid := range l.Path.Links {
+		if p.G.Link(lid).Down {
+			return true
+		}
+	}
+	return false
+}
+
+// SoftState runs periodic refresh scans on an engine for standalone use
+// (core pre-schedules scans itself to preserve engine quiescence).
+type SoftState struct {
+	p        *Protocol
+	interval sim.Time
+	maxMiss  int
+	stopped  bool
+}
+
+// StartSoftState schedules refresh scans every interval until Stop is
+// called. Because the engine runs until quiescence, callers using Run()
+// (not RunUntil) must Stop the soft-state first or the run never ends.
+func (p *Protocol) StartSoftState(e *sim.Engine, interval sim.Time, maxMiss int) *SoftState {
+	ss := &SoftState{p: p, interval: interval, maxMiss: maxMiss}
+	var tick func()
+	tick = func() {
+		if ss.stopped {
+			return
+		}
+		ss.p.RefreshScan(ss.maxMiss)
+		e.After(ss.interval, tick)
+	}
+	e.After(interval, tick)
+	return ss
+}
+
+// Stop ends the scan loop after the currently scheduled tick.
+func (ss *SoftState) Stop() { ss.stopped = true }

@@ -21,7 +21,19 @@ const (
 	EventLSPReoptimized
 	EventSLABreach
 	EventSLAClear
+	EventNodeDown
+	EventNodeUp
+	EventTERetry
+	EventTEDegraded
+	EventTERestored
+	EventOpRejected
+	EventCtrlLoss
+	EventChaos
+	EventInvariantViolation
 )
+
+// eventKindEnd is the last valid kind; UnmarshalJSON ranges up to it.
+const eventKindEnd = EventInvariantViolation
 
 func (k EventKind) String() string {
 	switch k {
@@ -43,6 +55,24 @@ func (k EventKind) String() string {
 		return "sla_breach"
 	case EventSLAClear:
 		return "sla_clear"
+	case EventNodeDown:
+		return "node_down"
+	case EventNodeUp:
+		return "node_up"
+	case EventTERetry:
+		return "te_retry"
+	case EventTEDegraded:
+		return "te_degraded"
+	case EventTERestored:
+		return "te_restored"
+	case EventOpRejected:
+		return "op_rejected"
+	case EventCtrlLoss:
+		return "ctrl_loss"
+	case EventChaos:
+		return "chaos"
+	case EventInvariantViolation:
+		return "invariant_violation"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -56,7 +86,7 @@ func (k EventKind) MarshalJSON() ([]byte, error) {
 // UnmarshalJSON accepts the string names MarshalJSON produces.
 func (k *EventKind) UnmarshalJSON(data []byte) error {
 	name := strings.Trim(string(data), `"`)
-	for c := EventLinkDown; c <= EventSLAClear; c++ {
+	for c := EventLinkDown; c <= eventKindEnd; c++ {
 		if c.String() == name {
 			*k = c
 			return nil
