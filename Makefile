@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-reconverge fuzz-short cover examples record clean
+.PHONY: all build test test-short test-race vet bench bench-reconverge fuzz-short verify-parallel cover examples record clean
 
 all: build vet test test-race fuzz-short bench-reconverge
 
@@ -30,6 +30,16 @@ bench:
 # Reconvergence is the unit of work every injected fault triggers; track it.
 bench-reconverge:
 	$(GO) test -run='^$$' -bench=BenchmarkReconverge -benchmem ./internal/core
+
+# The serial-vs-parallel equivalence harness under the race detector: every
+# scenario (QoS mesh, bottleneck drops, failure reconvergence, extranet,
+# scripted chaos) must be byte-identical at 1/2/8 shards and at any worker
+# count. This is the acceptance gate for the sharded engine.
+verify-parallel:
+	$(GO) test -race -count=1 \
+		-run='TestSerialParallelEquivalence|TestParallelWorkerInvariance|TestShardedAIMDDeterministic|TestChaosScript' \
+		./internal/core ./internal/chaos
+	$(GO) test -race -count=1 ./internal/sim ./internal/topo
 
 # Ten seconds each on the two text-input parsers: the netconf config loader
 # and the chaos scenario DSL.

@@ -6,6 +6,8 @@
 package main_test
 
 import (
+	"fmt"
+
 	"testing"
 
 	"mplsvpn/internal/experiments"
@@ -152,5 +154,30 @@ func BenchmarkE13InterASOptions(b *testing.B) {
 		if res.Delivered["A"] != res.Delivered["B"] {
 			b.Fatal("inter-AS options diverged")
 		}
+	}
+}
+
+// BenchmarkBackbone200 drives the E15 200-site workload through the
+// serial engine and the sharded backend at 2/4/8 shards. Parallel gain
+// requires GOMAXPROCS > 1 — on a single-core host the sub-benchmarks
+// measure coordination overhead instead; the delivered-packet assertion
+// pins the workload as byte-equivalent either way.
+func BenchmarkBackbone200(b *testing.B) {
+	const dur = 200 * sim.Millisecond
+	want := experiments.RunScaling(experiments.ScalingSites, 0, 0, dur)
+	for _, shards := range []int{0, 2, 4, 8} {
+		name := "serial"
+		if shards > 0 {
+			name = fmt.Sprintf("shards-%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.RunScaling(experiments.ScalingSites, shards, 0, dur)
+				if r.Delivered != want.Delivered {
+					b.Fatalf("delivered %d, serial %d", r.Delivered, want.Delivered)
+				}
+				b.ReportMetric(float64(r.Events)/r.Wall.Seconds(), "events/s")
+			}
+		})
 	}
 }

@@ -23,9 +23,11 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e14 or all)")
+		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e15 or all)")
 		dur      = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
 		e1N      = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
+		shards   = flag.String("shards", "1,2,4,8", "E15 shard counts to sweep")
+		workers  = flag.Int("workers", 0, "E15 worker pool size (0 = GOMAXPROCS)")
 		jsonFile = flag.String("json", "", "also write machine-readable results to this file")
 	)
 	flag.Parse()
@@ -33,7 +35,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"} {
 			want[e] = true
 		}
 	} else {
@@ -131,6 +133,28 @@ func main() {
 		fmt.Println(res.Table.String())
 		fmt.Printf("resilient run: %d retries, %d degradations, %d restores, %d invariant violations\n\n",
 			res.Retries, res.Degradations, res.Restores, res.Violations)
+	}
+
+	if want["e15"] {
+		var counts []int
+		for _, s := range strings.Split(*shards, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "vpnbench: bad -shards entry %q\n", s)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		// E15 sweeps the 200-site topology at several shard counts; a full
+		// -dur run per configuration is slow, so it uses its own default.
+		res := experiments.E15ParallelScaling(0, counts, *workers)
+		results["e15"] = res
+		fmt.Println(res.Table.String())
+		for i, ok := range res.Identical {
+			if !ok {
+				fmt.Printf("WARNING: run %d diverged from the serial fingerprint\n", i)
+			}
+		}
 	}
 
 	if *jsonFile != "" {

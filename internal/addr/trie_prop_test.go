@@ -1,0 +1,166 @@
+package addr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveTable is the executable specification the trie is checked against:
+// a flat prefix list with linear longest-match lookup.
+type naiveTable struct {
+	entries map[Prefix]int
+}
+
+func (n *naiveTable) insert(p Prefix, v int) bool {
+	_, existed := n.entries[p]
+	n.entries[p] = v
+	return !existed
+}
+
+func (n *naiveTable) delete(p Prefix) bool {
+	_, existed := n.entries[p]
+	delete(n.entries, p)
+	return existed
+}
+
+func (n *naiveTable) lookup(ip IPv4) (Prefix, int, bool) {
+	best, bestV, found := Prefix{}, 0, false
+	for p, v := range n.entries {
+		if !p.Contains(ip) {
+			continue
+		}
+		if !found || p.Len > best.Len {
+			best, bestV, found = p, v, true
+		}
+	}
+	return best, bestV, found
+}
+
+// randomPrefix draws from a deliberately small universe (few distinct
+// address bits, all lengths) so inserts, deletes, and lookups collide
+// often — the interesting trie paths are node splits, branch collapses,
+// and value-bearing interior nodes.
+func randomPrefix(rng *rand.Rand) Prefix {
+	length := uint8(rng.Intn(33))
+	ip := IPv4(rng.Uint32() & 0xF0F00000) // sparse bit pattern => collisions
+	return NewPrefix(ip, length)
+}
+
+// TestTableMatchesNaiveModel drives the trie and the naive model through
+// the same random operation stream and checks every observable after each
+// step: insert/delete return values, Len, Exact, and longest-prefix
+// Lookup/LookupPrefix for addresses biased to land inside stored
+// prefixes.
+func TestTableMatchesNaiveModel(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		rng := rand.New(rand.NewSource(seed))
+		trie := NewTable[int]()
+		model := &naiveTable{entries: map[Prefix]int{}}
+
+		for op := 0; op < 4000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert (or overwrite)
+				p, v := randomPrefix(rng), rng.Intn(1000)
+				if got, want := trie.Insert(p, v), model.insert(p, v); got != want {
+					t.Fatalf("seed %d op %d: Insert(%v) = %v, want %v", seed, op, p, got, want)
+				}
+			case 4, 5: // delete a stored prefix when possible
+				p := randomPrefix(rng)
+				if ps := trie.Prefixes(); len(ps) > 0 && rng.Intn(4) != 0 {
+					p = ps[rng.Intn(len(ps))]
+				}
+				if got, want := trie.Delete(p), model.delete(p); got != want {
+					t.Fatalf("seed %d op %d: Delete(%v) = %v, want %v", seed, op, p, got, want)
+				}
+			case 6: // exact match
+				p := randomPrefix(rng)
+				gotV, gotOK := trie.Exact(p)
+				wantV, wantOK := model.entries[p]
+				if gotOK != wantOK || (gotOK && gotV != wantV) {
+					t.Fatalf("seed %d op %d: Exact(%v) = %v,%v want %v,%v",
+						seed, op, p, gotV, gotOK, wantV, wantOK)
+				}
+			default: // longest-prefix lookup
+				ip := IPv4(rng.Uint32() & 0xF0F0FFFF)
+				if ps := trie.Prefixes(); len(ps) > 0 && rng.Intn(3) != 0 {
+					base := ps[rng.Intn(len(ps))]
+					ip = base.Addr | (IPv4(rng.Uint32()) & ^IPv4(0) >> base.Len >> 1)
+				}
+				gotV, gotOK := trie.Lookup(ip)
+				wantP, wantV, wantOK := model.lookup(ip)
+				if gotOK != wantOK || (gotOK && gotV != wantV) {
+					t.Fatalf("seed %d op %d: Lookup(%v) = %v,%v want %v,%v",
+						seed, op, ip, gotV, gotOK, wantV, wantOK)
+				}
+				gp, gv, gok := trie.LookupPrefix(ip)
+				if gok != wantOK || (gok && (gp != wantP || gv != wantV)) {
+					t.Fatalf("seed %d op %d: LookupPrefix(%v) = %v,%v,%v want %v,%v,%v",
+						seed, op, ip, gp, gv, gok, wantP, wantV, wantOK)
+				}
+			}
+			if trie.Len() != len(model.entries) {
+				t.Fatalf("seed %d op %d: Len = %d, model %d", seed, op, trie.Len(), len(model.entries))
+			}
+		}
+
+		// Final structural check: Walk must enumerate exactly the model.
+		got := map[Prefix]int{}
+		trie.Walk(func(p Prefix, v int) bool {
+			if _, dup := got[p]; dup {
+				t.Fatalf("seed %d: Walk visited %v twice", seed, p)
+			}
+			got[p] = v
+			return true
+		})
+		if len(got) != len(model.entries) {
+			t.Fatalf("seed %d: Walk saw %d entries, model %d", seed, len(got), len(model.entries))
+		}
+		for p, v := range model.entries {
+			if got[p] != v {
+				t.Fatalf("seed %d: Walk value for %v = %d, want %d", seed, p, got[p], v)
+			}
+		}
+		// And Prefixes must agree with Walk.
+		ps := trie.Prefixes()
+		sort.Slice(ps, func(i, j int) bool {
+			return ps[i].Addr < ps[j].Addr || (ps[i].Addr == ps[j].Addr && ps[i].Len < ps[j].Len)
+		})
+		for i := 1; i < len(ps); i++ {
+			if ps[i] == ps[i-1] {
+				t.Fatalf("seed %d: Prefixes returned %v twice", seed, ps[i])
+			}
+		}
+		if len(ps) != len(model.entries) {
+			t.Fatalf("seed %d: Prefixes len %d, model %d", seed, len(ps), len(model.entries))
+		}
+	}
+}
+
+// TestTableDeleteCollapses fills and fully drains the trie several times:
+// after each full drain every lookup must miss and Len must be zero, so
+// delete really unlinks structure instead of leaving value-less husks
+// that would shadow later inserts.
+func TestTableDeleteCollapses(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trie := NewTable[int]()
+	for round := 0; round < 20; round++ {
+		inserted := map[Prefix]bool{}
+		for i := 0; i < 100; i++ {
+			p := randomPrefix(rng)
+			trie.Insert(p, i)
+			inserted[p] = true
+		}
+		for p := range inserted {
+			if !trie.Delete(p) {
+				t.Fatalf("round %d: Delete(%v) missed a stored prefix", round, p)
+			}
+		}
+		if trie.Len() != 0 {
+			t.Fatalf("round %d: Len = %d after full drain", round, trie.Len())
+		}
+		if _, ok := trie.Lookup(IPv4(rng.Uint32())); ok {
+			t.Fatalf("round %d: lookup hit in a drained table", round)
+		}
+	}
+}

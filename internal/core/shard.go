@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/topo"
+)
+
+// ShardingOptions configures the parallel data plane.
+type ShardingOptions struct {
+	// Shards is the number of partitions to color the topology into.
+	Shards int
+	// Workers sizes the engine's worker pool; 0 means GOMAXPROCS. Any
+	// value yields byte-identical results — it only changes wall-clock.
+	Workers int
+	// Quantum overrides the conservative lookahead. 0 derives the largest
+	// legal value: the minimum propagation delay over cut links. A custom
+	// value must not exceed that bound.
+	Quantum sim.Time
+}
+
+// EnableSharding partitions the backbone's topology and switches the
+// engine to the parallel backend. Call it after the topology is final —
+// all routers, sites, and hosts provisioned — and before traffic starts.
+//
+// Determinism is preserved exactly: for a fixed shard count, runs are
+// byte-identical to each other at any worker count, and byte-identical to
+// the serial engine for open-loop workloads (CBR/Poisson/OnOff sources,
+// chaos scripts, soft-state scans). Closed-loop sources with zero
+// lookahead (AIMD, request/response) run on the global band and react at
+// barrier granularity instead of per-packet; they stay deterministic but
+// are not serial-identical.
+//
+// StateDigest is deliberately unaffected: the partition is an execution
+// detail, not control-plane state.
+func (b *Backbone) EnableSharding(opts ShardingOptions) (*topo.PartitionResult, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("core: EnableSharding needs at least 1 shard, got %d", opts.Shards)
+	}
+	pr := topo.Partition(b.G, opts.Shards)
+	if err := pr.Validate(b.G); err != nil {
+		return nil, err
+	}
+	quantum := pr.MinCutDelay
+	if opts.Quantum > 0 {
+		if opts.Quantum > pr.MinCutDelay {
+			return nil, fmt.Errorf("core: quantum %v exceeds minimum cut-link delay %v", opts.Quantum, pr.MinCutDelay)
+		}
+		quantum = opts.Quantum
+	}
+	b.E.EnableShards(pr.NumShards, quantum, opts.Workers)
+	if err := b.Net.SetSharding(pr.Assign); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}

@@ -108,6 +108,19 @@ func ParseClass(s string) (packet.DSCP, error) {
 	return 0, fmt.Errorf("unknown class %q", s)
 }
 
+// provision runs one core provisioning call, converting the panics the
+// core API reserves for programmer error into parse errors: in a config
+// file a duplicate or unknown name is user input, not a bug.
+func provision(fail func(string, ...any) error, fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fail("%v", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
 // Load parses the configuration from r (name is used in error messages)
 // and provisions a backbone with the given base config. The returned
 // scenario's engine holds all scheduled traffic and events.
@@ -162,11 +175,16 @@ func Load(r io.Reader, name string, cfg core.Config) (*Scenario, error) {
 				return nil, fail("sla <flow> [p99=D] [p50=D] [loss=F] [jitter=D] [mos=F] [kbps=F]")
 			}
 			target := stats.SLATarget{Name: fields[1]}
+			seen := map[string]bool{}
 			for _, opt := range fields[2:] {
 				k, v, found := strings.Cut(opt, "=")
 				if !found {
 					return nil, fail("sla option %q is not key=value", opt)
 				}
+				if seen[k] {
+					return nil, fail("duplicate sla option %q", k)
+				}
+				seen[k] = true
 				switch k {
 				case "p99", "p50", "jitter":
 					d, err := ParseDuration(v)
@@ -242,12 +260,16 @@ func Load(r io.Reader, name string, cfg core.Config) (*Scenario, error) {
 			if len(fields) != 2 {
 				return nil, fail("pe needs a name")
 			}
-			b.AddPE(fields[1])
+			if err := provision(fail, func() { b.AddPE(fields[1]) }); err != nil {
+				return nil, err
+			}
 		case "p":
 			if len(fields) != 2 {
 				return nil, fail("p needs a name")
 			}
-			b.AddP(fields[1])
+			if err := provision(fail, func() { b.AddP(fields[1]) }); err != nil {
+				return nil, err
+			}
 		case "link":
 			if len(fields) != 6 {
 				return nil, fail("link <a> <b> <bw> <delay> <metric>")
@@ -264,13 +286,20 @@ func Load(r io.Reader, name string, cfg core.Config) (*Scenario, error) {
 			if err != nil {
 				return nil, fail("bad metric: %v", err)
 			}
-			b.Link(fields[1], fields[2], bw, d, m)
+			if bw <= 0 || d < 0 || m < 1 {
+				return nil, fail("link needs positive bandwidth, non-negative delay, metric >= 1")
+			}
+			if err := provision(fail, func() { b.Link(fields[1], fields[2], bw, d, m) }); err != nil {
+				return nil, err
+			}
 		case "vpn":
 			if len(fields) < 2 || len(fields) > 3 {
 				return nil, fail("vpn <name> [sla=<class>]")
 			}
 			ensureBuilt()
-			b.DefineVPN(fields[1])
+			if err := provision(fail, func() { b.DefineVPN(fields[1]) }); err != nil {
+				return nil, err
+			}
 			if len(fields) == 3 {
 				k, v, found := strings.Cut(fields[2], "=")
 				if !found || k != "sla" {
@@ -295,16 +324,21 @@ func Load(r io.Reader, name string, cfg core.Config) (*Scenario, error) {
 				VPN: fields[1], Name: fields[2], PE: fields[3],
 				Prefixes: []addr.Prefix{pfx},
 			}
+			seen := map[string]bool{}
 			for _, opt := range fields[5:] {
 				k, v, found := strings.Cut(opt, "=")
 				if !found {
 					return nil, fail("site option %q is not key=value", opt)
 				}
+				if seen[k] {
+					return nil, fail("duplicate site option %q", k)
+				}
+				seen[k] = true
 				switch k {
 				case "hosts":
 					n, err := strconv.Atoi(v)
-					if err != nil || n < 0 {
-						return nil, fail("bad hosts count %q", v)
+					if err != nil || n < 0 || n > maxHosts {
+						return nil, fail("bad hosts count %q (0..%d)", v, maxHosts)
 					}
 					spec.Hosts = n
 				case "shape":
@@ -331,7 +365,9 @@ func Load(r io.Reader, name string, cfg core.Config) (*Scenario, error) {
 					return nil, fail("unknown site option %q", k)
 				}
 			}
-			b.AddSite(spec)
+			if err := provision(fail, func() { b.AddSite(spec) }); err != nil {
+				return nil, err
+			}
 			converged = false
 		case "telsp":
 			if len(fields) < 5 {
@@ -350,9 +386,15 @@ func Load(r io.Reader, name string, cfg core.Config) (*Scenario, error) {
 				}
 				class = qos.ClassForDSCP(d)
 			}
-			lsp, err := b.SetupTELSP(fields[1], fields[2], fields[3], bw, class, rsvp.SetupOptions{})
-			if err != nil {
-				return nil, fail("telsp: %v", err)
+			var lsp *rsvp.LSP
+			if perr := provision(fail, func() {
+				var serr error
+				lsp, serr = b.SetupTELSP(fields[1], fields[2], fields[3], bw, class, rsvp.SetupOptions{})
+				if serr != nil {
+					panic(fmt.Sprintf("telsp: %v", serr))
+				}
+			}); perr != nil {
+				return nil, perr
 			}
 			sc.TELSPs = append(sc.TELSPs, lsp)
 		case "flow":
@@ -372,39 +414,48 @@ func Load(r io.Reader, name string, cfg core.Config) (*Scenario, error) {
 			if err != nil {
 				return nil, fail("bad duration: %v", err)
 			}
+			if d <= 0 {
+				return nil, fail("run duration must be positive, got %v", d)
+			}
 			sc.Duration = d
 		default:
 			return nil, fail("unknown directive %q", fields[0])
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s:%d: %v", name, lineNo+1, err)
 	}
 	ensureBuilt()
 	ensureConverged()
 	return sc, nil
 }
 
+// maxHosts bounds hosts= so a typo cannot provision a million routers.
+const maxHosts = 1024
+
+// maxPayload bounds flow payloads to the IPv4 datagram limit.
+const maxPayload = 65535
+
 // addFlow parses one flow directive and schedules its generator.
 func (sc *Scenario) addFlow(fields []string, fail func(string, ...any) error) error {
 	b := sc.B
 	port, err := strconv.Atoi(fields[4])
-	if err != nil {
-		return fail("bad port: %v", err)
+	if err != nil || port < 0 || port > 65535 {
+		return fail("bad port %q (0..65535)", fields[4])
 	}
 	dscp, err := ParseClass(fields[5])
 	if err != nil {
 		return fail("%v", err)
+	}
+	payload, err := strconv.Atoi(fields[7])
+	if err != nil || payload < 1 || payload > maxPayload {
+		return fail("bad payload %q (1..%d bytes)", fields[7], maxPayload)
 	}
 	fl, err := b.FlowBetween(fields[1], fields[2], fields[3], uint16(port))
 	if err != nil {
 		return fail("%v", err)
 	}
 	fl.DSCP = dscp
-	payload, err := strconv.Atoi(fields[7])
-	if err != nil {
-		return fail("bad payload: %v", err)
-	}
 	switch fields[6] {
 	case "cbr":
 		if len(fields) != 9 {
@@ -414,14 +465,17 @@ func (sc *Scenario) addFlow(fields []string, fail func(string, ...any) error) er
 		if err != nil {
 			return fail("bad interval: %v", err)
 		}
+		if iv <= 0 {
+			return fail("cbr interval must be positive, got %v", iv)
+		}
 		trafgen.CBR(b.Net, fl, payload, iv, 0, sc.Duration)
 	case "poisson":
 		if len(fields) != 9 {
 			return fail("flow ... poisson <payload> <pkt/s>")
 		}
 		rate, err := strconv.ParseFloat(fields[8], 64)
-		if err != nil {
-			return fail("bad rate: %v", err)
+		if err != nil || rate <= 0 || rate > 1e9 {
+			return fail("bad rate %q (must be positive pkt/s)", fields[8])
 		}
 		trafgen.Poisson(b.Net, fl, payload, rate, 0, sc.Duration, b.E.Rand().Fork())
 	case "onoff":
@@ -439,6 +493,9 @@ func (sc *Scenario) addFlow(fields []string, fail func(string, ...any) error) er
 		off, err := ParseDuration(fields[10])
 		if err != nil {
 			return fail("bad meanOff: %v", err)
+		}
+		if iv <= 0 || on <= 0 || off <= 0 {
+			return fail("onoff interval/meanOn/meanOff must all be positive")
 		}
 		trafgen.OnOff(b.Net, fl, payload, iv, on, off, 0, sc.Duration, b.E.Rand().Fork())
 	case "aimd":

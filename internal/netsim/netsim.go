@@ -46,6 +46,12 @@ type Network struct {
 	Dropped   int
 
 	telReg *telemetry.Registry // nil until EnableTelemetry
+
+	// Sharding state (nil/zero when serial — see shard.go).
+	shardOf  []int                       // node -> owning shard
+	shClk    []*sim.Shard                // shard index -> clock
+	acc      *telemetry.ShardAccumulator // per-shard counter cells
+	handoffs int64                       // packets that crossed shards
 }
 
 type port struct {
@@ -196,48 +202,58 @@ func (n *Network) SampleTelemetry() {
 }
 
 // Inject introduces a packet at a node (a host/CE sourcing traffic). The
-// packet is processed immediately at the injection point.
+// packet is processed immediately at the injection point, on the clock of
+// the node's owning shard.
 func (n *Network) Inject(at topo.NodeID, p *packet.Packet) {
-	p.SentAt = n.E.Now()
-	n.Injected++
-	n.process(at, p, -1)
+	clk := n.clockFor(at)
+	p.SentAt = clk.Now()
+	n.count(clk, ctrInjected, 1)
+	n.process(clk, at, p, -1)
 }
 
-// process runs one router's pipeline and acts on the verdict.
-func (n *Network) process(at topo.NodeID, p *packet.Packet, inLink topo.LinkID) {
+// process runs one router's pipeline and acts on the verdict. clk is the
+// clock of the shard owning node at (the engine itself when serial).
+func (n *Network) process(clk sim.Clock, at topo.NodeID, p *packet.Packet, inLink topo.LinkID) {
 	r, ok := n.Routers[at]
 	if !ok {
-		n.drop(at, p, fmt.Errorf("netsim: no router at node %d", at))
+		n.drop(clk, at, p, fmt.Errorf("netsim: no router at node %d", at))
 		return
 	}
-	v := r.Receive(n.E.Now(), p, inLink)
+	v := r.Receive(clk.Now(), p, inLink)
 	if v.Err != nil {
-		n.drop(at, p, v.Err)
+		n.drop(clk, at, p, v.Err)
 		return
 	}
 	if v.Deliver {
-		n.Delivered++
+		n.count(clk, ctrDelivered, 1)
 		if n.OnDeliver != nil {
-			n.OnDeliver(at, p)
+			if sh, ok := clk.(*sim.Shard); ok {
+				// Delivery hooks touch global state (flow stats, SLA
+				// watcher, VPN counters): defer to the barrier, where they
+				// dispatch in deterministic order at this same timestamp.
+				sh.Defer(func() { n.OnDeliver(at, p) })
+			} else {
+				n.OnDeliver(at, p)
+			}
 		}
 		return
 	}
 	delay := v.Delay + n.HopDelay
 	if delay > 0 {
-		n.E.After(delay, func() { n.enqueue(at, v.OutLink, p) })
+		clk.After(delay, func() { n.enqueue(clk, at, v.OutLink, p) })
 		return
 	}
-	n.enqueue(at, v.OutLink, p)
+	n.enqueue(clk, at, v.OutLink, p)
 }
 
 // enqueue places the packet on the egress port, starting transmission if
 // the port is idle. Bytes refused here — link down or queue overflow — are
 // charged to the port's drop accounting, so per-port loss is measurable
 // rather than only the network-wide Dropped total.
-func (n *Network) enqueue(at topo.NodeID, link topo.LinkID, p *packet.Packet) {
+func (n *Network) enqueue(clk sim.Clock, at topo.NodeID, link topo.LinkID, p *packet.Packet) {
 	l := n.G.Link(link)
 	if l.From != at {
-		n.drop(at, p, fmt.Errorf("netsim: router %d forwarded out foreign link %d", at, link))
+		n.drop(clk, at, p, fmt.Errorf("netsim: router %d forwarded out foreign link %d", at, link))
 		return
 	}
 	pt := n.portFor(link)
@@ -254,30 +270,31 @@ func (n *Network) enqueue(at topo.NodeID, link topo.LinkID, p *packet.Packet) {
 		if pt.tel != nil {
 			pt.tel.dropped[cls].Add(size)
 		}
-		n.drop(at, p, fmt.Errorf("netsim: link %d is down", link))
+		n.drop(clk, at, p, fmt.Errorf("netsim: link %d is down", link))
 		return
 	}
-	if !pt.sched.Enqueue(n.E.Now(), cls, p) {
+	if !pt.sched.Enqueue(clk.Now(), cls, p) {
 		pt.dropPkts++
 		pt.dropBytes += size
 		if pt.tel != nil {
 			pt.tel.dropped[cls].Add(size)
 		}
-		n.drop(at, p, fmt.Errorf("netsim: queue overflow on link %d at %s", link, n.G.Name(at)))
+		n.drop(clk, at, p, fmt.Errorf("netsim: queue overflow on link %d at %s", link, n.G.Name(at)))
 		return
 	}
 	if !pt.busy {
-		n.transmitNext(pt)
+		n.transmitNext(clk, pt)
 	}
 }
 
 // transmitNext serializes the scheduler's next packet onto the wire,
-// honouring the port shaper if one is installed.
-func (n *Network) transmitNext(pt *port) {
+// honouring the port shaper if one is installed. clk is the clock of the
+// shard owning the port's source node; all of the port's timers stay on it.
+func (n *Network) transmitNext(clk sim.Clock, pt *port) {
 	p := pt.pending
 	pt.pending = nil
 	if p == nil {
-		p = pt.sched.Dequeue(n.E.Now())
+		p = pt.sched.Dequeue(clk.Now())
 	}
 	if p == nil {
 		pt.busy = false
@@ -285,18 +302,18 @@ func (n *Network) transmitNext(pt *port) {
 	}
 	pt.busy = true
 	if pt.shaper != nil {
-		if d := pt.shaper.DelayUntilConform(n.E.Now(), p.SerializedLen()); d > 0 {
+		if d := pt.shaper.DelayUntilConform(clk.Now(), p.SerializedLen()); d > 0 {
 			pt.pending = p
-			n.E.After(d, func() { n.transmitNext(pt) })
+			clk.After(d, func() { n.transmitNext(clk, pt) })
 			return
 		}
-		pt.shaper.Conforms(n.E.Now(), p.SerializedLen())
+		pt.shaper.Conforms(clk.Now(), p.SerializedLen())
 	}
 	l := n.G.Link(pt.link)
 	size := int64(p.SerializedLen())
 	pt.wireBytes += size
 	txTime := sim.Time(float64(p.SerializedLen()*8) / l.Bandwidth * float64(sim.Second))
-	n.E.After(txTime, func() {
+	clk.After(txTime, func() {
 		// Serialization finished: settle the byte accounting (tx on success,
 		// drop if the link died mid-flight — never both), launch propagation,
 		// then serve the next queued packet (the wire is pipelined).
@@ -307,21 +324,37 @@ func (n *Network) transmitNext(pt *port) {
 			if pt.tel != nil {
 				pt.tel.dropped[qos.ClassOf(p)].Add(size)
 			}
-			n.drop(l.From, p, fmt.Errorf("netsim: link %d went down mid-flight", pt.link))
+			n.drop(clk, l.From, p, fmt.Errorf("netsim: link %d went down mid-flight", pt.link))
 		} else {
 			pt.txBytes += size
 			pt.txPkts++
-			dst := l.To
-			n.E.After(l.Delay, func() { n.process(dst, p, pt.link) })
+			n.propagate(clk, l, pt.link, p)
 		}
-		n.transmitNext(pt)
+		n.transmitNext(clk, pt)
 	})
 }
 
-func (n *Network) drop(at topo.NodeID, p *packet.Packet, reason error) {
-	n.Dropped++
+// propagate delivers the packet to the far router after the link delay,
+// handing ownership across shards when the link is a cut edge.
+func (n *Network) propagate(clk sim.Clock, l *topo.Link, link topo.LinkID, p *packet.Packet) {
+	dst := l.To
+	if n.shardOf != nil && n.shardOf[l.From] != n.shardOf[dst] {
+		dclk := n.shClk[n.shardOf[dst]]
+		n.count(clk, ctrHandoffs, 1)
+		clk.(*sim.Shard).Handoff(dclk, l.Delay, func() { n.process(dclk, dst, p, link) })
+		return
+	}
+	clk.After(l.Delay, func() { n.process(clk, dst, p, link) })
+}
+
+func (n *Network) drop(clk sim.Clock, at topo.NodeID, p *packet.Packet, reason error) {
+	n.count(clk, ctrDropped, 1)
 	if n.OnDrop != nil {
-		n.OnDrop(at, p, reason)
+		if sh, ok := clk.(*sim.Shard); ok {
+			sh.Defer(func() { n.OnDrop(at, p, reason) })
+		} else {
+			n.OnDrop(at, p, reason)
+		}
 	}
 }
 

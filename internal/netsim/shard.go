@@ -1,0 +1,146 @@
+// Data-plane sharding: the network's nodes are partitioned across the
+// engine's shard clocks so packet events run in parallel between barriers.
+//
+// Ownership rules that keep the hot path race-free without locks:
+//
+//   - every router, egress port, queue, and per-port telemetry counter is
+//     owned by the shard of the node it hangs off, and only that shard's
+//     worker touches it during a segment;
+//   - a packet crossing a shard boundary travels through sim.Shard.Handoff,
+//     which transfers ownership at the barrier (the propagation delay of a
+//     cross-shard link must be at least the engine's lookahead quantum);
+//   - network-wide counters (Injected/Delivered/Dropped) accumulate in
+//     per-shard telemetry cells merged at each barrier;
+//   - delivery and drop notifications are deferred to the barrier and
+//     dispatched in deterministic (time, shard, sequence) order, so the
+//     control plane's hooks (flow stats, SLA watcher, AIMD feedback) run
+//     on one goroutine with the engine clock set to the event's time.
+package netsim
+
+import (
+	"fmt"
+
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/telemetry"
+	"mplsvpn/internal/topo"
+)
+
+// Accumulator counter indices for the network-wide tallies.
+const (
+	ctrInjected = iota
+	ctrDelivered
+	ctrDropped
+	ctrHandoffs
+	numShardCtrs
+)
+
+// SetSharding partitions the network's nodes across the engine's shards.
+// assign maps every node to a shard index in [0, e.NumShards()). The engine
+// must already be sharded (sim.Engine.EnableShards), every cross-shard
+// link's propagation delay must be at least the engine's lookahead quantum,
+// and the topology must be final: ports for every link are created here so
+// the hot path never mutates shared maps.
+func (n *Network) SetSharding(assign []int) error {
+	if !n.E.Sharded() {
+		return fmt.Errorf("netsim: SetSharding requires a sharded engine (call EnableShards first)")
+	}
+	if n.shardOf != nil {
+		return fmt.Errorf("netsim: SetSharding called twice")
+	}
+	if len(assign) != n.G.NumNodes() {
+		return fmt.Errorf("netsim: assignment covers %d nodes, topology has %d", len(assign), n.G.NumNodes())
+	}
+	shards := n.E.NumShards()
+	quantum := n.E.Quantum()
+	for node, s := range assign {
+		if s < 0 || s >= shards {
+			return fmt.Errorf("netsim: node %d assigned to shard %d, engine has %d", node, s, shards)
+		}
+	}
+	for i := 0; i < n.G.NumLinks(); i++ {
+		l := n.G.Link(topo.LinkID(i))
+		if assign[l.From] != assign[l.To] && l.Delay < quantum {
+			return fmt.Errorf("netsim: cross-shard link %s->%s delay %v below lookahead quantum %v",
+				n.G.Name(l.From), n.G.Name(l.To), l.Delay, quantum)
+		}
+	}
+	// Materialize every port up front: the per-link map must be read-only
+	// while workers run.
+	for i := 0; i < n.G.NumLinks(); i++ {
+		n.portFor(topo.LinkID(i))
+	}
+	n.shardOf = assign
+	n.shClk = make([]*sim.Shard, shards)
+	for i := 0; i < shards; i++ {
+		n.shClk[i] = n.E.Shard(i)
+	}
+	n.acc = telemetry.NewShardAccumulator(shards, numShardCtrs)
+	n.E.OnBarrier(n.mergeShardCounters)
+	return nil
+}
+
+// Sharded reports whether the data plane is partitioned.
+func (n *Network) Sharded() bool { return n.shardOf != nil }
+
+// ShardOf returns the shard owning a node, or -1 when serial.
+func (n *Network) ShardOf(node topo.NodeID) int {
+	if n.shardOf == nil {
+		return -1
+	}
+	return n.shardOf[node]
+}
+
+// Handoffs returns the number of packets that crossed a shard boundary.
+func (n *Network) CrossShardHandoffs() int64 { return n.handoffs }
+
+// SourceClock returns the clock a traffic source attached at node must
+// schedule on: the owning shard's clock when sharded, the engine itself
+// when serial. Generators that pace themselves (CBR, Poisson, OnOff) use
+// this so their injections run inside the node's shard.
+func (n *Network) SourceClock(node topo.NodeID) sim.Clock {
+	return n.clockFor(node)
+}
+
+// clockFor returns the scheduling clock owning a node.
+func (n *Network) clockFor(node topo.NodeID) sim.Clock {
+	if n.shardOf == nil {
+		return n.E
+	}
+	return n.shClk[n.shardOf[node]]
+}
+
+// count bumps a network-wide tally: directly when serial, through the
+// shard's accumulator cell when parallel.
+func (n *Network) count(clk sim.Clock, ctr int, delta int64) {
+	if n.acc == nil {
+		switch ctr {
+		case ctrInjected:
+			n.Injected += int(delta)
+		case ctrDelivered:
+			n.Delivered += int(delta)
+		case ctrDropped:
+			n.Dropped += int(delta)
+		case ctrHandoffs:
+			n.handoffs += delta
+		}
+		return
+	}
+	n.acc.Add(clk.(*sim.Shard).ID(), ctr, delta)
+}
+
+// mergeShardCounters folds the per-shard cells into the public totals at
+// each barrier.
+func (n *Network) mergeShardCounters() {
+	n.acc.Drain(func(c int, total int64) {
+		switch c {
+		case ctrInjected:
+			n.Injected += int(total)
+		case ctrDelivered:
+			n.Delivered += int(total)
+		case ctrDropped:
+			n.Dropped += int(total)
+		case ctrHandoffs:
+			n.handoffs += total
+		}
+	})
+}

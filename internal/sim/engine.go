@@ -2,11 +2,12 @@
 // a virtual clock, a binary-heap event queue with stable FIFO ordering for
 // simultaneous events, and a seeded random number generator.
 //
-// The engine is single-threaded by design. Determinism — the property that a
-// given seed reproduces a run exactly — is what makes the experiment harness
-// in this repository trustworthy, and it is much easier to guarantee without
-// goroutine scheduling in the loop. The packet rates simulated here (tens of
-// thousands of packets per experiment) do not need parallelism.
+// The engine is single-threaded by default. Determinism — the property that
+// a given seed reproduces a run exactly — is what makes the experiment
+// harness in this repository trustworthy. For large topologies the engine
+// can instead be switched to the sharded parallel backend (EnableShards, see
+// shard.go), which preserves exact determinism: same-seed runs are
+// byte-identical for any worker count.
 package sim
 
 import (
@@ -94,6 +95,7 @@ type Engine struct {
 	seq    uint64
 	events uint64 // total executed, for diagnostics
 	rand   *Rand
+	par    *parEngine // nil until EnableShards
 }
 
 // NewEngine returns an engine with the clock at zero and randomness seeded
@@ -108,11 +110,29 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's root random stream. Components should Fork it.
 func (e *Engine) Rand() *Rand { return e.rand }
 
-// Executed returns the number of events executed so far.
-func (e *Engine) Executed() uint64 { return e.events }
+// Executed returns the number of events executed so far, summed across
+// shards when the parallel backend is enabled.
+func (e *Engine) Executed() uint64 {
+	n := e.events
+	if e.par != nil {
+		for _, s := range e.par.shards {
+			n += s.executed
+		}
+	}
+	return n
+}
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events currently scheduled, summed across
+// shards when the parallel backend is enabled.
+func (e *Engine) Pending() int {
+	n := len(e.queue)
+	if e.par != nil {
+		for _, s := range e.par.shards {
+			n += len(s.q)
+		}
+	}
+	return n
+}
 
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // panics: it always indicates a logic error in a discrete-event model.
@@ -135,7 +155,12 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // Step executes the next event. It returns false when the queue is empty.
+// Step is a serial-engine primitive; on a sharded engine use Run/RunUntil,
+// which drive whole segments between barriers.
 func (e *Engine) Step() bool {
+	if e.par != nil {
+		panic("sim: Step is not supported on a sharded engine; use Run or RunUntil")
+	}
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.dead {
@@ -151,6 +176,10 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue is empty.
 func (e *Engine) Run() {
+	if e.par != nil {
+		e.par.run(MaxTime)
+		return
+	}
 	for e.Step() {
 	}
 }
@@ -158,6 +187,10 @@ func (e *Engine) Run() {
 // RunUntil executes events with due time <= deadline, then advances the
 // clock to deadline. Events scheduled beyond the deadline stay queued.
 func (e *Engine) RunUntil(deadline Time) {
+	if e.par != nil {
+		e.par.run(deadline)
+		return
+	}
 	for len(e.queue) > 0 {
 		// Peek.
 		next := e.queue[0]

@@ -1,0 +1,460 @@
+// Sharded (parallel) execution backend.
+//
+// EnableShards partitions the event space into N shard-local queues that
+// drain concurrently on a worker pool, while the engine's original heap
+// becomes the *global band*: control-plane work that must observe and
+// mutate cross-shard state (provisioning, fault injection, telemetry
+// export, soft-state scans).
+//
+// The schedule alternates two phases:
+//
+//   - a *segment* [t0, b): every shard independently drains its events with
+//     at < b, where b = min(t0 + quantum, next global event). The quantum is
+//     the conservative lookahead — it must not exceed the minimum delay of
+//     any cross-shard link, so no event executed in a segment can affect
+//     another shard within the same segment.
+//   - a *barrier*: cross-shard handoffs buffered during the segment are
+//     merged into their destination queues in (source shard, sequence)
+//     order, deferred notifications run on the coordinating goroutine in
+//     (time, source shard, sequence) order, and per-shard telemetry
+//     accumulators merge. Then any due global events run.
+//
+// Determinism: each shard's drain order is fixed by its own (time, seq)
+// heap regardless of worker count; the barrier merge orders are fixed by
+// shard index and per-shard sequence numbers; and segment boundaries are a
+// pure function of queue contents. A run is therefore byte-identical for
+// any number of workers, including one — which is how the equivalence
+// harness pins parallel output against the serial engine.
+//
+// Memory model: shard state is only touched by (a) the worker that owns
+// the shard during a segment, or (b) the coordinating goroutine between
+// segments. Both transitions synchronize through the worker pool's channel
+// send and WaitGroup, which establish the necessary happens-before edges.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Clock is the scheduling surface shared by the serial Engine and the
+// per-shard clocks of the parallel backend. Components that only ever
+// schedule follow-up work for their own locality (a port serializing its
+// queue, a traffic source pacing itself) accept a Clock so the same code
+// runs single-threaded or sharded.
+type Clock interface {
+	Now() Time
+	Schedule(at Time, fn func()) *Event
+	After(d Time, fn func()) *Event
+}
+
+// Shard is one partition's event queue and clock. Within a segment exactly
+// one worker drains it; between segments the coordinator owns it.
+type Shard struct {
+	id       int
+	eng      *Engine
+	q        eventHeap
+	seq      uint64
+	now      Time
+	executed uint64
+	draining bool // true only while the owning worker drains a segment
+
+	out   []handoffMsg // cross-shard sends buffered for the next barrier
+	notes []noteMsg    // deferred notifications for the next barrier
+}
+
+// handoffMsg is a cross-shard event waiting for the barrier merge.
+type handoffMsg struct {
+	dst *Shard
+	at  Time
+	fn  func()
+}
+
+// noteMsg is a deferred notification: a callback that must run on the
+// coordinating goroutine (it touches global state) stamped with the
+// shard-local time it was emitted.
+type noteMsg struct {
+	at Time
+	fn func()
+}
+
+// ID returns the shard's index.
+func (s *Shard) ID() int { return s.id }
+
+// Now returns the shard-local virtual time. During a barrier it reports the
+// engine clock when that is ahead — callbacks dispatched at a barrier see
+// the time they were stamped with, not the stale end of the last segment.
+func (s *Shard) Now() Time {
+	if !s.draining && s.eng.now > s.now {
+		return s.eng.now
+	}
+	return s.now
+}
+
+// Schedule runs fn at absolute shard time at. Scheduling in the past panics
+// during a segment (a logic error, exactly as on the serial engine). From a
+// barrier callback the request is clamped to the shard clock instead: the
+// shard has already drained past at, and the clamp is the bounded
+// batching latency that parallel mode trades for speed.
+func (s *Shard) Schedule(at Time, fn func()) *Event {
+	if at < s.now {
+		if s.draining {
+			panic(fmt.Sprintf("sim: shard %d scheduling event at %v before now %v", s.id, at, s.now))
+		}
+		at = s.now
+	}
+	ev := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.q, ev)
+	return ev
+}
+
+// After runs fn d after the shard's current time.
+func (s *Shard) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.Schedule(s.Now()+d, fn)
+}
+
+// Handoff schedules fn on dst, d from now — the only legal way to move work
+// across shards. During a segment d must be at least the engine's quantum
+// (the conservative lookahead); violating that would let a shard affect
+// another within the same segment and is a hard error, not a silent
+// determinism bug. The message is buffered and merged into dst at the next
+// barrier in (source shard, send order) sequence.
+func (s *Shard) Handoff(dst *Shard, d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative handoff delay %v", d))
+	}
+	if dst == s {
+		s.After(d, fn)
+		return
+	}
+	if s.draining && d < s.eng.par.quantum {
+		panic(fmt.Sprintf("sim: handoff delay %v below lookahead quantum %v", d, s.eng.par.quantum))
+	}
+	s.out = append(s.out, handoffMsg{dst: dst, at: s.Now() + d, fn: fn})
+}
+
+// Defer queues fn as a deferred notification: it runs at the next barrier
+// on the coordinating goroutine, with the engine clock set to the
+// shard-local time of the Defer call. Notifications from all shards
+// dispatch in (time, source shard, sequence) order, so global observers
+// (delivery hooks, SLA watchers, journals) see one deterministic stream.
+func (s *Shard) Defer(fn func()) {
+	s.notes = append(s.notes, noteMsg{at: s.Now(), fn: fn})
+}
+
+// drain executes the shard's events with due time strictly before boundary.
+func (s *Shard) drain(boundary Time) {
+	s.draining = true
+	for {
+		ev := peekAlive(&s.q)
+		if ev == nil || ev.at >= boundary {
+			break
+		}
+		heap.Pop(&s.q)
+		s.now = ev.at
+		s.executed++
+		ev.fn()
+	}
+	s.draining = false
+}
+
+// peekAlive discards cancelled events and returns the head, or nil.
+func peekAlive(h *eventHeap) *Event {
+	for len(*h) > 0 {
+		if (*h)[0].dead {
+			heap.Pop(h)
+			continue
+		}
+		return (*h)[0]
+	}
+	return nil
+}
+
+// parEngine coordinates the shard queues, the worker pool, and the global
+// band (the engine's original heap).
+type parEngine struct {
+	e         *Engine
+	shards    []*Shard
+	quantum   Time
+	workers   int
+	onBarrier []func()
+
+	boundary Time // current segment boundary, read by workers
+	jobs     chan *Shard
+	wg       sync.WaitGroup
+	active   []*Shard // scratch
+	dispatch []noteDispatch
+}
+
+type noteDispatch struct {
+	at    Time
+	shard int
+	seq   int
+	fn    func()
+}
+
+// EnableShards switches the engine to the sharded backend with n shard
+// queues, the given conservative lookahead quantum, and a worker pool of
+// the given size (0 means GOMAXPROCS). Existing queued events stay on the
+// global band. Call once, before Run.
+func (e *Engine) EnableShards(n int, quantum Time, workers int) {
+	if e.par != nil {
+		panic("sim: EnableShards called twice")
+	}
+	if n < 1 {
+		panic("sim: EnableShards needs at least one shard")
+	}
+	if quantum <= 0 {
+		panic("sim: EnableShards needs a positive lookahead quantum")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	p := &parEngine{e: e, quantum: quantum, workers: workers}
+	for i := 0; i < n; i++ {
+		p.shards = append(p.shards, &Shard{id: i, eng: e, now: e.now})
+	}
+	e.par = p
+}
+
+// Sharded reports whether the parallel backend is enabled.
+func (e *Engine) Sharded() bool { return e.par != nil }
+
+// NumShards returns the shard count (0 when serial).
+func (e *Engine) NumShards() int {
+	if e.par == nil {
+		return 0
+	}
+	return len(e.par.shards)
+}
+
+// Shard returns shard i's clock.
+func (e *Engine) Shard(i int) *Shard { return e.par.shards[i] }
+
+// Quantum returns the conservative lookahead (0 when serial).
+func (e *Engine) Quantum() Time {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.quantum
+}
+
+// OnBarrier registers fn to run on the coordinating goroutine at the end of
+// every barrier (after handoff merges and deferred notifications). Used to
+// fold per-shard telemetry accumulators into their global instruments.
+func (e *Engine) OnBarrier(fn func()) {
+	e.par.onBarrier = append(e.par.onBarrier, fn)
+}
+
+// run is the sharded main loop shared by Run and RunUntil.
+func (p *parEngine) run(deadline Time) {
+	p.startWorkers()
+	defer p.stopWorkers()
+	// Work queued before Run (setup-time injections) may already have
+	// produced handoffs or notifications; settle them first.
+	p.flush()
+	for {
+		// Earliest shard event and earliest global event decide the phase.
+		e0 := MaxTime
+		for _, s := range p.shards {
+			if ev := peekAlive(&s.q); ev != nil && ev.at < e0 {
+				e0 = ev.at
+			}
+		}
+		g0 := MaxTime
+		if ev := peekAlive(&p.e.queue); ev != nil {
+			g0 = ev.at
+		}
+		if e0 == MaxTime && g0 == MaxTime {
+			break // quiescent
+		}
+		if min64(e0, g0) > deadline {
+			break
+		}
+		if g0 <= e0 {
+			// Control first at equal times: on the serial engine,
+			// setup-scheduled control events carry lower sequence numbers
+			// than data events scheduled mid-flight, so they run first
+			// there too. Globals are a barrier — every shard has finished
+			// the preceding segment, so control sees settled state. The
+			// clock only moves forward: a global scheduled from a barrier
+			// callback can land behind notifications already dispatched.
+			if p.e.now < g0 {
+				p.e.now = g0
+			}
+			for {
+				ev := peekAlive(&p.e.queue)
+				if ev == nil || ev.at != g0 {
+					break
+				}
+				heap.Pop(&p.e.queue)
+				p.e.events++
+				ev.fn()
+			}
+			p.flush()
+			continue
+		}
+		// Segment [e0, b): bounded by the lookahead and the next global
+		// event, and never past the deadline.
+		b := satAdd(e0, p.quantum)
+		if g0 < b {
+			b = g0
+		}
+		if deadline < MaxTime && b > deadline+1 {
+			b = deadline + 1
+		}
+		p.segment(b)
+		p.flush()
+	}
+	if deadline < MaxTime {
+		if p.e.now < deadline {
+			p.e.now = deadline
+		}
+		for _, s := range p.shards {
+			if s.now < deadline {
+				s.now = deadline
+			}
+		}
+	} else {
+		// Quiescent Run: settle the engine clock at the global maximum so
+		// post-run reads (utilization over elapsed time) match serial.
+		for _, s := range p.shards {
+			if s.now > p.e.now {
+				p.e.now = s.now
+			}
+		}
+	}
+}
+
+// segment drains every shard with work before boundary b, in parallel.
+func (p *parEngine) segment(b Time) {
+	p.active = p.active[:0]
+	for _, s := range p.shards {
+		if ev := peekAlive(&s.q); ev != nil && ev.at < b {
+			p.active = append(p.active, s)
+		}
+	}
+	p.boundary = b
+	if p.jobs == nil || len(p.active) == 1 {
+		for _, s := range p.active {
+			s.drain(b)
+		}
+	} else {
+		p.wg.Add(len(p.active))
+		for _, s := range p.active {
+			p.jobs <- s
+		}
+		p.wg.Wait()
+	}
+	// Shard clocks deliberately stay at each shard's last-executed event
+	// time (not the boundary): deferred notifications and utilization
+	// reads then see exactly the timestamps the serial engine produces.
+}
+
+// flush settles the inter-shard state at a barrier: merge handoffs, run
+// deferred notifications (which may generate more of both — loop until
+// stable), then run the barrier hooks once.
+func (p *parEngine) flush() {
+	for {
+		moved := false
+		// Handoffs merge in (source shard, send sequence) order: each
+		// shard's buffer is already in send order, shards visit in index
+		// order, and destination heaps tie-break by arrival sequence.
+		for _, s := range p.shards {
+			if len(s.out) > 0 {
+				moved = true
+				for _, h := range s.out {
+					h.dst.Schedule(h.at, h.fn)
+				}
+				s.out = s.out[:0]
+			}
+		}
+		// Notifications dispatch in (time, source shard, emit sequence)
+		// order with the engine clock set to each note's stamp, so hooks
+		// observe the same timestamps the serial engine would deliver.
+		p.dispatch = p.dispatch[:0]
+		for _, s := range p.shards {
+			for i, nt := range s.notes {
+				p.dispatch = append(p.dispatch, noteDispatch{at: nt.at, shard: s.id, seq: i, fn: nt.fn})
+			}
+			s.notes = s.notes[:0]
+		}
+		if len(p.dispatch) > 0 {
+			moved = true
+			sort.SliceStable(p.dispatch, func(i, j int) bool {
+				a, b := p.dispatch[i], p.dispatch[j]
+				if a.at != b.at {
+					return a.at < b.at
+				}
+				if a.shard != b.shard {
+					return a.shard < b.shard
+				}
+				return a.seq < b.seq
+			})
+			for _, d := range p.dispatch {
+				if p.e.now < d.at {
+					p.e.now = d.at
+				}
+				d.fn()
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	for _, fn := range p.onBarrier {
+		fn()
+	}
+}
+
+func (p *parEngine) startWorkers() {
+	if p.workers <= 1 {
+		return
+	}
+	jobs := make(chan *Shard)
+	p.jobs = jobs
+	for i := 0; i < p.workers; i++ {
+		go func() {
+			for s := range jobs {
+				s.drain(p.boundary)
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+func (p *parEngine) stopWorkers() {
+	if p.jobs != nil {
+		close(p.jobs)
+		p.jobs = nil
+	}
+}
+
+func min64(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// satAdd adds two times, saturating at MaxTime.
+func satAdd(a, b Time) Time {
+	if a > MaxTime-b {
+		return MaxTime
+	}
+	return a + b
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+// ShardAccumulator is a bank of per-shard int64 accumulator cells for the
+// parallel simulation backend: each worker adds to its own shard's cells
+// during a segment with no locks and no cross-core cache-line contention,
+// and the coordinator folds the cells into the real (single-writer) totals
+// at the tick barrier. The cells are padded so two shards never share a
+// cache line.
+type ShardAccumulator struct {
+	counters int
+	cells    []paddedCell
+}
+
+// cacheLine is the assumed coherence granularity; 64 bytes covers every
+// platform this simulator targets.
+const cacheLine = 64
+
+type paddedCell struct {
+	v [8]int64 // up to 8 counters per shard in one line
+	_ [cacheLine - cacheLine%8]byte
+}
+
+// NewShardAccumulator returns an accumulator with the given number of
+// counters (at most 8) replicated across shards cells.
+func NewShardAccumulator(shards, counters int) *ShardAccumulator {
+	if counters < 1 || counters > 8 {
+		panic("telemetry: ShardAccumulator supports 1..8 counters")
+	}
+	return &ShardAccumulator{counters: counters, cells: make([]paddedCell, shards)}
+}
+
+// Add accumulates delta into counter c of shard's cell. Only the worker
+// that owns shard may call it during a segment.
+func (a *ShardAccumulator) Add(shard, c int, delta int64) {
+	a.cells[shard].v[c] += delta
+}
+
+// Drain sums every shard's cells into fn(counter, total) and zeroes them.
+// Call only from the coordinator at a barrier; totals are deterministic
+// because addition commutes and each cell had exactly one writer.
+func (a *ShardAccumulator) Drain(fn func(c int, total int64)) {
+	for c := 0; c < a.counters; c++ {
+		var total int64
+		for i := range a.cells {
+			total += a.cells[i].v[c]
+			a.cells[i].v[c] = 0
+		}
+		if total != 0 {
+			fn(c, total)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package topo
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mplsvpn/internal/sim"
+)
+
+// buildBackboneGraph makes a 4-PE / 2-P core with per-PE access chains:
+// CE nodes on 1ms access links and hosts on zero-delay LAN links (the
+// edges a partition must never cut).
+func buildBackboneGraph() *Graph {
+	g := New()
+	pes := make([]NodeID, 4)
+	for i := range pes {
+		pes[i] = g.AddNode(fmt.Sprintf("PE%d", i))
+	}
+	p1 := g.AddNode("P1")
+	p2 := g.AddNode("P2")
+	g.AddDuplexLink(pes[0], p1, 10e9, 2*sim.Millisecond, 1)
+	g.AddDuplexLink(pes[1], p1, 10e9, 2*sim.Millisecond, 1)
+	g.AddDuplexLink(pes[2], p2, 10e9, 2*sim.Millisecond, 1)
+	g.AddDuplexLink(pes[3], p2, 10e9, 2*sim.Millisecond, 1)
+	g.AddDuplexLink(p1, p2, 40e9, 5*sim.Millisecond, 1)
+	for i, pe := range pes {
+		ce := g.AddNode(fmt.Sprintf("CE%d", i))
+		g.AddDuplexLink(pe, ce, 100e6, sim.Millisecond, 1)
+		h := g.AddNode(fmt.Sprintf("H%d", i))
+		g.AddDuplexLink(ce, h, 1e9, 0, 1) // zero-delay LAN edge
+	}
+	return g
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	g := buildBackboneGraph()
+	for _, k := range []int{1, 2, 4, 8} {
+		pr := Partition(g, k)
+		if err := pr.Validate(g); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if pr.NumShards > k {
+			t.Errorf("k=%d produced %d shards", k, pr.NumShards)
+		}
+		// Hosts stay with their CE (the zero-delay contraction).
+		for i := 0; i < 4; i++ {
+			ce, _ := g.NodeByName(fmt.Sprintf("CE%d", i))
+			h, _ := g.NodeByName(fmt.Sprintf("H%d", i))
+			if pr.Assign[ce] != pr.Assign[h] {
+				t.Errorf("k=%d: host H%d split from CE%d", k, i, i)
+			}
+		}
+		if pr.CutLinks > 0 && pr.MinCutDelay < sim.Millisecond {
+			t.Errorf("k=%d: min cut delay %v below the smallest positive link delay", k, pr.MinCutDelay)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g1 := buildBackboneGraph()
+	g2 := buildBackboneGraph()
+	a := Partition(g1, 4)
+	b := Partition(g2, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same graph, different partitions:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	// A 32-node ring splits 4 ways into regions of 8±1.
+	g := New()
+	nodes := make([]NodeID, 32)
+	for i := range nodes {
+		nodes[i] = g.AddNode(fmt.Sprintf("R%d", i))
+	}
+	for i := range nodes {
+		g.AddDuplexLink(nodes[i], nodes[(i+1)%32], 10e9, sim.Millisecond, 1)
+	}
+	pr := Partition(g, 4)
+	if pr.NumShards != 4 {
+		t.Fatalf("shards=%d, want 4", pr.NumShards)
+	}
+	counts := make([]int, 4)
+	for _, s := range pr.Assign {
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < 6 || c > 10 {
+			t.Errorf("shard %d holds %d of 32 ring nodes (want ~8): %v", s, c, counts)
+		}
+	}
+}
+
+func TestPartitionSingleShard(t *testing.T) {
+	g := buildBackboneGraph()
+	pr := Partition(g, 1)
+	if pr.NumShards != 1 || pr.CutLinks != 0 {
+		t.Fatalf("k=1: shards=%d cut=%d", pr.NumShards, pr.CutLinks)
+	}
+	if pr.MinCutDelay != sim.MaxTime {
+		t.Errorf("no cut links but MinCutDelay=%v", pr.MinCutDelay)
+	}
+}
+
+func TestPartitionMoreShardsThanComponents(t *testing.T) {
+	// 3 supernodes (CE+H pairs contracted) can fill at most 3 shards.
+	g := New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	c := g.AddNode("C")
+	h := g.AddNode("H")
+	g.AddDuplexLink(a, b, 1e9, sim.Millisecond, 1)
+	g.AddDuplexLink(b, c, 1e9, sim.Millisecond, 1)
+	g.AddDuplexLink(c, h, 1e9, 0, 1)
+	pr := Partition(g, 16)
+	if pr.NumShards > 3 {
+		t.Fatalf("3 supernodes but %d shards", pr.NumShards)
+	}
+	if err := pr.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionDisconnected(t *testing.T) {
+	g := New()
+	for i := 0; i < 3; i++ {
+		a := g.AddNode(fmt.Sprintf("a%d", i))
+		b := g.AddNode(fmt.Sprintf("b%d", i))
+		g.AddDuplexLink(a, b, 1e9, sim.Millisecond, 1)
+	}
+	pr := Partition(g, 2)
+	if err := pr.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Every island is intact on some shard; none is lost.
+	for i := 0; i < 6; i++ {
+		if pr.Assign[i] < 0 || pr.Assign[i] >= pr.NumShards {
+			t.Fatalf("node %d unassigned: %v", i, pr.Assign)
+		}
+	}
+}
+
+func TestPartitionEmptyGraph(t *testing.T) {
+	pr := Partition(New(), 4)
+	if pr.NumShards != 1 || len(pr.Assign) != 0 {
+		t.Fatalf("empty graph: %+v", pr)
+	}
+}

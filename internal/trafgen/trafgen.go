@@ -61,14 +61,17 @@ func (f *Flow) send(n *netsim.Network, payload int) {
 }
 
 // CBR emits fixed-size packets at a fixed interval from start until stop:
-// the voice workload (e.g. 160-byte G.711 frames every 20 ms).
+// the voice workload (e.g. 160-byte G.711 frames every 20 ms). The source
+// paces itself on the clock of the injection node's shard, so a sharded
+// run keeps every flow's schedule inside its own partition.
 func CBR(n *netsim.Network, f *Flow, payload int, interval, start, stop sim.Time) {
+	clk := n.SourceClock(f.At)
 	var tick func(t sim.Time)
 	tick = func(t sim.Time) {
 		if t > stop {
 			return
 		}
-		n.E.Schedule(t, func() {
+		clk.Schedule(t, func() {
 			f.send(n, payload)
 			tick(t + interval)
 		})
@@ -79,12 +82,13 @@ func CBR(n *netsim.Network, f *Flow, payload int, interval, start, stop sim.Time
 // Poisson emits fixed-size packets with exponential interarrivals at the
 // given mean rate (packets/second): the classic data-traffic model.
 func Poisson(n *netsim.Network, f *Flow, payload int, pktPerSec float64, start, stop sim.Time, rng *sim.Rand) {
+	clk := n.SourceClock(f.At)
 	var next func(t sim.Time)
 	next = func(t sim.Time) {
 		if t > stop {
 			return
 		}
-		n.E.Schedule(t, func() {
+		clk.Schedule(t, func() {
 			f.send(n, payload)
 			gap := sim.Time(rng.ExpFloat64() / pktPerSec * float64(sim.Second))
 			if gap < sim.Microsecond {
@@ -100,6 +104,7 @@ func Poisson(n *netsim.Network, f *Flow, payload int, pktPerSec float64, start, 
 // separated by exponential off-periods: a talkspurt/silence voice model or
 // a bursty data source.
 func OnOff(n *netsim.Network, f *Flow, payload int, interval, meanOn, meanOff, start, stop sim.Time, rng *sim.Rand) {
+	clk := n.SourceClock(f.At)
 	var burst func(t sim.Time)
 	burst = func(t sim.Time) {
 		if t > stop {
@@ -113,24 +118,29 @@ func OnOff(n *netsim.Network, f *Flow, payload int, interval, meanOn, meanOff, s
 				// Off period, then the next burst.
 				off := sim.Time(rng.ExpFloat64() * float64(meanOff))
 				if u+off <= stop {
-					n.E.Schedule(u+off, func() { burst(u + off) })
+					clk.Schedule(u+off, func() { burst(u + off) })
 				}
 				return
 			}
-			n.E.Schedule(u, func() {
+			clk.Schedule(u, func() {
 				f.send(n, payload)
 				tick(u + interval)
 			})
 		}
 		tick(t)
 	}
-	n.E.Schedule(start, func() { burst(start) })
+	clk.Schedule(start, func() { burst(start) })
 }
 
 // AIMD is a greedy window-based bulk source: it keeps `window` packets in
 // flight, grows the window by one per window's worth of acknowledgements
 // (additive increase), and halves it on loss (multiplicative decrease).
 // Deliveries and drops are fed back by the harness via Ack and Loss.
+//
+// AIMD is closed-loop with zero lookahead (an ack can trigger an injection
+// at the same instant), so under a sharded engine it runs on the global
+// band and reacts at barrier granularity: behaviour stays deterministic
+// for a fixed shard count but is not byte-identical to the serial engine.
 type AIMD struct {
 	Flow    *Flow
 	Net     *netsim.Network
