@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-reconverge fuzz-short verify-parallel cover examples record clean
+.PHONY: all build test test-short test-race vet bench bench-reconverge fuzz-short verify-parallel verify-survivability cover examples record clean
 
 all: build vet test test-race fuzz-short bench-reconverge
 
@@ -41,11 +41,20 @@ verify-parallel:
 		./internal/core ./internal/chaos
 	$(GO) test -race -count=1 ./internal/sim ./internal/topo
 
-# Ten seconds each on the two text-input parsers: the netconf config loader
-# and the chaos scenario DSL.
+# The control-plane survivability acceptance gate under the race detector:
+# graceful-restart E16 (crash storm with GR on vs off), the GR edge-case
+# and damping tests, and the survivability serial-vs-parallel equivalence.
+verify-survivability:
+	$(GO) test -race -count=1 \
+		-run='TestE16|TestGRTimer|TestDoubleRestartWithinWindow|TestSessionLossWithoutGR|TestMBBReoptimize|TestCtrlLossCompounds|TestGraceful|TestSurvivability|TestDamping' \
+		./internal/experiments ./internal/core ./internal/chaos ./internal/bgp
+
+# Ten seconds each on the text-input parsers: the netconf config loader and
+# the chaos scenario DSL (generic, plus the survivability/damping knobs).
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=10s ./internal/netconf
 	$(GO) test -run='^$$' -fuzz=FuzzScenario -fuzztime=10s ./internal/chaos
+	$(GO) test -run='^$$' -fuzz=FuzzSurvivability -fuzztime=10s ./internal/chaos
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e15 or all)")
+		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e16 or all)")
 		dur      = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
 		e1N      = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
 		shards   = flag.String("shards", "1,2,4,8", "E15 shard counts to sweep")
@@ -35,7 +35,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"} {
 			want[e] = true
 		}
 	} else {
@@ -155,6 +155,14 @@ func main() {
 				fmt.Printf("WARNING: run %d diverged from the serial fingerprint\n", i)
 			}
 		}
+	}
+
+	if want["e16"] {
+		res := experiments.E16GracefulRestart(0)
+		results["e16"] = res
+		fmt.Println(res.Table.String())
+		fmt.Printf("gr-on retained %d stale routes; journal: %d session_flap, %d session_restored; %d invariant violations\n\n",
+			res.StaleRetained, res.SessionFlapEvents, res.SessionRestoredEvents, res.Violations)
 	}
 
 	if *jsonFile != "" {

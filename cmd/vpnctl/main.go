@@ -98,6 +98,9 @@ func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile, ch
 	var inj *chaos.Injector
 	if scenario != nil {
 		b.EnableResilience(core.ResilienceOptions{Policy: core.DegradeShrink, Horizon: horizon})
+		if scenario.Surv != nil || scenario.Damping != nil {
+			b.EnableSurvivability(chaos.SurvivabilityOptions(scenario, horizon))
+		}
 		inj = chaos.New(b, scenario)
 		inj.Schedule()
 	}
@@ -138,6 +141,10 @@ func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile, ch
 
 	if inj != nil {
 		fmt.Printf("\n=== chaos report ===\n%s\n", inj.Report())
+		if st := b.SessionStats(); st.Flaps > 0 || st.Restores > 0 {
+			fmt.Printf("sessions: %d flaps, %d restores, %d stale swept, %d withdrawn, %d damped, %d reused\n",
+				st.Flaps, st.Restores, st.StaleSwept, st.Withdrawn, st.Damped, st.Reused)
+		}
 		for _, v := range inj.Checker.Violations {
 			fmt.Println("  VIOLATION:", v)
 		}

@@ -4,9 +4,12 @@
 // while the resilience plane keeps the two TE intents alive: failed
 // re-signals retry with backoff, a squeezed reservation degrades to a
 // journaled smaller guarantee, and the full reservation is restored when
-// capacity returns. After every injected event the invariant checker
-// proves no cross-VPN leakage, no forwarding loops, and per-port byte
-// conservation.
+// capacity returns. The survivability directives sessionize the control
+// plane: the P-router crash flaps BGP/LDP sessions, graceful restart
+// retains the routes as stale across the outage, and the flap trains
+// charge route-flap damping penalties. After every injected event the
+// invariant checker proves no cross-VPN leakage, no forwarding loops,
+// and per-port byte conservation.
 //
 //	go run ./examples/chaos
 package main
@@ -26,6 +29,8 @@ import (
 // scenario mixes every fault type the injector knows; 22 operations total
 // once the flap trains are expanded.
 const scenario = `
+survivability hello=20ms hold=3 restart=900ms gr=on
+damping penalty=1000 suppress=1800 reuse=800 halflife=1500ms
 ctrlloss 0.25 extra=150ms
 flap PE1 P1 at=500ms count=5 down=80ms up=120ms detect=10ms jitter=30ms
 crash P2 at=2200ms detect=50ms
@@ -85,6 +90,7 @@ func main() {
 	}
 	fmt.Printf("scenario %q: %d operations over %v\n\n", sc.Name, sc.EventCount(), sc.Duration())
 
+	b.EnableSurvivability(chaos.SurvivabilityOptions(sc, horizon))
 	inj := chaos.New(b, sc)
 	inj.Schedule()
 	b.Net.RunUntil(horizon + sim.Second)
@@ -104,6 +110,10 @@ func main() {
 		fmt.Println(line)
 	}
 
+	st := b.SessionStats()
+	fmt.Printf("\nsessions: %d flaps, %d restores, %d stale swept, %d withdrawn, %d damped, %d reused\n",
+		st.Flaps, st.Restores, st.StaleSwept, st.Withdrawn, st.Damped, st.Reused)
+
 	fmt.Printf("\ntraffic: %s\n", fa.Stats.Summary())
 	fmt.Printf("         %s\n", fb.Stats.Summary())
 	fmt.Printf("isolation violations: %d\n", b.IsolationViolations)
@@ -113,7 +123,8 @@ func main() {
 	shown := 0
 	for _, e := range tel.Journal.Events() {
 		k := e.Kind.String()
-		if k == "te_retry" || k == "te_degraded" || k == "te_restored" || k == "ctrl_loss" {
+		if k == "te_retry" || k == "te_degraded" || k == "te_restored" || k == "ctrl_loss" ||
+			k == "session_flap" || k == "session_restored" || k == "route_damped" || k == "route_reused" {
 			fmt.Println("  " + e.String())
 			shown++
 			if shown >= 12 {

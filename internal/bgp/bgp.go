@@ -16,6 +16,7 @@ import (
 
 	"mplsvpn/internal/addr"
 	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
 	"mplsvpn/internal/topo"
 )
 
@@ -81,6 +82,17 @@ type Speaker struct {
 	// counts those kept after filtering (E1's table-size metric).
 	Received int
 	Retained int
+
+	// stale marks (prefix, origin) routes retained under graceful restart
+	// pending refresh or sweep (session.go).
+	stale map[addr.VPNPrefix]map[topo.NodeID]bool
+
+	// Route-flap damping ledger (session.go): per-prefix penalty state,
+	// the received-prefix set after the last Converge, and prefixes whose
+	// withdrawal is pending a re-announcement.
+	damp        map[addr.VPNPrefix]*dampState
+	prevHad     map[addr.VPNPrefix]bool
+	flapPending map[addr.VPNPrefix]bool
 }
 
 func newSpeaker(n topo.NodeID, lb addr.IPv4) *Speaker {
@@ -122,7 +134,18 @@ func (s *Speaker) receive(r *VPNRoute, bypassFilter bool) {
 		return
 	}
 	s.Retained++
-	s.adjRIBIn[r.Prefix] = append(s.adjRIBIn[r.Prefix], r)
+	rs := s.adjRIBIn[r.Prefix]
+	for i, old := range rs {
+		if old.OriginPE == r.OriginPE {
+			// A re-announcement from the same origin refreshes the retained
+			// route in place, clearing any graceful-restart stale mark
+			// (RFC 4724 mark-and-sweep).
+			rs[i] = r
+			s.clearStale(r.Prefix, r.OriginPE)
+			return
+		}
+	}
+	s.adjRIBIn[r.Prefix] = append(rs, r)
 }
 
 // selectBest runs the decision process over adj-RIB-in plus local routes.
@@ -137,7 +160,10 @@ func (s *Speaker) selectBest() {
 	for _, r := range s.exports {
 		consider(r)
 	}
-	for _, rs := range s.adjRIBIn {
+	for p, rs := range s.adjRIBIn {
+		if d, ok := s.damp[p]; ok && d.suppressed {
+			continue // damped: received paths are suppressed (exports never are)
+		}
 		for _, r := range rs {
 			consider(r)
 		}
@@ -188,6 +214,22 @@ type Mesh struct {
 
 	// UpdatesSent counts route transmissions (one NLRI to one peer).
 	UpdatesSent int
+
+	// Session machinery (session.go): per-node session state, the virtual
+	// clock for damping decay, the damping thresholds, and the suppressed
+	// prefixes pending journaling.
+	peerState       map[topo.NodeID]PeerState
+	clock           func() sim.Time
+	damping         DampingConfig
+	newlySuppressed []addr.VPNPrefix
+
+	// Survivability counters (session.go).
+	SessionFlaps      int
+	StaleRetained     int
+	StaleSwept        int
+	WithdrawalsSent   int
+	RouteSuppressions int
+	RouteReuses       int
 }
 
 // NewMesh creates an empty full-mesh iBGP domain.
@@ -239,9 +281,20 @@ func (m *Mesh) sortedIDs() []topo.NodeID {
 // and reruns best-path selection everywhere. It is a full recomputation:
 // callers re-converge after originating or withdrawing routes, mirroring
 // the steady state a real incremental protocol reaches.
+//
+// Sessions gate the exchange: a Down or Restarting speaker neither sends
+// nor receives (its RIB stays empty until re-establishment), and Up
+// speakers keep stale-retained routes across the round so a graceful
+// restart can refresh them in place.
 func (m *Mesh) Converge() {
 	for _, s := range m.speakers {
-		s.adjRIBIn = make(map[addr.VPNPrefix][]*VPNRoute)
+		if m.StateOf(s.Node) == PeerUp {
+			s.clearAdjRIBKeepStale()
+		} else {
+			s.adjRIBIn = make(map[addr.VPNPrefix][]*VPNRoute)
+			s.locRIB = make(map[addr.VPNPrefix]*VPNRoute)
+			s.stale = nil
+		}
 		s.Received = 0
 		s.Retained = 0
 	}
@@ -249,9 +302,12 @@ func (m *Mesh) Converge() {
 	switch m.Layout {
 	case FullMesh:
 		for _, from := range ids {
+			if m.StateOf(from) != PeerUp {
+				continue
+			}
 			sf := m.speakers[from]
 			for _, to := range ids {
-				if to == from {
+				if to == from || m.StateOf(to) != PeerUp {
 					continue
 				}
 				for _, r := range sf.exports {
@@ -265,9 +321,14 @@ func (m *Mesh) Converge() {
 		if !ok {
 			panic("bgp: route reflector is not a speaker")
 		}
+		if m.StateOf(m.rr) != PeerUp {
+			// The reflector is down: no redistribution at all. Clients keep
+			// whatever graceful restart preserved.
+			break
+		}
 		// Clients -> RR, bypassing any import filter on the RR.
 		for _, from := range ids {
-			if from == m.rr {
+			if from == m.rr || m.StateOf(from) != PeerUp {
 				continue
 			}
 			for _, r := range m.speakers[from].exports {
@@ -278,11 +339,11 @@ func (m *Mesh) Converge() {
 		// RR reflects everything (its own exports included) to clients.
 		var all []*VPNRoute
 		all = append(all, rr.exports...)
-		for _, rs := range rr.adjRIBIn {
-			all = append(all, rs...)
+		for _, p := range rr.sortedPrefixes() {
+			all = append(all, rr.adjRIBIn[p]...)
 		}
 		for _, to := range ids {
-			if to == m.rr {
+			if to == m.rr || m.StateOf(to) != PeerUp {
 				continue
 			}
 			for _, r := range all {
@@ -294,7 +355,23 @@ func (m *Mesh) Converge() {
 			}
 		}
 	}
+	now := m.now()
+	for _, id := range ids {
+		if m.StateOf(id) == PeerUp {
+			m.speakers[id].updateDamping(m, now)
+		}
+	}
 	for _, s := range m.speakers {
 		s.selectBest()
 	}
+}
+
+// sortedPrefixes lists adj-RIB-in prefixes in deterministic order.
+func (s *Speaker) sortedPrefixes() []addr.VPNPrefix {
+	out := make([]addr.VPNPrefix, 0, len(s.adjRIBIn))
+	for p := range s.adjRIBIn {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
 }

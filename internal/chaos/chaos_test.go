@@ -74,6 +74,17 @@ func TestParseScenarioErrors(t *testing.T) {
 // 3 Mb/s TE intents — together they overflow a single surviving path, so
 // losing one path forces the degradation machinery to act.
 func chaosBackbone(seed uint64, horizon sim.Time) (*core.Backbone, *telemetry.Telemetry) {
+	b, tel := chaosBackboneBare(seed, horizon)
+	// Sessionized control plane, graceful restart off: crashes keep their
+	// hard semantics while every run still exercises the hello state
+	// machine (and its serial-vs-parallel equivalence).
+	b.EnableSurvivability(core.SurvivabilityOptions{Horizon: horizon})
+	return b, tel
+}
+
+// chaosBackboneBare is chaosBackbone without the survivability layer, for
+// tests that enable it themselves from a scenario's directives.
+func chaosBackboneBare(seed uint64, horizon sim.Time) (*core.Backbone, *telemetry.Telemetry) {
 	b := core.NewBackbone(core.Config{Seed: seed, Scheduler: core.SchedHybrid})
 	b.AddPE("PE1")
 	b.AddP("P1")
@@ -103,7 +114,6 @@ func chaosBackbone(seed uint64, horizon sim.Time) (*core.Backbone, *telemetry.Te
 		RestoreProbe: 250 * sim.Millisecond,
 		Horizon:      horizon,
 	})
-
 	if _, err := b.SetupTELSPForVPN("te-alpha", "PE1", "PE2", "alpha", 3e6, -1, rsvp.SetupOptions{}); err != nil {
 		panic(err)
 	}

@@ -9,6 +9,8 @@
 // The scenario DSL is line-based, # comments allowed:
 //
 //	ctrlloss 0.3 extra=300ms
+//	survivability hello=25ms hold=3 restart=800ms gr=on
+//	damping penalty=1000 suppress=2000 reuse=750 halflife=15s
 //	fail PE1 P1 at=1s detect=50ms
 //	restore PE1 P1 at=2s detect=50ms
 //	flap P1 P2 at=3s count=5 down=100ms up=200ms detect=10ms jitter=20ms
@@ -80,6 +82,24 @@ type Event struct {
 	Jitter   sim.Time
 }
 
+// SurvConfig is the parsed survivability directive: hello/hold session
+// detection and the graceful-restart policy.
+type SurvConfig struct {
+	Hello   sim.Time
+	Hold    int
+	Restart sim.Time
+	GR      bool
+}
+
+// DampConfig is the parsed route-flap damping directive.
+type DampConfig struct {
+	Penalty  float64
+	Suppress float64
+	Reuse    float64
+	Max      float64
+	HalfLife sim.Time
+}
+
 // Scenario is a parsed fault script.
 type Scenario struct {
 	Name   string
@@ -88,6 +108,10 @@ type Scenario struct {
 	// Control-plane loss model applied for the whole run.
 	CtrlLoss  float64
 	CtrlExtra sim.Time
+
+	// Survivability layer configuration (nil = directive absent).
+	Surv    *SurvConfig
+	Damping *DampConfig
 }
 
 // EventCount returns the number of individual fault operations the
@@ -160,6 +184,93 @@ func ParseScenario(r io.Reader, name string) (*Scenario, error) {
 					sc.CtrlExtra = d
 				}
 			}
+		case "survivability":
+			if sc.Surv != nil {
+				return nil, fail("duplicate survivability directive")
+			}
+			cfg := &SurvConfig{GR: true}
+			for _, tok := range fields[1:] {
+				k, v, found := strings.Cut(tok, "=")
+				if !found {
+					return nil, fail("unexpected token %q", tok)
+				}
+				switch k {
+				case "hello", "restart":
+					d, err := time.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, fail("bad duration %q for %s", v, k)
+					}
+					if k == "hello" {
+						cfg.Hello = sim.Time(d)
+					} else {
+						cfg.Restart = sim.Time(d)
+					}
+				case "hold":
+					n, err := strconv.Atoi(v)
+					if err != nil || n < 1 || n > 100 {
+						return nil, fail("bad hold count %q", v)
+					}
+					cfg.Hold = n
+				case "gr":
+					switch v {
+					case "on":
+						cfg.GR = true
+					case "off":
+						cfg.GR = false
+					default:
+						return nil, fail("gr must be on or off, not %q", v)
+					}
+				default:
+					return nil, fail("unexpected token %q", tok)
+				}
+			}
+			sc.Surv = cfg
+		case "damping":
+			if sc.Damping != nil {
+				return nil, fail("duplicate damping directive")
+			}
+			cfg := &DampConfig{}
+			for _, tok := range fields[1:] {
+				k, v, found := strings.Cut(tok, "=")
+				if !found {
+					return nil, fail("unexpected token %q", tok)
+				}
+				switch k {
+				case "penalty", "suppress", "reuse", "max":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil || f < 0 || f > 1e9 {
+						return nil, fail("bad value %q for %s", v, k)
+					}
+					switch k {
+					case "penalty":
+						cfg.Penalty = f
+					case "suppress":
+						cfg.Suppress = f
+					case "reuse":
+						cfg.Reuse = f
+					case "max":
+						cfg.Max = f
+					}
+				case "halflife":
+					d, err := time.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, fail("bad duration %q for halflife", v)
+					}
+					cfg.HalfLife = sim.Time(d)
+				default:
+					return nil, fail("unexpected token %q", tok)
+				}
+			}
+			if cfg.Penalty <= 0 || cfg.Suppress <= 0 || cfg.HalfLife <= 0 {
+				return nil, fail("damping needs penalty=, suppress=, and halflife=")
+			}
+			if cfg.Reuse > cfg.Suppress {
+				return nil, fail("damping reuse=%g above suppress=%g", cfg.Reuse, cfg.Suppress)
+			}
+			if cfg.Max > 0 && cfg.Max < cfg.Suppress {
+				return nil, fail("damping max=%g below suppress=%g", cfg.Max, cfg.Suppress)
+			}
+			sc.Damping = cfg
 		case "fail", "restore":
 			if len(fields) < 4 {
 				return nil, fail("%s <a> <z> at=<t> [detect=<d>]", fields[0])

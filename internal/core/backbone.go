@@ -189,6 +189,12 @@ type Backbone struct {
 	// res is the TE resilience plane (nil until EnableResilience).
 	res *resilience
 
+	// surv is the control-plane survivability layer (nil until
+	// EnableSurvivability); ctrlDown tracks routers whose control plane is
+	// down while graceful restart preserves their forwarding state.
+	surv     *survivability
+	ctrlDown map[topo.NodeID]bool
+
 	// IsolationViolations counts packets delivered into a different VPN
 	// than they were injected into: must stay zero (E6).
 	IsolationViolations int
@@ -261,6 +267,7 @@ func newBackboneOn(cfg Config, e *sim.Engine, g *topo.Graph, net *netsim.Network
 		nextRD:       1,
 		failedLinks:  make(map[linkPair]bool),
 		nodeDown:     make(map[topo.NodeID]bool),
+		ctrlDown:     make(map[topo.NodeID]bool),
 		cutSites:     make(map[string]bool),
 	}
 }

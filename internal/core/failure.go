@@ -191,10 +191,14 @@ func (b *Backbone) RestoreLink(a, z string, detectDelay sim.Time) error {
 	return nil
 }
 
-// CrashNode takes a provider router down hard: every incident link drops
-// in both directions and the router's forwarding state (LFIB, FTN, TE
-// steering) is wiped — a crashed box forgets everything. The surviving
-// network reconverges after detectDelay.
+// CrashNode takes a provider router down. Without graceful restart the
+// crash is hard: every incident link drops in both directions and the
+// router's forwarding state (LFIB, FTN, TE steering) is wiped — a crashed
+// box forgets everything — and the surviving network reconverges after
+// detectDelay. With the survivability layer's graceful restart on, only
+// the control plane dies: links stay up and forwarding state is preserved
+// (RFC 4724's forwarding-state bit), while the hello state machine flaps
+// the box's sessions and starts the restart timer.
 func (b *Backbone) CrashNode(name string, detectDelay sim.Time) error {
 	subject := "node:" + name
 	id, ok := b.G.NodeByName(name)
@@ -205,9 +209,24 @@ func (b *Backbone) CrashNode(name string, detectDelay sim.Time) error {
 	if !isRouter || (r.Kind != device.PE && r.Kind != device.P) {
 		return b.rejectOp("crash", subject, "not a provider router")
 	}
-	if b.nodeDown[id] {
+	if b.nodeDown[id] || b.ctrlDown[id] {
 		return b.rejectOp("crash", subject, "already down")
 	}
+	if b.surv != nil && b.surv.opt.GracefulRestart {
+		b.ctrlDown[id] = true
+		b.journal(telemetry.EventNodeDown, subject,
+			"control plane down; graceful restart preserves forwarding state")
+		return nil
+	}
+	b.hardCrashNode(id)
+	b.journal(telemetry.EventNodeDown, subject, fmt.Sprintf("detect %v", detectDelay))
+	b.scheduleReconverge(detectDelay)
+	return nil
+}
+
+// hardCrashNode applies the data-plane consequences of a hard crash: all
+// incident links down, forwarding state wiped.
+func (b *Backbone) hardCrashNode(id topo.NodeID) {
 	b.nodeDown[id] = true
 	for i := 0; i < b.G.NumLinks(); i++ {
 		l := b.G.Link(topo.LinkID(i))
@@ -215,14 +234,12 @@ func (b *Backbone) CrashNode(name string, detectDelay sim.Time) error {
 			l.Down = true
 		}
 	}
+	r := b.routers[id]
 	r.LFIB = mpls.NewLFIB()
 	r.FTN = mpls.NewFTN()
 	for k := range r.TE {
 		delete(r.TE, k)
 	}
-	b.journal(telemetry.EventNodeDown, subject, fmt.Sprintf("detect %v", detectDelay))
-	b.scheduleReconverge(detectDelay)
-	return nil
 }
 
 // RestartNode brings a crashed router back: incident links come up unless
@@ -234,6 +251,15 @@ func (b *Backbone) RestartNode(name string, detectDelay sim.Time) error {
 	id, ok := b.G.NodeByName(name)
 	if !ok {
 		return b.rejectOp("restart", subject, "unknown node")
+	}
+	if b.ctrlDown[id] {
+		// Control-plane-only crash (graceful restart): nothing to rebuild —
+		// forwarding state never left. The hello state machine notices the
+		// recovery and re-establishes sessions.
+		delete(b.ctrlDown, id)
+		b.journal(telemetry.EventNodeUp, subject,
+			"control plane restarted; awaiting session re-establishment")
+		return nil
 	}
 	if !b.nodeDown[id] {
 		return b.rejectOp("restart", subject, "not down")
@@ -351,6 +377,18 @@ func (b *Backbone) reconvergeProvider() {
 			b.LDP.UseTables(n, b.allocs[n], r.LFIB, r.FTN)
 		}
 		b.LDP.Converge()
+		// Carry session state over to the rebuilt protocol instance so the
+		// hello state machine's view survives the reconvergence.
+		if b.surv != nil {
+			for _, n := range b.providerNodes {
+				switch b.surv.stateOf(n) {
+				case sessDown:
+					b.LDP.MarkSession(n, ldp.SessionDownState)
+				case sessRestarting:
+					b.LDP.MarkSession(n, ldp.SessionRestarting)
+				}
+			}
+		}
 
 		// 3. VPN egress labels back into the fresh LFIBs.
 		for _, rec := range b.sites {

@@ -390,7 +390,21 @@ func (b *Backbone) ConvergeVPNs() {
 		return
 	}
 	b.BGP.Converge()
+	b.importVRFs()
+	if b.surv != nil {
+		b.journalSuppressed()
+	}
+}
+
+// importVRFs refreshes every PE's VRFs from its current BGP best paths.
+// PEs whose control-plane sessions are not Up are skipped: under graceful
+// restart their VRF forwarding state must survive exactly as it was when
+// the control plane died.
+func (b *Backbone) importVRFs() {
 	for _, peID := range b.peNodes {
+		if b.surv.stateOf(peID) != sessUp {
+			continue
+		}
 		sp, _ := b.BGP.Speaker(peID)
 		routes := sp.BestRoutes()
 		for _, v := range b.routers[peID].VRFs {
@@ -439,7 +453,33 @@ func (b *Backbone) SetupTELSPForVPN(name, ingressPE, egressPE, vpnName string, b
 	return l, nil
 }
 
-// teKeyFor derives the ingress steering key from a TE request.
+// ReoptimizeTE re-signals the named TE intent make-before-break onto a
+// path avoiding the given links (nil = any better path), repointing the
+// ingress steering entry on success. The old path's interior labels drain
+// for LSPDrainDelay so committed in-flight traffic is never dropped.
+func (b *Backbone) ReoptimizeTE(name string, avoid map[topo.LinkID]bool) error {
+	if b.RSVP == nil {
+		return fmt.Errorf("core: TE requires MPLS mode")
+	}
+	for _, req := range b.teRequests {
+		if req.name != name {
+			continue
+		}
+		if req.lsp == nil || req.lsp.State != rsvp.Up {
+			return fmt.Errorf("core: TE intent %q is not up", name)
+		}
+		nl, err := b.RSVP.ReoptimizeAvoiding(req.lsp.ID, avoid)
+		if err != nil {
+			return err
+		}
+		req.lsp = nl
+		b.routers[req.ingress].TE[teKeyFor(req)] = nl.Entry
+		return nil
+	}
+	return fmt.Errorf("core: unknown TE intent %q", name)
+}
+
+// teKeyFor derives the ingress steering key from a teRequest.
 func teKeyFor(req *teRequest) device.TEKey {
 	return device.TEKey{EgressPE: req.egress, Class: req.class, VRF: req.vpn}
 }

@@ -198,6 +198,14 @@ func (b *Backbone) scheduleRetry(req *teRequest) {
 		backoff = r.opt.RetryMax
 	}
 	delay := backoff + sim.Time(float64(backoff)*r.opt.RetryJitter*r.rng.Float64())
+	// The retry trigger is a control-plane message too: under the loss
+	// model it can be lost, and the retransmission timeout compounds with
+	// the backoff.
+	if b.ctrlLoss > 0 && b.ctrlRng != nil && b.ctrlRng.Float64() < b.ctrlLoss {
+		b.journal(telemetry.EventCtrlLoss, "lsp:"+req.name,
+			fmt.Sprintf("re-signal trigger lost; retransmit adds %v", b.ctrlExtra))
+		delay += b.ctrlExtra
+	}
 	if r.opt.Horizon > 0 && b.E.Now()+delay > r.opt.Horizon {
 		b.journal(telemetry.EventTERetry, "lsp:"+req.name,
 			"retry horizon reached; waiting for the next reconvergence")
@@ -276,41 +284,28 @@ func (b *Backbone) probeRestore() {
 	}
 }
 
-// tryRestore re-signals req at its full reservation, make-before-break
-// when possible: the full LSP is established first, the steering entry
-// swaps, then the degraded one is torn down. When the degraded LSP's own
-// reservation is what blocks the full one, it falls back to
-// break-before-make and re-establishes the degraded reservation if the
-// full one still does not fit.
+// tryRestore re-signals req at its full reservation, make-before-break:
+// the degraded LSP's reservation is released shared-explicit style around
+// the admission decision (rsvp.Resignal), so the degraded reservation can
+// never block its own upgrade — the black-hole window of the old
+// break-before-make fallback is gone. On failure the degraded LSP stays
+// up untouched and the next probe tries again.
 func (b *Backbone) tryRestore(req *teRequest) {
 	fullOpt := req.opt
 	fullOpt.ClassType = req.fullClassType
-	if nl, err := b.RSVP.Setup(req.name, req.ingress, req.egress, req.fullBandwidth, fullOpt); err == nil {
-		old := req.lsp
-		b.restoreTo(req, nl, fullOpt)
-		if old != nil {
-			b.RSVP.Teardown(old.ID)
+	if req.lsp != nil && req.lsp.State == rsvp.Up {
+		nl, err := b.RSVP.Resignal(req.lsp.ID, req.fullBandwidth, fullOpt)
+		if err != nil {
+			return // still no room: keep the degraded guarantee
 		}
-		return
-	}
-	if req.lsp == nil {
-		return
-	}
-	oldBw, oldOpt := req.bandwidth, req.opt
-	b.RSVP.Teardown(req.lsp.ID)
-	req.lsp = nil
-	if nl, err := b.RSVP.Setup(req.name, req.ingress, req.egress, req.fullBandwidth, fullOpt); err == nil {
 		b.restoreTo(req, nl, fullOpt)
 		return
 	}
-	// Full still does not fit: put the degraded reservation back.
-	if nl, err := b.RSVP.Setup(req.name, req.ingress, req.egress, oldBw, oldOpt); err == nil {
-		req.lsp = nl
-		b.routers[req.ingress].TE[teKeyFor(req)] = nl.Entry
-	} else {
-		delete(b.routers[req.ingress].TE, teKeyFor(req))
-		b.teSignalFailed(req)
+	nl, err := b.RSVP.Setup(req.name, req.ingress, req.egress, req.fullBandwidth, fullOpt)
+	if err != nil {
+		return
 	}
+	b.restoreTo(req, nl, fullOpt)
 }
 
 // restoreTo commits a successful full re-signal: swap the intent onto nl

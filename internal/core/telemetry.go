@@ -117,11 +117,21 @@ func (b *Backbone) TelemetrySnapshot() *telemetry.Snapshot {
 	return b.tel.Snapshot(b.E.Now())
 }
 
+// LSPDrainDelay is how long a make-before-break switchover keeps the old
+// path's interior labels installed after the ingress repoints: in-flight
+// packets already committed to the old LSP drain through it instead of
+// black-holing at the first unbound hop.
+const LSPDrainDelay = 50 * sim.Millisecond
+
 // wireRSVPHooks routes RSVP signalling events into the telemetry journal
 // and, when resilience is on, into the TE retry queue. Must be re-applied
 // whenever b.RSVP is recreated (reconvergeProvider).
 func (b *Backbone) wireRSVPHooks() {
-	if b.RSVP == nil || (b.tel == nil && b.res == nil) {
+	if b.RSVP == nil {
+		return
+	}
+	b.RSVP.Defer = func(fn func()) { b.E.After(LSPDrainDelay, fn) }
+	if b.tel == nil && b.res == nil {
 		return
 	}
 	b.RSVP.OnEvent = func(e rsvp.Event) {

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/chaos"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/stats"
+	"mplsvpn/internal/trafgen"
+)
+
+// E16Result compares control-plane survivability with graceful restart on
+// and off through a PE crash/restart storm under control-plane message
+// loss. The claim: with RFC 4724-style graceful restart, a PE whose
+// control plane dies and returns within the restart timer causes zero
+// route withdrawals at the surviving PEs and zero data-plane loss — the
+// preserved (stale) forwarding state carries traffic across the outage —
+// while the same storm without graceful restart withdraws routes and
+// drops packets.
+type E16Result struct {
+	Table *stats.Table
+
+	// Loss[config] is the victim flow's end-to-end loss rate; the flow
+	// terminates behind the crashed PE, so it rides the stale state.
+	Loss map[string]float64
+	// Withdrawals[config] counts BGP withdrawals sent during the run.
+	Withdrawals map[string]int
+	// Flaps and Restores count session events seen by the hello machinery.
+	Flaps, Restores map[string]int
+	// StaleRetained counts routes the graceful-restart run kept stale.
+	StaleRetained int
+
+	// Journal accounting for the graceful-restart run.
+	SessionFlapEvents, SessionRestoredEvents int
+	// Invariant checker outcome (both runs).
+	Violations int
+}
+
+// e16Scenario crashes PE1's control plane twice, each outage shorter than
+// the restart timer, under a lossy control plane. The survivability line
+// is swapped per configuration.
+const e16Scenario = `
+survivability hello=25ms hold=3 restart=800ms gr=%s
+ctrlloss 0.4 extra=100ms
+crash PE1 at=1s detect=20ms
+restart PE1 at=1400ms detect=20ms
+crash PE1 at=2200ms detect=20ms
+restart PE1 at=2600ms detect=20ms
+`
+
+// E16GracefulRestart runs the PE crash storm with graceful restart off and
+// on. dur == 0 selects the default 3.5 s horizon.
+func E16GracefulRestart(dur sim.Time) *E16Result {
+	if dur == 0 {
+		dur = 3500 * sim.Millisecond
+	}
+	res := &E16Result{
+		Table: stats.NewTable("E16 — PE crash survivability: graceful restart off vs on",
+			"config", "loss_pct", "withdrawals", "flaps", "restores"),
+		Loss:        map[string]float64{},
+		Withdrawals: map[string]int{},
+		Flaps:       map[string]int{},
+		Restores:    map[string]int{},
+	}
+
+	run := func(gr bool) {
+		name := "gr-off"
+		mode := "off"
+		if gr {
+			name = "gr-on"
+			mode = "on"
+		}
+		b := core.NewBackbone(core.Config{Seed: 160, Scheduler: core.SchedHybrid})
+		b.AddPE("PE1")
+		b.AddP("P1")
+		b.AddPE("PE2")
+		b.AddPE("PE3")
+		b.Link("PE1", "P1", 10e6, sim.Millisecond, 1)
+		b.Link("P1", "PE2", 10e6, sim.Millisecond, 1)
+		b.Link("P1", "PE3", 10e6, sim.Millisecond, 1)
+		b.BuildProvider()
+		b.DefineVPN("alpha")
+		b.AddSite(core.SiteSpec{VPN: "alpha", Name: "a1", PE: "PE1",
+			Prefixes: []addr.Prefix{addr.MustParsePrefix("10.1.0.0/16")}})
+		b.AddSite(core.SiteSpec{VPN: "alpha", Name: "a2", PE: "PE2",
+			Prefixes: []addr.Prefix{addr.MustParsePrefix("10.2.0.0/16")}})
+		b.AddSite(core.SiteSpec{VPN: "alpha", Name: "a3", PE: "PE3",
+			Prefixes: []addr.Prefix{addr.MustParsePrefix("10.3.0.0/16")}})
+		b.ConvergeVPNs()
+
+		tel := b.EnableTelemetry(core.TelemetryOptions{Horizon: dur, JournalCap: 4096})
+		b.EnableResilience(core.ResilienceOptions{Horizon: dur})
+
+		// fa terminates behind the crashed PE: it measures forwarding on the
+		// stale state. fb never touches PE1: the control flow.
+		fa, _ := b.FlowBetween("fa", "a2", "a1", 5060)
+		fb, _ := b.FlowBetween("fb", "a2", "a3", 80)
+		trafgen.CBR(b.Net, fa, 500, 10*sim.Millisecond, 0, dur)
+		trafgen.CBR(b.Net, fb, 500, 10*sim.Millisecond, 0, dur)
+
+		script := strings.Replace(e16Scenario, "%s", mode, 1)
+		sc, err := chaos.ParseScenario(strings.NewReader(script), "e16")
+		if err != nil {
+			panic(err)
+		}
+		inj := chaos.New(b, sc)
+		inj.Schedule()
+		b.Net.RunUntil(dur + sim.Second)
+
+		res.Loss[name] = fa.Stats.LossRate()
+		res.Withdrawals[name] = b.BGP.WithdrawalsSent
+		st := b.SessionStats()
+		res.Flaps[name] = st.Flaps
+		res.Restores[name] = st.Restores
+		res.Violations += len(inj.Checker.Violations)
+		if gr {
+			res.StaleRetained = b.BGP.StaleRetained
+			for _, e := range tel.Journal.Events() {
+				switch e.Kind.String() {
+				case "session_flap":
+					res.SessionFlapEvents++
+				case "session_restored":
+					res.SessionRestoredEvents++
+				}
+			}
+		}
+		res.Table.AddRow(name, res.Loss[name]*100, res.Withdrawals[name],
+			res.Flaps[name], res.Restores[name])
+	}
+
+	run(false)
+	run(true)
+	return res
+}

@@ -235,3 +235,39 @@ func TestE14ResilienceShrinksLDPFallbackWindow(t *testing.T) {
 			res.Retries, res.Degradations, res.Restores)
 	}
 }
+
+func TestE16GracefulRestartPreservesForwarding(t *testing.T) {
+	res := E16GracefulRestart(0)
+	if res.Violations != 0 {
+		t.Fatalf("invariant violations = %d", res.Violations)
+	}
+	// Graceful restart: the crashed PE's routes are never withdrawn and the
+	// flow riding its stale forwarding state loses nothing.
+	if res.Withdrawals["gr-on"] != 0 {
+		t.Fatalf("gr-on sent %d withdrawals, want 0", res.Withdrawals["gr-on"])
+	}
+	if res.Loss["gr-on"] != 0 {
+		t.Fatalf("gr-on lost %.2f%% of the victim flow, want 0", res.Loss["gr-on"]*100)
+	}
+	if res.StaleRetained == 0 {
+		t.Fatal("gr-on retained no stale routes — graceful restart never engaged")
+	}
+	// Without it, the same storm withdraws routes and drops packets.
+	if res.Withdrawals["gr-off"] == 0 {
+		t.Fatal("gr-off sent no withdrawals — session loss had no effect")
+	}
+	if res.Loss["gr-off"] == 0 {
+		t.Fatal("gr-off lost nothing — the outage was not measurable")
+	}
+	// Both storms flapped and re-established sessions.
+	for _, cfg := range []string{"gr-off", "gr-on"} {
+		if res.Flaps[cfg] < 2 || res.Restores[cfg] < 2 {
+			t.Fatalf("%s: flaps=%d restores=%d, want >= 2 each",
+				cfg, res.Flaps[cfg], res.Restores[cfg])
+		}
+	}
+	if res.SessionFlapEvents == 0 || res.SessionRestoredEvents == 0 {
+		t.Fatalf("journal events: flap=%d restored=%d",
+			res.SessionFlapEvents, res.SessionRestoredEvents)
+	}
+}

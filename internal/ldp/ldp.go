@@ -76,6 +76,11 @@ type Protocol struct {
 	MessagesSent int
 	Rounds       int
 
+	// Session machinery (session.go): adjacency states and flap counters.
+	sessions      map[topo.NodeID]SessState
+	SessionFlaps  int
+	StaleBindings int
+
 	owners map[addr.Prefix]topo.NodeID
 }
 

@@ -1,0 +1,88 @@
+package ldp
+
+import (
+	"testing"
+)
+
+func TestSessionDownCountsNeighborBindings(t *testing.T) {
+	g, d, ids := backbone()
+	p := New(g, d)
+	p.Converge()
+	impacts := p.SessionDown(ids["P1"], true)
+	if len(impacts) == 0 {
+		t.Fatal("no neighbor impact from flapping P1")
+	}
+	total := 0
+	for _, im := range impacts {
+		if im.Peer == ids["P1"] {
+			t.Fatal("flapped node listed as its own peer")
+		}
+		if im.Bindings <= 0 {
+			t.Fatalf("impact %+v has no bindings", im)
+		}
+		total += im.Bindings
+	}
+	if p.StaleBindings != total {
+		t.Fatalf("StaleBindings=%d, impacts sum to %d", p.StaleBindings, total)
+	}
+	if got := p.StaleBindingCount(); got != total {
+		t.Fatalf("StaleBindingCount=%d, want %d", got, total)
+	}
+	if p.SessionState(ids["P1"]) != SessionRestarting {
+		t.Fatalf("state = %v, want restarting", p.SessionState(ids["P1"]))
+	}
+	// Forwarding-state preservation: the LSPs through P1 still switch.
+	if _, err := p.TraceLSP(ids["PE1"], ids["PE2"]); err != nil {
+		t.Fatalf("LSP through restarting P1 broken: %v", err)
+	}
+	p.SessionUp(ids["P1"])
+	if p.SessionState(ids["P1"]) != SessionUp || p.StaleBindingCount() != 0 {
+		t.Fatalf("session not clean after restart: state=%v stale=%d",
+			p.SessionState(ids["P1"]), p.StaleBindingCount())
+	}
+	if p.SessionFlaps != 1 {
+		t.Fatalf("flaps = %d, want 1", p.SessionFlaps)
+	}
+}
+
+func TestHardSessionDownSkipsStaleAccounting(t *testing.T) {
+	g, d, ids := backbone()
+	p := New(g, d)
+	p.Converge()
+	impacts := p.SessionDown(ids["P1"], false)
+	if len(impacts) == 0 {
+		t.Fatal("no neighbor impact")
+	}
+	if p.StaleBindings != 0 || p.StaleBindingCount() != 0 {
+		t.Fatalf("hard down accrued stale bindings: %d/%d",
+			p.StaleBindings, p.StaleBindingCount())
+	}
+	if p.SessionState(ids["P1"]) != SessionDownState {
+		t.Fatalf("state = %v, want down", p.SessionState(ids["P1"]))
+	}
+}
+
+func TestMarkSessionSurvivesRebuild(t *testing.T) {
+	g, d, ids := backbone()
+	p := New(g, d)
+	p.Converge()
+	p.SessionDown(ids["P1"], true)
+	// A reconvergence rebuilds the protocol instance; the survivability
+	// layer re-applies session state with MarkSession (no flap counted).
+	p2 := New(g, d)
+	p2.Converge()
+	p2.MarkSession(ids["P1"], SessionRestarting)
+	if p2.SessionFlaps != 0 {
+		t.Fatalf("MarkSession counted a flap: %d", p2.SessionFlaps)
+	}
+	if p2.SessionState(ids["P1"]) != SessionRestarting {
+		t.Fatalf("state not re-applied: %v", p2.SessionState(ids["P1"]))
+	}
+	if p2.StaleBindingCount() == 0 {
+		t.Fatal("rebuilt instance sees no stale bindings from restarting peer")
+	}
+	p2.MarkSession(ids["P1"], SessionUp)
+	if p2.SessionState(ids["P1"]) != SessionUp {
+		t.Fatal("MarkSession up not applied")
+	}
+}

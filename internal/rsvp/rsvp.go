@@ -129,6 +129,14 @@ type Protocol struct {
 
 	// OnEvent, when set, observes every signalling event synchronously.
 	OnEvent func(Event)
+
+	// Defer, when set, postpones the interior label unbind of a
+	// make-before-break switchover (Resignal): the old path's reservation
+	// is released immediately, but its ILM entries linger until the
+	// deferred call runs, so packets already in flight on the old labels
+	// drain instead of black-holing. Callers with a simulation engine point
+	// this at Engine.After; nil unbinds synchronously.
+	Defer func(func())
 }
 
 // New creates the protocol. alloc and lfib give each router's shared label
@@ -399,10 +407,27 @@ func (p *Protocol) signal(l *LSP) {
 		l.hopLabels[i] = local
 		downstream = local
 	}
+	p.addReservation(l, +1)
+}
+
+// addReservation adjusts every link ledger on l's path (the global
+// ReservedBw and the DS-TE pool): sign +1 reserves, -1 releases.
+// Shared-explicit-style re-signalling (Resignal) releases the old LSP's
+// reservation around the admission decision so old and new path are
+// charged only once where they overlap.
+func (p *Protocol) addReservation(l *LSP, sign float64) {
 	for _, lid := range l.Path.Links {
-		p.G.Link(lid).ReservedBw += l.Bandwidth
+		link := p.G.Link(lid)
+		link.ReservedBw += sign * l.Bandwidth
+		if link.ReservedBw < 0 {
+			link.ReservedBw = 0
+		}
 		if p.DSTE != nil {
-			p.DSTE.Reserve(lid, l.ClassType, l.Bandwidth)
+			if sign > 0 {
+				p.DSTE.Reserve(lid, l.ClassType, l.Bandwidth)
+			} else {
+				p.DSTE.Release(lid, l.ClassType, l.Bandwidth)
+			}
 		}
 	}
 }
@@ -413,25 +438,31 @@ func (p *Protocol) Teardown(id int) bool { return p.teardown(id, true) }
 // teardown implements Teardown; emit suppresses the generic teardown event
 // when the caller reports a more specific one (preemption, reoptimize).
 func (p *Protocol) teardown(id int, emit bool) bool {
+	return p.teardownMode(id, emit, false)
+}
+
+// teardownMode releases an LSP. With drain set (and Defer wired), the
+// bandwidth ledgers release immediately but the interior ILM entries stay
+// bound until the deferred call runs, so in-flight packets on the old
+// labels complete their journey — the make-before-break no-drop guarantee.
+func (p *Protocol) teardownMode(id int, emit, drain bool) bool {
 	l, ok := p.lsps[id]
 	if !ok || l.State != Up {
 		return false
 	}
-	for _, lid := range l.Path.Links {
-		link := p.G.Link(lid)
-		link.ReservedBw -= l.Bandwidth
-		if link.ReservedBw < 0 {
-			link.ReservedBw = 0
-		}
-		if p.DSTE != nil {
-			p.DSTE.Release(lid, l.ClassType, l.Bandwidth)
+	p.addReservation(l, -1)
+	unbind := func() {
+		nodes := l.Path.Nodes(p.G)
+		for i := 1; i < len(nodes)-1; i++ {
+			if l.hopLabels[i] != packet.LabelImplicitNull {
+				p.LFIBFor(nodes[i]).UnbindILM(l.hopLabels[i])
+			}
 		}
 	}
-	nodes := l.Path.Nodes(p.G)
-	for i := 1; i < len(nodes)-1; i++ {
-		if l.hopLabels[i] != packet.LabelImplicitNull {
-			p.LFIBFor(nodes[i]).UnbindILM(l.hopLabels[i])
-		}
+	if drain && p.Defer != nil {
+		p.Defer(unbind)
+	} else {
+		unbind()
 	}
 	l.State = Down
 	delete(p.lsps, id)
@@ -480,21 +511,44 @@ func (p *Protocol) ReoptimizeAvoiding(id int, avoid map[topo.LinkID]bool) (*LSP,
 		return nil, fmt.Errorf("rsvp: LSP %d is not up", id)
 	}
 	oldPath := p.pathString(old.Path)
-	// Make: signal the replacement first (its reservation coexists with
-	// the old one during the transition, as RFC 3209 shared-explicit
-	// style re-routing intends).
-	nl, err := p.Setup(old.Name, old.Ingress, old.Egress, old.Bandwidth, SetupOptions{
+	nl, err := p.Resignal(id, old.Bandwidth, SetupOptions{
 		SetupPri: old.SetupPri, HoldPri: old.HoldPri, ClassType: old.ClassType,
 		Avoid: avoid,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("rsvp: make-before-break blocked: %w", err)
+		return nil, err
 	}
-	// Break: release the old path.
-	p.teardown(old.ID, false)
 	p.emit(Event{Kind: EventReoptimized, LSPID: nl.ID, Name: nl.Name, Ingress: nl.Ingress,
 		Egress: nl.Egress, Bandwidth: nl.Bandwidth,
 		Detail: fmt.Sprintf("%s => %s", oldPath, p.pathString(nl.Path))})
+	return nl, nil
+}
+
+// Resignal replaces an Up LSP make-before-break, possibly at a different
+// bandwidth or under different options, with shared-explicit-style
+// accounting (RFC 3209 SE): the old LSP's reservation is released around
+// the admission decision, so where the old and new paths overlap only the
+// difference is charged — an LSP can re-signal onto its own path even
+// when the two reservations together would exceed the link. On success
+// the old path is released (interior labels drain via Defer when wired)
+// and the replacement returned; on failure the old LSP stays up and
+// untouched, so there is never a window without committed forwarding
+// state. Zero priorities inherit the old LSP's.
+func (p *Protocol) Resignal(id int, bandwidth float64, opt SetupOptions) (*LSP, error) {
+	old, ok := p.lsps[id]
+	if !ok || old.State != Up {
+		return nil, fmt.Errorf("rsvp: LSP %d is not up", id)
+	}
+	if opt.SetupPri == 0 && opt.HoldPri == 0 {
+		opt.SetupPri, opt.HoldPri = old.SetupPri, old.HoldPri
+	}
+	p.addReservation(old, -1)
+	nl, err := p.Setup(old.Name, old.Ingress, old.Egress, bandwidth, opt)
+	p.addReservation(old, +1)
+	if err != nil {
+		return nil, fmt.Errorf("rsvp: make-before-break blocked: %w", err)
+	}
+	p.teardownMode(old.ID, false, true)
 	return nl, nil
 }
 

@@ -30,10 +30,15 @@ const (
 	EventCtrlLoss
 	EventChaos
 	EventInvariantViolation
+	EventSessionFlap
+	EventSessionRestored
+	EventStaleSwept
+	EventRouteDamped
+	EventRouteReused
 )
 
 // eventKindEnd is the last valid kind; UnmarshalJSON ranges up to it.
-const eventKindEnd = EventInvariantViolation
+const eventKindEnd = EventRouteReused
 
 func (k EventKind) String() string {
 	switch k {
@@ -73,6 +78,16 @@ func (k EventKind) String() string {
 		return "chaos"
 	case EventInvariantViolation:
 		return "invariant_violation"
+	case EventSessionFlap:
+		return "session_flap"
+	case EventSessionRestored:
+		return "session_restored"
+	case EventStaleSwept:
+		return "stale_swept"
+	case EventRouteDamped:
+		return "route_damped"
+	case EventRouteReused:
+		return "route_reused"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
