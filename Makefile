@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-reconverge fuzz-short verify-parallel verify-survivability cover examples record clean
+.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability cover examples record clean
 
-all: build vet test test-race fuzz-short bench-reconverge
+all: build vet test test-race fuzz-short bench-reconverge bench-gate
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,21 @@ bench:
 # Reconvergence is the unit of work every injected fault triggers; track it.
 bench-reconverge:
 	$(GO) test -run='^$$' -bench=BenchmarkReconverge -benchmem ./internal/core
+
+# The allocation-budget tests alone: every hot-path component must be
+# zero-alloc at steady state (label stack ops, Router.Receive, scheduler
+# enqueue/dequeue, engine Post, and the full netsim per-hop path).
+alloc-gate:
+	$(GO) test -count=1 -run='ZeroAlloc|TestPostRecycleBeforeRun|TestPoolingInvisibleToResults' \
+		./internal/packet ./internal/sim ./internal/qos ./internal/device ./internal/netsim
+
+# The performance regression gate: the zero-alloc tests above, then a
+# measured perf snapshot (E4 lookup cost, 200-site data-plane PPS and
+# allocation rate, E15 event throughput) written to BENCH_<n>.json and
+# compared benchstat-style against the previous snapshot. Fails on an
+# allocation-budget violation or a large throughput regression.
+bench-gate: alloc-gate
+	$(GO) run ./cmd/vpnbench -perf -gate
 
 # The serial-vs-parallel equivalence harness under the race detector: every
 # scenario (QoS mesh, bottleneck drops, failure reconvergence, extranet,

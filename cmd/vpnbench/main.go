@@ -7,6 +7,8 @@
 //	vpnbench -e e1,e5      # run a subset
 //	vpnbench -json out.json  # machine-readable results
 //	vpnbench -dur 10s      # longer traffic runs (E2/E3/E5)
+//	vpnbench -perf         # perf snapshot -> BENCH_<n>.json
+//	vpnbench -perf -gate   # snapshot + fail on alloc/throughput regression
 package main
 
 import (
@@ -29,13 +31,20 @@ func main() {
 		shards   = flag.String("shards", "1,2,4,8", "E15 shard counts to sweep")
 		workers  = flag.Int("workers", 0, "E15 worker pool size (0 = GOMAXPROCS)")
 		jsonFile = flag.String("json", "", "also write machine-readable results to this file")
+		perf     = flag.Bool("perf", false, "run the perf suite and write BENCH_<n>.json")
+		gate     = flag.Bool("gate", false, "with -perf: fail on allocation-budget or throughput regression")
+		benchDir = flag.String("bench-dir", ".", "directory for BENCH_<n>.json snapshots")
 	)
 	flag.Parse()
+
+	if *perf {
+		os.Exit(runPerf(*benchDir, *gate))
+	}
 	results := map[string]any{}
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"} {
 			want[e] = true
 		}
 	} else {
@@ -163,6 +172,13 @@ func main() {
 		fmt.Println(res.Table.String())
 		fmt.Printf("gr-on retained %d stale routes; journal: %d session_flap, %d session_restored; %d invariant violations\n\n",
 			res.StaleRetained, res.SessionFlapEvents, res.SessionRestoredEvents, res.Violations)
+	}
+
+	if want["e17"] {
+		res := experiments.E17ZeroAllocDataPlane(0, nil)
+		results["e17"] = res
+		fmt.Println(res.Scaling.String())
+		fmt.Println(res.Ablation.String())
 	}
 
 	if *jsonFile != "" {

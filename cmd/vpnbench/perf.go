@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mplsvpn/internal/experiments"
+	"mplsvpn/internal/sim"
+)
+
+// BenchReport is the machine-readable performance snapshot written to
+// BENCH_<n>.json by `vpnbench -perf`. It carries the numbers the
+// allocation-budget gate tracks across commits: forwarding-decision cost
+// (E4), full data-plane throughput and allocation rate on the 200-site
+// backbone (E17), and the sharded engine's event throughput (E15).
+type BenchReport struct {
+	Generated  string             `json:"generated"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	E4NsPerOp  map[string]float64 `json:"e4_ns_per_op"`
+	// Backbone200 is the pooled 200-site run.
+	Backbone200 BenchDataPlane `json:"backbone200"`
+	// Unpooled200 is the same workload with freelists disabled (ablation).
+	Unpooled200 BenchDataPlane `json:"unpooled200"`
+	// E15EventsPerSec keys are "serial" and "shards-<n>".
+	E15EventsPerSec map[string]float64 `json:"e15_events_per_sec"`
+}
+
+// BenchDataPlane summarizes one measured data-plane run.
+type BenchDataPlane struct {
+	PPS          float64 `json:"pps"`
+	NsPerPkt     float64 `json:"ns_per_pkt"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+	GCPauseMs    float64 `json:"gc_pause_ms"`
+}
+
+// maxAllocsPerPkt is the gate's allocation budget for the pooled data
+// plane. Steady state is zero; the budget absorbs one-time growth
+// (pool warm-up, queue rings, heap backing arrays) amortized over the run.
+const maxAllocsPerPkt = 0.5
+
+// maxPPSRegression is the fractional throughput loss versus the previous
+// BENCH_<n>.json that fails the gate. Wall-clock numbers are noisy on
+// shared machines, so the bar is deliberately loose; the allocation budget
+// above is the precise gate.
+const maxPPSRegression = 0.35
+
+func dataPlaneFromRun(r experiments.E17Run) BenchDataPlane {
+	d := BenchDataPlane{
+		PPS:          r.PPS,
+		EventsPerSec: r.EventsPerSec,
+		AllocsPerPkt: r.AllocsPerPkt,
+		GCPauseMs:    r.GCPauseMs,
+	}
+	if r.PPS > 0 {
+		d.NsPerPkt = 1e9 / r.PPS
+	}
+	return d
+}
+
+// runPerf measures the perf suite, writes BENCH_<n>.json, compares against
+// the previous snapshot, and (when gate is set) returns non-zero on a
+// budget violation or a large throughput regression.
+func runPerf(dir string, gate bool) int {
+	fmt.Println("perf: E4 forwarding-decision cost...")
+	e4 := experiments.E4Forwarding(nil, 500_000)
+	fmt.Println(e4.Table.String())
+
+	fmt.Println("perf: E17 data-plane throughput + pooling ablation...")
+	e17 := experiments.E17ZeroAllocDataPlane(200*sim.Millisecond, []int{experiments.ScalingSites})
+	fmt.Println(e17.Scaling.String())
+	fmt.Println(e17.Ablation.String())
+
+	fmt.Println("perf: E15 sharded event throughput...")
+	e15 := map[string]float64{}
+	for _, shards := range []int{0, 8} {
+		r := experiments.RunScaling(experiments.ScalingSites, shards, 0, 200*sim.Millisecond)
+		name := "serial"
+		if shards > 0 {
+			name = fmt.Sprintf("shards-%d", shards)
+		}
+		e15[name] = float64(r.Events) / r.Wall.Seconds()
+		fmt.Printf("  %-9s %12.0f events/sec\n", name, e15[name])
+	}
+	fmt.Println()
+
+	rep := &BenchReport{
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:      gomaxprocs(),
+		E4NsPerOp:       e4.NsPerOp,
+		E15EventsPerSec: e15,
+	}
+	var pooled, unpooled *experiments.E17Run
+	for i := range e17.Runs {
+		r := &e17.Runs[i]
+		if r.Sites != experiments.ScalingSites {
+			continue
+		}
+		if r.Config == "pooled" {
+			pooled = r
+		} else {
+			unpooled = r
+		}
+	}
+	if pooled != nil {
+		rep.Backbone200 = dataPlaneFromRun(*pooled)
+	}
+	if unpooled != nil {
+		rep.Unpooled200 = dataPlaneFromRun(*unpooled)
+	}
+
+	prevPath, prev := latestBench(dir)
+	out := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", nextBenchIndex(dir)))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpnbench: marshal:", err)
+		return 1
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vpnbench:", err)
+		return 1
+	}
+	fmt.Printf("perf snapshot written to %s\n", out)
+
+	fail := false
+	if rep.Backbone200.AllocsPerPkt > maxAllocsPerPkt {
+		fmt.Printf("GATE: pooled data plane allocates %.2f objects/pkt, budget %.2f\n",
+			rep.Backbone200.AllocsPerPkt, maxAllocsPerPkt)
+		fail = true
+	}
+	if prev != nil {
+		fmt.Printf("comparison vs %s:\n", prevPath)
+		cmp := func(name string, old, new float64, higherBetter bool) {
+			if old == 0 {
+				return
+			}
+			delta := (new - old) / old * 100
+			fmt.Printf("  %-28s %12.1f -> %12.1f  (%+.1f%%)\n", name, old, new, delta)
+			if gate && higherBetter && new < old*(1-maxPPSRegression) {
+				fmt.Printf("GATE: %s regressed more than %.0f%%\n", name, maxPPSRegression*100)
+				fail = true
+			}
+		}
+		cmp("backbone200.pps", prev.Backbone200.PPS, rep.Backbone200.PPS, true)
+		cmp("backbone200.events_per_sec", prev.Backbone200.EventsPerSec, rep.Backbone200.EventsPerSec, true)
+		cmp("backbone200.allocs_per_pkt", prev.Backbone200.AllocsPerPkt, rep.Backbone200.AllocsPerPkt, false)
+		cmp("e4.ilm_ns_per_op", prev.E4NsPerOp["ilm"], rep.E4NsPerOp["ilm"], false)
+		cmp("e15.serial_events_per_sec", prev.E15EventsPerSec["serial"], rep.E15EventsPerSec["serial"], true)
+	}
+	if fail && gate {
+		fmt.Println("perf gate FAILED")
+		return 1
+	}
+	if gate {
+		fmt.Println("perf gate ok")
+	}
+	return 0
+}
+
+// latestBench loads the highest-numbered BENCH_<n>.json in dir, if any.
+func latestBench(dir string) (string, *BenchReport) {
+	idx := benchIndices(dir)
+	if len(idx) == 0 {
+		return "", nil
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", idx[len(idx)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return "", nil
+	}
+	return path, &rep
+}
+
+func nextBenchIndex(dir string) int {
+	idx := benchIndices(dir)
+	if len(idx) == 0 {
+		return 1
+	}
+	return idx[len(idx)-1] + 1
+}
+
+func benchIndices(dir string) []int {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	var idx []int
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		if n, err := strconv.Atoi(base); err == nil {
+			idx = append(idx, n)
+		}
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }

@@ -140,7 +140,7 @@ func TestTraceRouteUnreachable(t *testing.T) {
 	if tr.Delivered {
 		t.Fatal("unreachable destination delivered")
 	}
-	if !strings.Contains(tr.Reason, "no route") {
+	if !strings.Contains(tr.Reason, "no_route") {
 		t.Fatalf("reason = %q", tr.Reason)
 	}
 	if tr2 := b.TraceRoute("ghost", addr.MustParseIPv4("10.2.0.1"), 0); tr2.Delivered {

@@ -215,6 +215,7 @@ type Backbone struct {
 	// Telemetry plane (nil until EnableTelemetry).
 	tel             *telemetry.Telemetry
 	vpnTel          map[string]*vpnTel
+	telDropReason   [packet.NumDropReasons]*telemetry.Counter
 	telHotThreshold float64
 	telPrevTx       []int64   // per-link tx bytes at the last interval roll
 	telLastUtil     []float64 // per-link utilization over the last interval

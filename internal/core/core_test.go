@@ -335,7 +335,7 @@ func TestPlainIPWithIPSecMesh(t *testing.T) {
 	f.DSCP = packet.DSCPEF
 	trafgen.CBR(b.Net, f, 160, 10*sim.Millisecond, 0, 500*sim.Millisecond)
 	// Snoop via a wrapper on delivery at the remote CE plus core counters.
-	b.Net.OnDrop = func(_ topo.NodeID, p *packet.Packet, err error) {}
+	b.Net.OnDrop = func(_ topo.NodeID, p *packet.Packet, reason packet.DropReason) {}
 	b.Net.Run()
 	_ = sawESPInCore
 	_ = sawBEDSCPInCore

@@ -238,7 +238,7 @@ func (b *Backbone) hardCrashNode(id topo.NodeID) {
 	r.LFIB = mpls.NewLFIB()
 	r.FTN = mpls.NewFTN()
 	for k := range r.TE {
-		delete(r.TE, k)
+		r.DeleteTE(k)
 	}
 }
 
@@ -412,7 +412,7 @@ func (b *Backbone) reconvergeProvider() {
 		b.configureDSTE()
 		for _, n := range b.providerNodes {
 			for k := range b.routers[n].TE {
-				delete(b.routers[n].TE, k)
+				b.routers[n].DeleteTE(k)
 			}
 		}
 		// The old protocol instance is gone and the new one restarts LSP IDs
@@ -431,7 +431,7 @@ func (b *Backbone) reconvergeProvider() {
 				continue
 			}
 			req.lsp = l
-			b.routers[req.ingress].TE[teKeyFor(req)] = l.Entry
+			b.routers[req.ingress].SetTE(teKeyFor(req), l.Entry)
 		}
 		b.signalBypasses()
 	}

@@ -449,7 +449,7 @@ func (b *Backbone) SetupTELSPForVPN(name, ingressPE, egressPE, vpnName string, b
 		bandwidth: bandwidth, class: class, opt: opt, lsp: l,
 		fullBandwidth: bandwidth, fullClassType: opt.ClassType}
 	b.teRequests = append(b.teRequests, req)
-	b.routers[in].TE[teKeyFor(req)] = l.Entry
+	b.routers[in].SetTE(teKeyFor(req), l.Entry)
 	return l, nil
 }
 
@@ -473,7 +473,7 @@ func (b *Backbone) ReoptimizeTE(name string, avoid map[topo.LinkID]bool) error {
 			return err
 		}
 		req.lsp = nl
-		b.routers[req.ingress].TE[teKeyFor(req)] = nl.Entry
+		b.routers[req.ingress].SetTE(teKeyFor(req), nl.Entry)
 		return nil
 	}
 	return fmt.Errorf("core: unknown TE intent %q", name)

@@ -158,7 +158,7 @@ func (b *Backbone) teLost(lspID int) {
 			continue
 		}
 		req.lsp = nil
-		delete(b.routers[req.ingress].TE, teKeyFor(req))
+		b.routers[req.ingress].DeleteTE(teKeyFor(req))
 		b.scheduleRetry(req)
 		return
 	}
@@ -236,7 +236,7 @@ func (b *Backbone) retrySignal(req *teRequest) {
 	}
 	req.lsp = l
 	req.attempts = 0
-	b.routers[req.ingress].TE[teKeyFor(req)] = l.Entry
+	b.routers[req.ingress].SetTE(teKeyFor(req), l.Entry)
 }
 
 // degradeStep applies one step of the configured policy to req, reporting
@@ -316,7 +316,7 @@ func (b *Backbone) restoreTo(req *teRequest, nl *rsvp.LSP, fullOpt rsvp.SetupOpt
 	req.opt = fullOpt
 	req.degraded = false
 	req.attempts = 0
-	b.routers[req.ingress].TE[teKeyFor(req)] = nl.Entry
+	b.routers[req.ingress].SetTE(teKeyFor(req), nl.Entry)
 	b.journal(telemetry.EventTERestored, "lsp:"+req.name,
 		fmt.Sprintf("full reservation %.0f b/s re-signalled", req.fullBandwidth))
 }

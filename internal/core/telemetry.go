@@ -88,9 +88,19 @@ func (b *Backbone) EnableTelemetry(opts TelemetryOptions) *telemetry.Telemetry {
 
 	b.wireRSVPHooks()
 
+	// Per-cause drop counters, pre-resolved so the hook does one array
+	// index per drop. The label is the DropReason's stable snake_case name.
+	for r := 0; r < packet.NumDropReasons; r++ {
+		b.telDropReason[r] = b.tel.Reg.Counter("net_dropped_packets",
+			telemetry.Labels{Reason: packet.DropReason(r).String()})
+	}
+
 	prevDrop := b.Net.OnDrop
-	b.Net.OnDrop = func(at topo.NodeID, p *packet.Packet, reason error) {
+	b.Net.OnDrop = func(at topo.NodeID, p *packet.Packet, reason packet.DropReason) {
 		b.telDrop(p)
+		if int(reason) < len(b.telDropReason) {
+			b.telDropReason[reason].Inc()
+		}
 		if prevDrop != nil {
 			prevDrop(at, p, reason)
 		}
@@ -286,6 +296,6 @@ func (b *Backbone) breachReoptimize(vpn string) {
 			continue // no cooler path exists; stay put
 		}
 		req.lsp = nl
-		b.routers[req.ingress].TE[teKeyFor(req)] = nl.Entry
+		b.routers[req.ingress].SetTE(teKeyFor(req), nl.Entry)
 	}
 }

@@ -223,3 +223,37 @@ func TestEnableTelemetryBeforeBuild(t *testing.T) {
 		t.Fatal("port counters not attached when enabled before build")
 	}
 }
+
+// Drops must be attributed to their typed cause in telemetry: a queue
+// overflow increments net_dropped_packets{reason=queue_overflow}, and the
+// per-reason series never conflates causes (the misattribution fixed in
+// device.receiveLabeled would show up here as the wrong label).
+func TestTelemetryDropReasonLabels(t *testing.T) {
+	b := buildSmall(Config{Seed: 9})
+	twoSites(b)
+	tel := b.EnableTelemetry(TelemetryOptions{})
+	f, err := b.FlowBetween("f", "hq", "branch", 5060)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overdrive the access link so the egress queue overflows.
+	trafgen.CBR(b.Net, f, 1400, 10*sim.Microsecond, 0, 50*sim.Millisecond)
+	b.Net.Run()
+	if b.Net.Dropped == 0 {
+		t.Fatal("workload did not overflow any queue")
+	}
+	overflow := tel.Reg.Counter("net_dropped_packets",
+		telemetry.Labels{Reason: packet.DropQueueOverflow.String()}).Value()
+	if overflow == 0 {
+		t.Fatal("queue overflow drops not counted under reason=queue_overflow")
+	}
+	var total int64
+	for _, m := range b.TelemetrySnapshot().Metrics {
+		if m.Name == "net_dropped_packets" {
+			total += int64(m.Value)
+		}
+	}
+	if total != int64(b.Net.Dropped) {
+		t.Fatalf("per-reason drop counters sum to %d, network dropped %d", total, b.Net.Dropped)
+	}
+}

@@ -79,8 +79,8 @@ func (b *Backbone) TraceRoute(fromSite string, dst addr.IPv4, dscp packet.DSCP) 
 		v := r.Receive(b.E.Now(), p, inLink)
 		action := describeAction(before, p, v)
 		tr.Hops = append(tr.Hops, Hop{Node: at, Name: r.Name, Action: action, Stack: p.MPLS.Clone()})
-		if v.Err != nil {
-			tr.Reason = v.Err.Error()
+		if v.Dropped() {
+			tr.Reason = v.Drop.Error()
 			return tr
 		}
 		if v.Deliver {
@@ -104,8 +104,8 @@ func (b *Backbone) TraceRoute(fromSite string, dst addr.IPv4, dscp packet.DSCP) 
 func describeAction(depthBefore int, p *packet.Packet, v device.Verdict) string {
 	after := p.MPLS.Depth()
 	switch {
-	case v.Err != nil:
-		return "DROP: " + v.Err.Error()
+	case v.Dropped():
+		return "DROP: " + v.Drop.Error()
 	case v.Deliver:
 		return "deliver"
 	case after > depthBefore:

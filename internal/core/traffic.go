@@ -111,7 +111,7 @@ func (b *Backbone) AttachAIMD(f *trafgen.Flow, payload int, stop sim.Time) *traf
 	if b.aimd == nil {
 		b.aimd = make(map[packet.FlowKey]*trafgen.AIMD)
 		prevDrop := b.Net.OnDrop
-		b.Net.OnDrop = func(at topo.NodeID, p *packet.Packet, reason error) {
+		b.Net.OnDrop = func(at topo.NodeID, p *packet.Packet, reason packet.DropReason) {
 			if src, ok := b.aimd[p.FlowKey()]; ok {
 				src.Loss()
 			}

@@ -1,0 +1,58 @@
+package device
+
+import (
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/mpls"
+	"mplsvpn/internal/packet"
+)
+
+// Router.Receive on the two hot entry points — a labeled mid-path swap and
+// a VRF ingress push — must not allocate: the label stack mutates in place,
+// TE lookup is a precomputed index, and drops are typed sentinels.
+func TestReceiveLabeledZeroAlloc(t *testing.T) {
+	lsr := New(5, "P1", P, addr.MustParseIPv4("10.255.0.5"))
+	lsr.LFIB.BindILM(100, mpls.NHLFE{Op: mpls.OpSwap, OutLabel: 101, OutLink: 3})
+	p := &packet.Packet{IP: packet.IPv4Header{TTL: 64}, Payload: 200}
+	allocs := testing.AllocsPerRun(100, func() {
+		p.MPLS.Clear()
+		p.MPLS.Push(packet.LabelStackEntry{Label: 100, EXP: 5, TTL: 64})
+		v := lsr.Receive(0, p, 1)
+		if v.Dropped() || v.OutLink != 3 {
+			t.Fatalf("verdict = %+v", v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("labeled Receive allocates %v per packet, want 0", allocs)
+	}
+}
+
+func TestReceiveVRFIngressZeroAlloc(t *testing.T) {
+	pe, v := buildIngressPE()
+	installRemote(v, "10.2.0.0/16", 2, "10.255.0.2", 500)
+	pe.FTN.Bind(addr.HostPrefix(addr.MustParseIPv4("10.255.0.2")),
+		mpls.NHLFE{Op: mpls.OpPush, OutLabel: 100, OutLink: 7})
+	p := &packet.Packet{
+		IP: packet.IPv4Header{
+			DSCP: packet.DSCPEF, TTL: 64, Protocol: packet.ProtoUDP,
+			Src: addr.MustParseIPv4("10.1.0.1"),
+			Dst: addr.MustParseIPv4("10.2.3.4"),
+		},
+		Payload: 100,
+	}
+	dscp := p.IP.DSCP
+	allocs := testing.AllocsPerRun(100, func() {
+		p.MPLS.Clear()
+		p.IP.TTL = 64
+		p.IP.DSCP = dscp
+		p.InvalidateCaches()
+		verdict := pe.Receive(0, p, 100)
+		if verdict.Dropped() || verdict.OutLink != 7 || p.MPLS.Depth() != 2 {
+			t.Fatalf("verdict = %+v depth=%d", verdict, p.MPLS.Depth())
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("VRF ingress Receive allocates %v per packet, want 0", allocs)
+	}
+}

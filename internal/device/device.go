@@ -16,8 +16,6 @@
 package device
 
 import (
-	"fmt"
-
 	"mplsvpn/internal/addr"
 	"mplsvpn/internal/ipsec"
 	"mplsvpn/internal/mpls"
@@ -62,9 +60,14 @@ type Verdict struct {
 	// Delay is extra processing time to charge before transmission
 	// (e.g. IPSec crypto).
 	Delay sim.Time
-	// Err, when set, means the packet is dropped with this reason.
-	Err error
+	// Drop, when not DropNone, means the packet is discarded for this
+	// reason. A typed sentinel keeps the hot path free of fmt allocations;
+	// observers format text on demand.
+	Drop packet.DropReason
 }
+
+// Dropped reports whether the verdict discards the packet.
+func (v Verdict) Dropped() bool { return v.Drop != packet.DropNone }
 
 // TEKey selects a TE LSP override at an ingress PE: traffic of class Class
 // in VRF VRF toward EgressPE rides the pinned LSP instead of the LDP LSP.
@@ -97,8 +100,11 @@ type Router struct {
 	accessVRF  map[topo.LinkID]string            // inbound access link -> VRF
 	siteAccess map[string]map[string]topo.LinkID // vrf -> site -> outbound access link
 
-	// TE steering (ingress PE): overrides the LDP transport label.
-	TE map[TEKey]mpls.NHLFE
+	// TE steering (ingress PE): overrides the LDP transport label. Mutate
+	// only through SetTE/DeleteTE, which keep the two-level teIdx in sync;
+	// the map itself remains the canonical, digest-iterable view.
+	TE    map[TEKey]mpls.NHLFE
+	teIdx map[topo.NodeID]*teIndex
 
 	// Edge QoS (CE): CBQ classification and marking.
 	Classifier *qos.Classifier
@@ -119,6 +125,7 @@ type Router struct {
 	// Counters.
 	Delivered      int
 	DroppedTTL     int
+	DroppedNoLabel int // labelled packet with no ILM binding (distinct from TTL)
 	DroppedNoRoute int
 	DroppedPolicer int
 	IPLookups      int
@@ -137,6 +144,7 @@ func New(node topo.NodeID, name string, kind Kind, loopback addr.IPv4) *Router {
 		accessVRF:  make(map[topo.LinkID]string),
 		siteAccess: make(map[string]map[string]topo.LinkID),
 		TE:         make(map[TEKey]mpls.NHLFE),
+		teIdx:      make(map[topo.NodeID]*teIndex),
 		DecapSAs:   make(map[uint32]*ipsec.SA),
 	}
 }
@@ -179,7 +187,7 @@ func (r *Router) Receive(now sim.Time, p *packet.Packet, inLink topo.LinkID) Ver
 	if inLink < 0 && r.Classifier != nil {
 		if _, ok := r.Classifier.Classify(now, p); !ok {
 			r.DroppedPolicer++
-			return Verdict{Err: fmt.Errorf("%s: policed", r.Name)}
+			return Verdict{Drop: packet.DropPoliced}
 		}
 	}
 
@@ -205,10 +213,16 @@ func (r *Router) receiveLabeled(p *packet.Packet) Verdict {
 	// we loop, bounded by the stack depth.
 	for {
 		r.LabelLookups++
-		out, labeled, err := r.LFIB.ProcessLabeled(p)
-		if err != nil {
-			r.DroppedTTL++ // TTL or missing binding; both count as label drops
-			return Verdict{Err: fmt.Errorf("%s: %w", r.Name, err)}
+		out, labeled, drop := r.LFIB.ProcessLabeled(p)
+		if drop != packet.DropNone {
+			// Attribute the cause precisely: a missing ILM binding is a
+			// control-plane hole, not TTL exhaustion.
+			if drop == packet.DropNoLabelBinding {
+				r.DroppedNoLabel++
+			} else {
+				r.DroppedTTL++
+			}
+			return Verdict{Drop: drop}
 		}
 		if out >= 0 {
 			return Verdict{OutLink: out}
@@ -232,11 +246,11 @@ func (r *Router) receiveESP(p *packet.Packet) Verdict {
 	sa, ok := r.DecapSAs[p.ESP.SPI]
 	if !ok {
 		r.DroppedNoRoute++
-		return Verdict{Err: fmt.Errorf("%s: no SA for SPI %d", r.Name, p.ESP.SPI)}
+		return Verdict{Drop: packet.DropNoSA}
 	}
-	cost, err := sa.Decapsulate(p)
-	if err != nil {
-		return Verdict{Err: fmt.Errorf("%s: %w", r.Name, err)}
+	cost, drop := sa.Decapsulate(p)
+	if drop != packet.DropNone {
+		return Verdict{Drop: drop}
 	}
 	// Decapsulated inner packet continues by IP (usually delivered to the
 	// site behind this gateway).
@@ -250,7 +264,7 @@ func (r *Router) receiveESP(p *packet.Packet) Verdict {
 func (r *Router) forwardIP(p *packet.Packet, inLink topo.LinkID) Verdict {
 	if p.IP.TTL <= 1 {
 		r.DroppedTTL++
-		return Verdict{Err: fmt.Errorf("%s: IP TTL expired", r.Name)}
+		return Verdict{Drop: packet.DropTTLExpired}
 	}
 	p.IP.TTL--
 
@@ -294,7 +308,7 @@ func (r *Router) forwardIP(p *packet.Packet, inLink topo.LinkID) Verdict {
 		return Verdict{OutLink: out}
 	}
 	r.DroppedNoRoute++
-	return Verdict{Err: fmt.Errorf("%s: no route to %v", r.Name, p.IP.Dst)}
+	return Verdict{Drop: packet.DropNoRoute}
 }
 
 // forwardVRF is the RFC 2547 ingress: VRF lookup, VPN label push, transport
@@ -310,7 +324,7 @@ func (r *Router) forwardVRF(p *packet.Packet, vrf *vpn.VRF) Verdict {
 	rt, ok := vrf.Lookup(p.IP.Dst)
 	if !ok {
 		r.DroppedNoRoute++
-		return Verdict{Err: fmt.Errorf("%s: no route to %v in VRF %s", r.Name, p.IP.Dst, vrf.Name)}
+		return Verdict{Drop: packet.DropNoRoute}
 	}
 	if rt.Local {
 		// Destination site attaches to this same PE: hairpin out its
@@ -340,24 +354,102 @@ func (r *Router) forwardVRF(p *packet.Packet, vrf *vpn.VRF) Verdict {
 		return Verdict{OutLink: e.OutLink}
 	}
 	r.DroppedNoRoute++
-	return Verdict{Err: fmt.Errorf("%s: no transport LSP to PE %v", r.Name, rt.EgressPE)}
+	return Verdict{Drop: packet.DropNoTransportLSP}
+}
+
+// teIndex is the per-egress half of the two-level TE index: wildcard-VRF
+// slots plus a map of per-VRF slots. It replaces the old 4-probe map scan
+// in teEntry with at most one small map lookup and array indexing.
+type teIndex struct {
+	byVRF  map[string]*teSlots
+	anyVRF teSlots
+}
+
+// teSlots holds the per-class and any-class NHLFEs for one VRF scope.
+type teSlots struct {
+	byClass  [qos.NumClasses]mpls.NHLFE
+	okClass  [qos.NumClasses]bool
+	anyClass mpls.NHLFE
+	okAny    bool
+}
+
+func (s *teSlots) lookup(c qos.Class) (mpls.NHLFE, bool) {
+	if c >= 0 && c < qos.NumClasses && s.okClass[c] {
+		return s.byClass[c], true
+	}
+	if s.okAny {
+		return s.anyClass, true
+	}
+	return mpls.NHLFE{}, false
+}
+
+func (s *teSlots) set(c qos.Class, e mpls.NHLFE) {
+	if c < 0 {
+		s.anyClass, s.okAny = e, true
+		return
+	}
+	s.byClass[c], s.okClass[c] = e, true
+}
+
+func (s *teSlots) clear(c qos.Class) {
+	if c < 0 {
+		s.anyClass, s.okAny = mpls.NHLFE{}, false
+		return
+	}
+	s.byClass[c], s.okClass[c] = mpls.NHLFE{}, false
+}
+
+// SetTE installs (or replaces) a TE steering entry, keeping the canonical
+// map and the hot-path index in sync.
+func (r *Router) SetTE(k TEKey, e mpls.NHLFE) {
+	r.TE[k] = e
+	idx := r.teIdx[k.EgressPE]
+	if idx == nil {
+		idx = &teIndex{byVRF: make(map[string]*teSlots)}
+		r.teIdx[k.EgressPE] = idx
+	}
+	if k.VRF == "" {
+		idx.anyVRF.set(k.Class, e)
+		return
+	}
+	s := idx.byVRF[k.VRF]
+	if s == nil {
+		s = &teSlots{}
+		idx.byVRF[k.VRF] = s
+	}
+	s.set(k.Class, e)
+}
+
+// DeleteTE removes a TE steering entry from both the map and the index.
+func (r *Router) DeleteTE(k TEKey) {
+	delete(r.TE, k)
+	idx := r.teIdx[k.EgressPE]
+	if idx == nil {
+		return
+	}
+	if k.VRF == "" {
+		idx.anyVRF.clear(k.Class)
+		return
+	}
+	if s := idx.byVRF[k.VRF]; s != nil {
+		s.clear(k.Class)
+	}
 }
 
 // teEntry finds a TE override for (egress, class, vrf), most specific
 // match first: exact VRF before the any-VPN wildcard, exact class before
 // the any-class wildcard.
 func (r *Router) teEntry(egress topo.NodeID, c qos.Class, vrfName string) (mpls.NHLFE, bool) {
-	for _, k := range [...]TEKey{
-		{EgressPE: egress, Class: c, VRF: vrfName},
-		{EgressPE: egress, Class: -1, VRF: vrfName},
-		{EgressPE: egress, Class: c},
-		{EgressPE: egress, Class: -1},
-	} {
-		if e, ok := r.TE[k]; ok {
+	idx, ok := r.teIdx[egress]
+	if !ok {
+		return mpls.NHLFE{}, false
+	}
+	if s := idx.byVRF[vrfName]; s != nil {
+		if e, ok := s.lookup(c); ok {
 			return e, true
 		}
 	}
-	return mpls.NHLFE{}, false
+	return idx.anyVRF.lookup(c)
 }
 
 // expFor computes the EXP bits written into pushed labels: the §5 edge

@@ -1,7 +1,6 @@
 package device
 
 import (
-	"strings"
 	"testing"
 
 	"mplsvpn/internal/addr"
@@ -50,7 +49,7 @@ func TestPEPushesTwoLabels(t *testing.T) {
 
 	p := ipPkt("10.2.3.4", packet.DSCPEF)
 	verdict := pe.Receive(0, p, 100)
-	if verdict.Err != nil || verdict.Deliver {
+	if verdict.Dropped() || verdict.Deliver {
 		t.Fatalf("verdict = %+v", verdict)
 	}
 	if verdict.OutLink != 7 {
@@ -59,12 +58,12 @@ func TestPEPushesTwoLabels(t *testing.T) {
 	if p.MPLS.Depth() != 2 {
 		t.Fatalf("label stack depth = %d, want 2", p.MPLS.Depth())
 	}
-	if p.MPLS[0].Label != 100 || p.MPLS[1].Label != 500 {
-		t.Fatalf("stack = %v", p.MPLS)
+	if p.MPLS.At(0).Label != 100 || p.MPLS.At(1).Label != 500 {
+		t.Fatalf("stack = %v", p.MPLS.String())
 	}
 	// §5 edge mapping: EF -> EXP 5 on both labels.
-	if p.MPLS[0].EXP != 5 || p.MPLS[1].EXP != 5 {
-		t.Fatalf("EXP not mapped: %v", p.MPLS)
+	if p.MPLS.At(0).EXP != 5 || p.MPLS.At(1).EXP != 5 {
+		t.Fatalf("EXP not mapped: %v", p.MPLS.String())
 	}
 }
 
@@ -76,8 +75,8 @@ func TestPEWithoutEXPMapping(t *testing.T) {
 		mpls.NHLFE{Op: mpls.OpPush, OutLabel: 100, OutLink: 7})
 	p := ipPkt("10.2.3.4", packet.DSCPEF)
 	pe.Receive(0, p, 100)
-	if p.MPLS[0].EXP != 0 {
-		t.Fatalf("EXP mapped despite ablation: %v", p.MPLS)
+	if p.MPLS.At(0).EXP != 0 {
+		t.Fatalf("EXP mapped despite ablation: %v", p.MPLS.String())
 	}
 }
 
@@ -90,8 +89,8 @@ func TestPHPAdjacentPEs(t *testing.T) {
 		mpls.NHLFE{Op: mpls.OpPush, OutLabel: packet.LabelImplicitNull, OutLink: 7})
 	p := ipPkt("10.2.3.4", packet.DSCPBestEffort)
 	verdict := pe.Receive(0, p, 100)
-	if verdict.Err != nil || p.MPLS.Depth() != 1 || p.MPLS[0].Label != 500 {
-		t.Fatalf("verdict=%+v stack=%v", verdict, p.MPLS)
+	if verdict.Dropped() || p.MPLS.Depth() != 1 || p.MPLS.At(0).Label != 500 {
+		t.Fatalf("verdict=%+v stack=%v", verdict, p.MPLS.String())
 	}
 }
 
@@ -101,29 +100,29 @@ func TestTEOverride(t *testing.T) {
 	pe.FTN.Bind(addr.HostPrefix(addr.MustParseIPv4("10.255.0.2")),
 		mpls.NHLFE{Op: mpls.OpPush, OutLabel: 100, OutLink: 7})
 	// Voice rides a pinned TE LSP out link 9 with label 777.
-	pe.TE[TEKey{EgressPE: 2, Class: qos.ClassVoice}] = mpls.NHLFE{Op: mpls.OpPush, OutLabel: 777, OutLink: 9}
+	pe.SetTE(TEKey{EgressPE: 2, Class: qos.ClassVoice}, mpls.NHLFE{Op: mpls.OpPush, OutLabel: 777, OutLink: 9})
 
 	voice := ipPkt("10.2.3.4", packet.DSCPEF)
 	verdict := pe.Receive(0, voice, 100)
-	if verdict.OutLink != 9 || voice.MPLS[0].Label != 777 {
-		t.Fatalf("TE override not used: out=%d stack=%v", verdict.OutLink, voice.MPLS)
+	if verdict.OutLink != 9 || voice.MPLS.At(0).Label != 777 {
+		t.Fatalf("TE override not used: out=%d stack=%v", verdict.OutLink, voice.MPLS.String())
 	}
 	// Best effort still takes the LDP LSP.
 	be := ipPkt("10.2.3.4", packet.DSCPBestEffort)
 	verdict = pe.Receive(0, be, 100)
-	if verdict.OutLink != 7 || be.MPLS[0].Label != 100 {
-		t.Fatalf("BE hijacked by TE LSP: out=%d stack=%v", verdict.OutLink, be.MPLS)
+	if verdict.OutLink != 7 || be.MPLS.At(0).Label != 100 {
+		t.Fatalf("BE hijacked by TE LSP: out=%d stack=%v", verdict.OutLink, be.MPLS.String())
 	}
 }
 
 func TestTEWildcardClass(t *testing.T) {
 	pe, v := buildIngressPE()
 	installRemote(v, "10.2.0.0/16", 2, "10.255.0.2", 500)
-	pe.TE[TEKey{EgressPE: 2, Class: -1}] = mpls.NHLFE{Op: mpls.OpPush, OutLabel: 888, OutLink: 4}
+	pe.SetTE(TEKey{EgressPE: 2, Class: -1}, mpls.NHLFE{Op: mpls.OpPush, OutLabel: 888, OutLink: 4})
 	p := ipPkt("10.2.3.4", packet.DSCPAF21)
 	verdict := pe.Receive(0, p, 100)
-	if verdict.OutLink != 4 || p.MPLS[0].Label != 888 {
-		t.Fatalf("wildcard TE not used: %+v %v", verdict, p.MPLS)
+	if verdict.OutLink != 4 || p.MPLS.At(0).Label != 888 {
+		t.Fatalf("wildcard TE not used: %+v %v", verdict, p.MPLS.String())
 	}
 }
 
@@ -132,11 +131,8 @@ func TestVRFIsolationNoRoute(t *testing.T) {
 	// Destination exists nowhere in VRF acme.
 	p := ipPkt("10.99.0.1", packet.DSCPBestEffort)
 	verdict := pe.Receive(0, p, 100)
-	if verdict.Err == nil {
-		t.Fatal("packet escaped its VRF")
-	}
-	if !strings.Contains(verdict.Err.Error(), "acme") {
-		t.Fatalf("error does not identify VRF: %v", verdict.Err)
+	if verdict.Drop != packet.DropNoRoute {
+		t.Fatalf("packet escaped its VRF: %+v", verdict)
 	}
 	if pe.DroppedNoRoute != 1 {
 		t.Fatalf("DroppedNoRoute = %d", pe.DroppedNoRoute)
@@ -151,7 +147,7 @@ func TestIntraPELocalDelivery(t *testing.T) {
 	pe.BindSiteAccess("acme", "branch", 55)
 	p := ipPkt("10.3.1.1", packet.DSCPBestEffort)
 	verdict := pe.Receive(0, p, 100)
-	if verdict.Err != nil || verdict.OutLink != 55 {
+	if verdict.Dropped() || verdict.OutLink != 55 {
 		t.Fatalf("intra-PE hairpin failed: %+v", verdict)
 	}
 	if p.MPLS.Depth() != 0 {
@@ -164,9 +160,9 @@ func TestEgressPEPopsToAccessLink(t *testing.T) {
 	// VPN label 500 delivers out access link 42 (to the site's CE).
 	pe.LFIB.BindILM(500, mpls.NHLFE{Op: mpls.OpPop, OutLink: 42})
 	p := ipPkt("10.2.3.4", packet.DSCPBestEffort)
-	p.MPLS = packet.LabelStack{{Label: 500, EXP: 5, TTL: 60}}
+	p.MPLS = packet.StackOf(packet.LabelStackEntry{Label: 500, EXP: 5, TTL: 60})
 	verdict := pe.Receive(0, p, 3)
-	if verdict.Err != nil || verdict.OutLink != 42 {
+	if verdict.Dropped() || verdict.OutLink != 42 {
 		t.Fatalf("egress verdict = %+v", verdict)
 	}
 	if p.MPLS.Depth() != 0 {
@@ -178,10 +174,10 @@ func TestPRouterSwaps(t *testing.T) {
 	p := New(5, "P1", P, addr.MustParseIPv4("10.255.0.5"))
 	p.LFIB.BindILM(100, mpls.NHLFE{Op: mpls.OpSwap, OutLabel: 101, OutLink: 3})
 	pkt := ipPkt("10.2.3.4", packet.DSCPBestEffort)
-	pkt.MPLS = packet.LabelStack{{Label: 100, EXP: 2, TTL: 60}}
+	pkt.MPLS = packet.StackOf(packet.LabelStackEntry{Label: 100, EXP: 2, TTL: 60})
 	verdict := p.Receive(0, pkt, 1)
-	if verdict.Err != nil || verdict.OutLink != 3 || pkt.MPLS[0].Label != 101 {
-		t.Fatalf("P swap failed: %+v %v", verdict, pkt.MPLS)
+	if verdict.Dropped() || verdict.OutLink != 3 || pkt.MPLS.At(0).Label != 101 {
+		t.Fatalf("P swap failed: %+v %v", verdict, pkt.MPLS.String())
 	}
 	if p.LabelLookups != 1 || p.IPLookups != 0 {
 		t.Fatalf("core router inspected IP: label=%d ip=%d", p.LabelLookups, p.IPLookups)
@@ -197,7 +193,7 @@ func TestCEClassifierPolices(t *testing.T) {
 		p := ipPkt("10.2.3.4", 0)
 		p.L4.DstPort = 5060
 		p.Payload = 1000
-		if v := ce.Receive(0, p, -1); v.Err != nil {
+		if v := ce.Receive(0, p, -1); v.Dropped() {
 			dropped++
 		}
 	}
@@ -212,8 +208,8 @@ func TestCEMarksDSCP(t *testing.T) {
 	ce.IPTable.Insert(addr.Prefix{}, 1)
 	p := ipPkt("10.2.3.4", 0)
 	p.L4.DstPort = 5060
-	if v := ce.Receive(0, p, -1); v.Err != nil {
-		t.Fatal(v.Err)
+	if v := ce.Receive(0, p, -1); v.Dropped() {
+		t.Fatal(v.Drop)
 	}
 	if p.IP.DSCP != packet.DSCPEF {
 		t.Fatalf("CE did not mark voice EF: %v", p.IP.DSCP)
@@ -235,8 +231,8 @@ func TestTTLExpiryDrops(t *testing.T) {
 	r := New(1, "R", P, addr.MustParseIPv4("10.255.0.1"))
 	p := ipPkt("10.2.3.4", 0)
 	p.IP.TTL = 1
-	if v := r.Receive(0, p, 2); v.Err == nil {
-		t.Fatal("TTL-1 packet forwarded")
+	if v := r.Receive(0, p, 2); v.Drop != packet.DropTTLExpired {
+		t.Fatalf("TTL-1 packet: %+v", v)
 	}
 	if r.DroppedTTL != 1 {
 		t.Fatalf("DroppedTTL = %d", r.DroppedTTL)
@@ -259,7 +255,7 @@ func TestIPSecGatewayRoundTrip(t *testing.T) {
 
 	p := ipPkt("10.2.3.4", packet.DSCPEF)
 	v := gwA.Receive(0, p, -1)
-	if v.Err != nil || v.OutLink != 3 || v.Delay <= 0 {
+	if v.Dropped() || v.OutLink != 3 || v.Delay <= 0 {
 		t.Fatalf("encap verdict = %+v", v)
 	}
 	if p.IP.DSCP != packet.DSCPBestEffort {
@@ -270,7 +266,7 @@ func TestIPSecGatewayRoundTrip(t *testing.T) {
 	}
 	// Arrives at gateway B.
 	v = gwB.Receive(0, p, 8)
-	if v.Err != nil || !v.Deliver {
+	if v.Dropped() || !v.Deliver {
 		t.Fatalf("decap verdict = %+v", v)
 	}
 	if p.IP.DSCP != packet.DSCPEF || p.IP.Dst != addr.MustParseIPv4("10.2.3.4") {
@@ -304,12 +300,12 @@ func TestNonPHPRecirculation(t *testing.T) {
 	pe.LFIB.BindILM(100, mpls.NHLFE{Op: mpls.OpPop, OutLink: -1}) // transport, UHP
 	pe.LFIB.BindILM(500, mpls.NHLFE{Op: mpls.OpPop, OutLink: 42}) // VPN label
 	p := ipPkt("10.2.3.4", packet.DSCPBestEffort)
-	p.MPLS = packet.LabelStack{
-		{Label: 100, EXP: 0, TTL: 60},
-		{Label: 500, EXP: 0, TTL: 60},
-	}
+	p.MPLS = packet.StackOf(
+		packet.LabelStackEntry{Label: 100, EXP: 0, TTL: 60},
+		packet.LabelStackEntry{Label: 500, EXP: 0, TTL: 60},
+	)
 	v := pe.Receive(0, p, 3)
-	if v.Err != nil || v.OutLink != 42 {
+	if v.Dropped() || v.OutLink != 42 {
 		t.Fatalf("UHP recirculation verdict = %+v", v)
 	}
 	if p.MPLS.Depth() != 0 {
@@ -324,9 +320,9 @@ func TestUHPTransitContinuesByIP(t *testing.T) {
 	r.LFIB.BindILM(100, mpls.NHLFE{Op: mpls.OpPop, OutLink: -1})
 	r.IPTable.Insert(addr.MustParsePrefix("10.2.0.0/16"), 7)
 	p := ipPkt("10.2.3.4", 0)
-	p.MPLS = packet.LabelStack{{Label: 100, TTL: 60}}
+	p.MPLS = packet.StackOf(packet.LabelStackEntry{Label: 100, TTL: 60})
 	v := r.Receive(0, p, 1)
-	if v.Err != nil || v.OutLink != 7 {
+	if v.Dropped() || v.OutLink != 7 {
 		t.Fatalf("post-pop IP forwarding verdict = %+v", v)
 	}
 }
@@ -334,12 +330,13 @@ func TestUHPTransitContinuesByIP(t *testing.T) {
 func TestLabeledBlackholeDrops(t *testing.T) {
 	r := New(5, "R", P, addr.MustParseIPv4("10.255.0.5"))
 	p := ipPkt("10.2.3.4", 0)
-	p.MPLS = packet.LabelStack{{Label: 9999, TTL: 60}}
-	if v := r.Receive(0, p, 1); v.Err == nil {
-		t.Fatal("unbound label forwarded")
+	p.MPLS = packet.StackOf(packet.LabelStackEntry{Label: 9999, TTL: 60})
+	if v := r.Receive(0, p, 1); v.Drop != packet.DropNoLabelBinding {
+		t.Fatalf("unbound label: %+v", v)
 	}
-	if r.DroppedTTL != 1 {
-		t.Fatalf("label drop not counted: %d", r.DroppedTTL)
+	// The cause is attributed to the new counter, not TTL.
+	if r.DroppedNoLabel != 1 || r.DroppedTTL != 0 {
+		t.Fatalf("label drop misattributed: noLabel=%d ttl=%d", r.DroppedNoLabel, r.DroppedTTL)
 	}
 }
 
@@ -348,8 +345,8 @@ func TestESPUnknownSPIDrops(t *testing.T) {
 	p := ipPkt("10.2.3.4", 0)
 	p.IP.Dst = gw.Loopback
 	p.ESP = &packet.ESPInfo{SPI: 12345}
-	if v := gw.Receive(0, p, 3); v.Err == nil {
-		t.Fatal("unknown SPI accepted")
+	if v := gw.Receive(0, p, 3); v.Drop != packet.DropNoSA {
+		t.Fatalf("unknown SPI: %+v", v)
 	}
 }
 
@@ -365,19 +362,19 @@ func TestESPReplayDropSurfaces(t *testing.T) {
 	p := ipPkt("10.2.3.4", 0)
 	out.Encapsulate(p)
 	dup := p.Clone()
-	if v := gwB.Receive(0, p, 8); v.Err != nil {
-		t.Fatal(v.Err)
+	if v := gwB.Receive(0, p, 8); v.Dropped() {
+		t.Fatal(v.Drop)
 	}
-	if v := gwB.Receive(0, dup, 8); v.Err == nil {
-		t.Fatal("replay accepted by gateway")
+	if v := gwB.Receive(0, dup, 8); v.Drop != packet.DropReplay {
+		t.Fatalf("replay: %+v", v)
 	}
 }
 
 func TestNoRouteAnywhereDrops(t *testing.T) {
 	r := New(5, "R", P, addr.MustParseIPv4("10.255.0.5"))
 	p := ipPkt("99.99.99.99", 0)
-	if v := r.Receive(0, p, 1); v.Err == nil {
-		t.Fatal("routeless packet forwarded")
+	if v := r.Receive(0, p, 1); v.Drop != packet.DropNoRoute {
+		t.Fatalf("routeless packet: %+v", v)
 	}
 	if r.DroppedNoRoute != 1 {
 		t.Fatalf("DroppedNoRoute = %d", r.DroppedNoRoute)

@@ -271,3 +271,31 @@ func TestE16GracefulRestartPreservesForwarding(t *testing.T) {
 			res.SessionFlapEvents, res.SessionRestoredEvents)
 	}
 }
+
+func TestE17PoolingAblation(t *testing.T) {
+	// Small and fast: 50 sites, 100 ms. The claims under test are shape,
+	// not absolute throughput: the pooled data plane allocates roughly
+	// nothing per packet, the unpooled ablation allocates several objects
+	// per packet, and both deliver traffic.
+	res := E17ZeroAllocDataPlane(100*sim.Millisecond, []int{50})
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs = %d, want pooled + unpooled", len(res.Runs))
+	}
+	pooled, unpooled := res.Runs[0], res.Runs[1]
+	if pooled.Config != "pooled" || unpooled.Config != "unpooled" {
+		t.Fatalf("configs = %q, %q", pooled.Config, unpooled.Config)
+	}
+	if pooled.Delivered == 0 || unpooled.Delivered == 0 {
+		t.Fatalf("delivered: pooled=%d unpooled=%d", pooled.Delivered, unpooled.Delivered)
+	}
+	if pooled.Delivered != unpooled.Delivered {
+		t.Fatalf("pooling changed results: pooled delivered %d, unpooled %d",
+			pooled.Delivered, unpooled.Delivered)
+	}
+	if pooled.AllocsPerPkt > 1 {
+		t.Fatalf("pooled data plane allocates %.2f objects/pkt, want ~0", pooled.AllocsPerPkt)
+	}
+	if unpooled.AllocsPerPkt < 2 {
+		t.Fatalf("unpooled ablation allocates %.2f objects/pkt — ablation not ablating", unpooled.AllocsPerPkt)
+	}
+}

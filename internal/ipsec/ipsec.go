@@ -135,24 +135,25 @@ func (sa *SA) Encapsulate(p *packet.Packet) sim.Time {
 		Src:      sa.Local,
 		Dst:      sa.Remote,
 	}
+	p.InvalidateCaches() // tunnel header rewrote the 5-tuple and the length
 	sa.Encapsulated++
 	return sa.Cost.Cost(p.Payload + packet.IPv4HeaderLen)
 }
 
 // Decapsulate restores the inner packet at the remote gateway, enforcing
-// the anti-replay window. It returns the processing delay and an error if
-// the packet must be dropped.
-func (sa *SA) Decapsulate(p *packet.Packet) (sim.Time, error) {
+// the anti-replay window. It returns the processing delay and a typed drop
+// reason (DropNone on success).
+func (sa *SA) Decapsulate(p *packet.Packet) (sim.Time, packet.DropReason) {
 	if p.ESP == nil {
-		return 0, fmt.Errorf("ipsec: packet is not ESP")
+		return 0, packet.DropNotESP
 	}
 	if p.ESP.SPI != sa.SPI {
 		sa.AuthFailures++
-		return 0, fmt.Errorf("ipsec: SPI mismatch %d != %d", p.ESP.SPI, sa.SPI)
+		return 0, packet.DropBadSPI
 	}
 	if !sa.replay.Check(p.ESP.SeqNum) {
 		sa.ReplayDrops++
-		return 0, fmt.Errorf("ipsec: replayed sequence %d", p.ESP.SeqNum)
+		return 0, packet.DropReplay
 	}
 	p.IP = packet.IPv4Header{
 		DSCP:     p.ESP.InnerDSCP,
@@ -163,8 +164,9 @@ func (sa *SA) Decapsulate(p *packet.Packet) (sim.Time, error) {
 	}
 	cost := sa.Cost.Cost(p.Payload + packet.IPv4HeaderLen)
 	p.ESP = nil
+	p.InvalidateCaches() // inner 5-tuple restored; drop the outer-header caches
 	sa.Decapsulated++
-	return cost, nil
+	return cost, packet.DropNone
 }
 
 // Overhead returns the extra bytes ESP tunnel mode adds to each packet.

@@ -65,9 +65,9 @@ func TestDecapRestoresInner(t *testing.T) {
 	p := innerPkt()
 	origSrc, origDst := p.IP.Src, p.IP.Dst
 	out.Encapsulate(p)
-	cost, err := in.Decapsulate(p)
-	if err != nil || cost <= 0 {
-		t.Fatalf("decap: %v cost=%v", err, cost)
+	cost, drop := in.Decapsulate(p)
+	if drop != packet.DropNone || cost <= 0 {
+		t.Fatalf("decap: %v cost=%v", drop, cost)
 	}
 	if p.IP.Src != origSrc || p.IP.Dst != origDst || p.IP.DSCP != packet.DSCPEF {
 		t.Fatalf("inner not restored: %+v", p.IP)
@@ -82,11 +82,11 @@ func TestReplayDetection(t *testing.T) {
 	p := innerPkt()
 	out.Encapsulate(p)
 	replayed := p.Clone()
-	if _, err := in.Decapsulate(p); err != nil {
-		t.Fatal(err)
+	if _, drop := in.Decapsulate(p); drop != packet.DropNone {
+		t.Fatal(drop)
 	}
-	if _, err := in.Decapsulate(replayed); err == nil {
-		t.Fatal("replayed packet accepted")
+	if _, drop := in.Decapsulate(replayed); drop != packet.DropReplay {
+		t.Fatalf("replayed packet: %v", drop)
 	}
 	if in.ReplayDrops != 1 {
 		t.Fatalf("ReplayDrops = %d", in.ReplayDrops)
@@ -98,8 +98,8 @@ func TestSPIMismatchRejected(t *testing.T) {
 	other := NewSA(9999, out.Local, out.Remote)
 	p := innerPkt()
 	out.Encapsulate(p)
-	if _, err := other.Decapsulate(p); err == nil {
-		t.Fatal("wrong SPI accepted")
+	if _, drop := other.Decapsulate(p); drop != packet.DropBadSPI {
+		t.Fatalf("wrong SPI: %v", drop)
 	}
 }
 

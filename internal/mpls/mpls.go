@@ -12,8 +12,6 @@
 package mpls
 
 import (
-	"fmt"
-
 	"mplsvpn/internal/addr"
 	"mplsvpn/internal/packet"
 	"mplsvpn/internal/topo"
@@ -136,79 +134,79 @@ func (f *LFIB) LookupILMAll(in packet.Label) ([]NHLFE, bool) {
 	return es, ok && len(es) > 0
 }
 
-// ErrNoBinding is returned when a labelled packet arrives with no ILM entry:
-// the MPLS equivalent of a routing black hole. The packet must be dropped
-// (RFC 3031 §3.18).
-var ErrNoBinding = fmt.Errorf("mpls: no ILM binding for label")
-
 // ProcessLabeled applies the ILM action to a labelled packet *in place* and
-// returns the egress link. ok=false with err=nil means the packet reached
-// its egress here (stack empty after pop, deliver via IP); err != nil means
-// drop.
+// returns the egress link. out < 0 with drop == DropNone means the packet
+// reached its egress here (stack empty after pop, deliver via IP); a
+// non-zero drop reason means the packet must be discarded. Reasons are
+// typed sentinels (packet.DropReason), never formatted errors: the hot
+// path stays allocation-free and observers format on demand.
 //
 // PHP: an NHLFE whose OutLabel is ImplicitNull pops instead of swapping, so
 // the packet arrives at the real egress unlabelled and saves that router a
 // lookup — the default behaviour signalled by LDP in this system.
-func (f *LFIB) ProcessLabeled(p *packet.Packet) (out topo.LinkID, labeled bool, err error) {
+func (f *LFIB) ProcessLabeled(p *packet.Packet) (out topo.LinkID, labeled bool, drop packet.DropReason) {
 	top := p.MPLS.Top()
 	es, ok := f.ilm[top.Label]
 	if !ok || len(es) == 0 {
-		return -1, false, fmt.Errorf("%w %d", ErrNoBinding, top.Label)
+		// No ILM binding: the MPLS equivalent of a routing black hole; the
+		// packet must be dropped (RFC 3031 §3.18).
+		return -1, false, packet.DropNoLabelBinding
 	}
 	// ECMP: the flow hash pins each flow to one member of the set.
 	e := es[int(p.FlowHash())%len(es)]
 	if top.TTL <= 1 {
-		return -1, false, fmt.Errorf("mpls: label TTL expired")
-	}
-	// detour applies the FRR bypass encapsulation after the normal
-	// operation: push the bypass label, exit via the bypass link.
-	detour := func(out topo.LinkID, labeled bool) (topo.LinkID, bool) {
-		if !e.detoured() {
-			return out, labeled
-		}
-		ttl := p.IP.TTL
-		if p.MPLS.Depth() > 0 {
-			ttl = p.MPLS.Top().TTL
-		}
-		p.MPLS = p.MPLS.Push(packet.LabelStackEntry{Label: e.BypassLabel, EXP: top.EXP, TTL: ttl})
-		f.Pushed++
-		return e.BypassLink, true
+		return -1, false, packet.DropTTLExpired
 	}
 	switch e.Op {
 	case OpSwap:
 		if e.OutLabel == packet.LabelImplicitNull {
 			// Penultimate hop popping: strip and forward unlabelled (or
 			// with the remaining stack).
-			_, p.MPLS = p.MPLS.Pop()
+			p.MPLS.Pop()
 			f.Popped++
 			if p.MPLS.Depth() == 0 {
 				// TTL continuity: copy the label TTL back into the IP header.
 				p.IP.TTL = top.TTL - 1
-				out, labeled := detour(e.OutLink, false)
-				return out, labeled, nil
+				out, labeled := f.detour(p, e, top.EXP, e.OutLink, false)
+				return out, labeled, packet.DropNone
 			}
-			p.MPLS[0].TTL = top.TTL - 1
-			out, labeled := detour(e.OutLink, true)
-			return out, labeled, nil
+			p.MPLS.SetTopTTL(top.TTL - 1)
+			out, labeled := f.detour(p, e, top.EXP, e.OutLink, true)
+			return out, labeled, packet.DropNone
 		}
-		p.MPLS[0] = packet.LabelStackEntry{Label: e.OutLabel, EXP: top.EXP, TTL: top.TTL - 1}
+		p.MPLS.SetTop(packet.LabelStackEntry{Label: e.OutLabel, EXP: top.EXP, TTL: top.TTL - 1})
 		f.Swapped++
-		out, labeled := detour(e.OutLink, true)
-		return out, labeled, nil
+		out, labeled := f.detour(p, e, top.EXP, e.OutLink, true)
+		return out, labeled, packet.DropNone
 	case OpPop:
-		_, p.MPLS = p.MPLS.Pop()
+		p.MPLS.Pop()
 		f.Popped++
 		if p.MPLS.Depth() == 0 {
 			p.IP.TTL = top.TTL - 1
-			out, labeled := detour(e.OutLink, false)
-			return out, labeled, nil
+			out, labeled := f.detour(p, e, top.EXP, e.OutLink, false)
+			return out, labeled, packet.DropNone
 		}
-		p.MPLS[0].TTL = top.TTL - 1
-		out, labeled := detour(e.OutLink, true)
-		return out, labeled, nil
+		p.MPLS.SetTopTTL(top.TTL - 1)
+		out, labeled := f.detour(p, e, top.EXP, e.OutLink, true)
+		return out, labeled, packet.DropNone
 	default:
-		return -1, false, fmt.Errorf("mpls: ILM entry with op %v", e.Op)
+		return -1, false, packet.DropBadILMOp
 	}
+}
+
+// detour applies the FRR bypass encapsulation after the normal operation:
+// push the bypass label, exit via the bypass link.
+func (f *LFIB) detour(p *packet.Packet, e NHLFE, exp uint8, out topo.LinkID, labeled bool) (topo.LinkID, bool) {
+	if !e.detoured() {
+		return out, labeled
+	}
+	ttl := p.IP.TTL
+	if p.MPLS.Depth() > 0 {
+		ttl = p.MPLS.Top().TTL
+	}
+	p.MPLS.Push(packet.LabelStackEntry{Label: e.BypassLabel, EXP: exp, TTL: ttl})
+	f.Pushed++
+	return e.BypassLink, true
 }
 
 // DetourVia rewrites every ILM entry that exits failedLink to detour
@@ -247,7 +245,7 @@ func (f *LFIB) Push(p *packet.Packet, label packet.Label, exp uint8) {
 	if p.MPLS.Depth() > 0 {
 		ttl = p.MPLS.Top().TTL
 	}
-	p.MPLS = p.MPLS.Push(packet.LabelStackEntry{Label: label, EXP: exp, TTL: ttl})
+	p.MPLS.Push(packet.LabelStackEntry{Label: label, EXP: exp, TTL: ttl})
 	f.Pushed++
 }
 

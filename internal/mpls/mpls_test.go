@@ -1,7 +1,6 @@
 package mpls
 
 import (
-	"errors"
 	"testing"
 
 	"mplsvpn/internal/addr"
@@ -11,7 +10,7 @@ import (
 func labeledPkt(label packet.Label, ttl uint8) *packet.Packet {
 	return &packet.Packet{
 		IP:   packet.IPv4Header{TTL: 64},
-		MPLS: packet.LabelStack{{Label: label, EXP: 5, TTL: ttl}},
+		MPLS: packet.StackOf(packet.LabelStackEntry{Label: label, EXP: 5, TTL: ttl}),
 	}
 }
 
@@ -31,9 +30,9 @@ func TestSwap(t *testing.T) {
 	f := NewLFIB()
 	f.BindILM(100, NHLFE{Op: OpSwap, OutLabel: 200, OutLink: 7})
 	p := labeledPkt(100, 10)
-	out, labeled, err := f.ProcessLabeled(p)
-	if err != nil || !labeled || out != 7 {
-		t.Fatalf("swap: out=%v labeled=%v err=%v", out, labeled, err)
+	out, labeled, drop := f.ProcessLabeled(p)
+	if drop != packet.DropNone || !labeled || out != 7 {
+		t.Fatalf("swap: out=%v labeled=%v drop=%v", out, labeled, drop)
 	}
 	top := p.MPLS.Top()
 	if top.Label != 200 || top.TTL != 9 || top.EXP != 5 {
@@ -48,9 +47,9 @@ func TestPHP(t *testing.T) {
 	f := NewLFIB()
 	f.BindILM(100, NHLFE{Op: OpSwap, OutLabel: packet.LabelImplicitNull, OutLink: 3})
 	p := labeledPkt(100, 10)
-	out, labeled, err := f.ProcessLabeled(p)
-	if err != nil || labeled || out != 3 {
-		t.Fatalf("php: out=%v labeled=%v err=%v", out, labeled, err)
+	out, labeled, drop := f.ProcessLabeled(p)
+	if drop != packet.DropNone || labeled || out != 3 {
+		t.Fatalf("php: out=%v labeled=%v drop=%v", out, labeled, drop)
 	}
 	if p.MPLS.Depth() != 0 {
 		t.Fatal("stack not popped")
@@ -65,14 +64,14 @@ func TestPopInnerLabelRemains(t *testing.T) {
 	f.BindILM(100, NHLFE{Op: OpPop, OutLink: -1})
 	p := &packet.Packet{
 		IP: packet.IPv4Header{TTL: 64},
-		MPLS: packet.LabelStack{
-			{Label: 100, EXP: 5, TTL: 10},
-			{Label: 500, EXP: 5, TTL: 10},
-		},
+		MPLS: packet.StackOf(
+			packet.LabelStackEntry{Label: 100, EXP: 5, TTL: 10},
+			packet.LabelStackEntry{Label: 500, EXP: 5, TTL: 10},
+		),
 	}
-	out, labeled, err := f.ProcessLabeled(p)
-	if err != nil || !labeled || out != -1 {
-		t.Fatalf("pop: out=%v labeled=%v err=%v", out, labeled, err)
+	out, labeled, drop := f.ProcessLabeled(p)
+	if drop != packet.DropNone || !labeled || out != -1 {
+		t.Fatalf("pop: out=%v labeled=%v drop=%v", out, labeled, drop)
 	}
 	if p.MPLS.Depth() != 1 || p.MPLS.Top().Label != 500 {
 		t.Fatalf("inner label wrong: %v", p.MPLS)
@@ -85,9 +84,9 @@ func TestPopInnerLabelRemains(t *testing.T) {
 func TestNoBindingDrops(t *testing.T) {
 	f := NewLFIB()
 	p := labeledPkt(999, 10)
-	_, _, err := f.ProcessLabeled(p)
-	if !errors.Is(err, ErrNoBinding) {
-		t.Fatalf("err = %v, want ErrNoBinding", err)
+	_, _, drop := f.ProcessLabeled(p)
+	if drop != packet.DropNoLabelBinding {
+		t.Fatalf("drop = %v, want no_label_binding", drop)
 	}
 }
 
@@ -95,8 +94,8 @@ func TestTTLExpiry(t *testing.T) {
 	f := NewLFIB()
 	f.BindILM(100, NHLFE{Op: OpSwap, OutLabel: 200, OutLink: 1})
 	p := labeledPkt(100, 1)
-	if _, _, err := f.ProcessLabeled(p); err == nil {
-		t.Fatal("TTL 1 packet forwarded")
+	if _, _, drop := f.ProcessLabeled(p); drop != packet.DropTTLExpired {
+		t.Fatalf("TTL 1 packet: drop = %v", drop)
 	}
 }
 
@@ -109,7 +108,7 @@ func TestPushSeedsTTLAndEXP(t *testing.T) {
 		t.Fatalf("pushed entry = %+v", top)
 	}
 	// Pushing a second level copies the label TTL, not the IP TTL.
-	p.MPLS[0].TTL = 20
+	p.MPLS.SetTopTTL(20)
 	f.Push(p, 888, 4)
 	if p.MPLS.Top().TTL != 20 {
 		t.Fatalf("second push TTL = %d, want 20", p.MPLS.Top().TTL)
@@ -158,9 +157,9 @@ func TestLSPPipeline(t *testing.T) {
 	if p.MPLS.Depth() != 1 {
 		t.Fatal("not labelled after ingress")
 	}
-	out, labeled, err := transit.ProcessLabeled(p)
-	if err != nil || labeled || out != 2 {
-		t.Fatalf("transit: %v %v %v", out, labeled, err)
+	out, labeled, drop := transit.ProcessLabeled(p)
+	if drop != packet.DropNone || labeled || out != 2 {
+		t.Fatalf("transit: %v %v %v", out, labeled, drop)
 	}
 	if p.MPLS.Depth() != 0 || p.IP.TTL != 63 {
 		t.Fatalf("egress state: depth=%d ttl=%d", p.MPLS.Depth(), p.IP.TTL)
@@ -195,10 +194,10 @@ func TestILMMultipath(t *testing.T) {
 		p := &packet.Packet{
 			IP:   packet.IPv4Header{TTL: 64, Src: 1, Dst: 2},
 			L4:   packet.L4Header{SrcPort: uint16(port), DstPort: 80},
-			MPLS: packet.LabelStack{{Label: 100, TTL: 10}},
+			MPLS: packet.StackOf(packet.LabelStackEntry{Label: 100, TTL: 10}),
 		}
-		if _, _, err := f.ProcessLabeled(p); err != nil {
-			t.Fatal(err)
+		if _, _, drop := f.ProcessLabeled(p); drop != packet.DropNone {
+			t.Fatal(drop)
 		}
 		outs[p.MPLS.Top().Label]++
 	}
@@ -210,7 +209,7 @@ func TestILMMultipath(t *testing.T) {
 		return &packet.Packet{
 			IP:   packet.IPv4Header{TTL: 64, Src: 9, Dst: 8},
 			L4:   packet.L4Header{SrcPort: 1234, DstPort: 80},
-			MPLS: packet.LabelStack{{Label: 100, TTL: 10}},
+			MPLS: packet.StackOf(packet.LabelStackEntry{Label: 100, TTL: 10}),
 		}
 	}
 	a, b := mk(), mk()
@@ -277,22 +276,22 @@ func TestDetourVia(t *testing.T) {
 
 	// Swap entry: normal swap, then bypass push, out via bypass link.
 	p := labeledPkt(100, 10)
-	out, labeled, err := f.ProcessLabeled(p)
-	if err != nil || !labeled || out != 8 {
-		t.Fatalf("detoured swap: out=%v labeled=%v err=%v", out, labeled, err)
+	out, labeled, drop := f.ProcessLabeled(p)
+	if drop != packet.DropNone || !labeled || out != 8 {
+		t.Fatalf("detoured swap: out=%v labeled=%v drop=%v", out, labeled, drop)
 	}
-	if p.MPLS.Depth() != 2 || p.MPLS[0].Label != 777 || p.MPLS[1].Label != 200 {
-		t.Fatalf("detoured stack = %v", p.MPLS)
+	if p.MPLS.Depth() != 2 || p.MPLS.At(0).Label != 777 || p.MPLS.At(1).Label != 200 {
+		t.Fatalf("detoured stack = %v", p.MPLS.String())
 	}
 
 	// PHP entry: pop, then bypass push onto the now-bare packet.
 	p2 := labeledPkt(101, 10)
-	out, labeled, err = f.ProcessLabeled(p2)
-	if err != nil || !labeled || out != 8 {
-		t.Fatalf("detoured php: out=%v labeled=%v err=%v", out, labeled, err)
+	out, labeled, drop = f.ProcessLabeled(p2)
+	if drop != packet.DropNone || !labeled || out != 8 {
+		t.Fatalf("detoured php: out=%v labeled=%v drop=%v", out, labeled, drop)
 	}
-	if p2.MPLS.Depth() != 1 || p2.MPLS[0].Label != 777 {
-		t.Fatalf("detoured php stack = %v", p2.MPLS)
+	if p2.MPLS.Depth() != 1 || p2.MPLS.At(0).Label != 777 {
+		t.Fatalf("detoured php stack = %v", p2.MPLS.String())
 	}
 
 	// Untouched entry still goes its own way.
@@ -309,12 +308,12 @@ func TestDetourViaImplicitNullBypass(t *testing.T) {
 	f.BindILM(100, NHLFE{Op: OpSwap, OutLabel: 200, OutLink: 5})
 	f.DetourVia(5, packet.LabelImplicitNull, 8)
 	p := labeledPkt(100, 10)
-	out, _, err := f.ProcessLabeled(p)
-	if err != nil || out != 8 {
-		t.Fatalf("parallel bypass: out=%v err=%v", out, err)
+	out, _, drop := f.ProcessLabeled(p)
+	if drop != packet.DropNone || out != 8 {
+		t.Fatalf("parallel bypass: out=%v drop=%v", out, drop)
 	}
-	if p.MPLS.Depth() != 1 || p.MPLS[0].Label != 200 {
-		t.Fatalf("stack = %v", p.MPLS)
+	if p.MPLS.Depth() != 1 || p.MPLS.At(0).Label != 200 {
+		t.Fatalf("stack = %v", p.MPLS.String())
 	}
 }
 
@@ -324,16 +323,16 @@ func TestDetouredPop(t *testing.T) {
 	f.DetourVia(5, 777, 8)
 	p := &packet.Packet{
 		IP: packet.IPv4Header{TTL: 64},
-		MPLS: packet.LabelStack{
-			{Label: 100, TTL: 10},
-			{Label: 500, TTL: 10},
-		},
+		MPLS: packet.StackOf(
+			packet.LabelStackEntry{Label: 100, TTL: 10},
+			packet.LabelStackEntry{Label: 500, TTL: 10},
+		),
 	}
-	out, labeled, err := f.ProcessLabeled(p)
-	if err != nil || !labeled || out != 8 {
-		t.Fatalf("detoured pop: out=%v labeled=%v err=%v", out, labeled, err)
+	out, labeled, drop := f.ProcessLabeled(p)
+	if drop != packet.DropNone || !labeled || out != 8 {
+		t.Fatalf("detoured pop: out=%v labeled=%v drop=%v", out, labeled, drop)
 	}
-	if p.MPLS.Depth() != 2 || p.MPLS[0].Label != 777 || p.MPLS[1].Label != 500 {
-		t.Fatalf("stack = %v", p.MPLS)
+	if p.MPLS.Depth() != 2 || p.MPLS.At(0).Label != 777 || p.MPLS.At(1).Label != 500 {
+		t.Fatalf("stack = %v", p.MPLS.String())
 	}
 }

@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"testing"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+)
+
+var (
+	allocSrc = addr.MustParseIPv4("10.1.0.1")
+	allocDst = addr.MustParseIPv4("10.2.0.1")
+)
+
+// fillPkt stamps mkPkt's headers onto a (possibly recycled) packet.
+func fillPkt(p *packet.Packet, payload int, dscp packet.DSCP) {
+	p.IP = packet.IPv4Header{
+		DSCP: dscp, TTL: 64, Protocol: packet.ProtoUDP,
+		Src: allocSrc, Dst: allocDst,
+	}
+	p.Payload = payload
+}
+
+// The full per-hop path — inject, Receive, enqueue, transmit, propagate,
+// deliver, recycle — must be allocation-free once the pools and queue rings
+// are warm. This gates Network.enqueue/transmitNext and the pooled dpEvent
+// machinery end to end.
+func TestDataPlaneSteadyStateZeroAlloc(t *testing.T) {
+	n, a, _, _ := pair()
+	burst := func() {
+		for i := 0; i < 32; i++ {
+			p := n.NewPacket(a)
+			fillPkt(p, 200, 0)
+			n.Inject(a, p)
+		}
+		n.Run()
+	}
+	burst() // warm pools, heap, and queue rings
+	allocs := testing.AllocsPerRun(20, func() { burst() })
+	if allocs != 0 {
+		t.Fatalf("steady-state data plane allocates %v per 32-packet burst, want 0", allocs)
+	}
+}
+
+// Pooling must be transparent: with identical traffic, a pooled and an
+// unpooled network agree on every delivery count and timestamp.
+func TestPoolingInvisibleToResults(t *testing.T) {
+	run := func(disable bool) (delivered int, last sim.Time) {
+		n, a, _, _ := pair()
+		if disable {
+			n.DisablePooling()
+		}
+		for i := 0; i < 100; i++ {
+			p := n.NewPacket(a)
+			fillPkt(p, 100+i, 0)
+			n.Inject(a, p)
+		}
+		n.Run()
+		return n.Delivered, n.E.Now()
+	}
+	d1, t1 := run(false)
+	d2, t2 := run(true)
+	if d1 != d2 || t1 != t2 {
+		t.Fatalf("pooled (%d@%v) != unpooled (%d@%v)", d1, t1, d2, t2)
+	}
+}

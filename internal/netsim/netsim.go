@@ -30,12 +30,21 @@ type Network struct {
 	G       *topo.Graph
 	Routers map[topo.NodeID]*device.Router
 
-	ports map[topo.LinkID]*port
+	// Dense hot-path tables indexed by ID: one bounds check instead of a
+	// map probe per hop. routerAt mirrors Routers; ports is the per-link
+	// egress state, grown lazily and fully materialized before sharding.
+	routerAt []*device.Router
+	ports    []*port
 
-	// OnDeliver is invoked when a packet reaches its destination.
+	pools []*dpPool // per-shard packet/event freelists; [0] when serial
+
+	// OnDeliver is invoked when a packet reaches its destination. The
+	// packet is recycled when the hook returns: do not retain it.
 	OnDeliver func(at topo.NodeID, p *packet.Packet)
-	// OnDrop is invoked when a packet is dropped anywhere, with the reason.
-	OnDrop func(at topo.NodeID, p *packet.Packet, reason error)
+	// OnDrop is invoked when a packet is dropped anywhere, with the typed
+	// reason (format with reason.String() — the hot path never does). The
+	// packet is recycled when the hook returns: do not retain it.
+	OnDrop func(at topo.NodeID, p *packet.Packet, reason packet.DropReason)
 
 	// HopDelay is a fixed per-router processing delay (lookup cost).
 	HopDelay sim.Time
@@ -88,30 +97,64 @@ type portTel struct {
 // New creates a network over g driven by engine e. Routers are registered
 // with AddRouter; ports get FIFO schedulers by default.
 func New(e *sim.Engine, g *topo.Graph) *Network {
-	return &Network{
+	n := &Network{
 		E: e, G: g,
 		Routers: make(map[topo.NodeID]*device.Router),
-		ports:   make(map[topo.LinkID]*port),
+		pools:   []*dpPool{{}},
 	}
+	if nn := g.NumNodes(); nn > 0 {
+		n.routerAt = make([]*device.Router, nn)
+	}
+	if nl := g.NumLinks(); nl > 0 {
+		n.ports = make([]*port, nl)
+	}
+	return n
 }
 
 // AddRouter registers the forwarding element for a node.
 func (n *Network) AddRouter(r *device.Router) {
 	n.Routers[r.Node] = r
+	for int(r.Node) >= len(n.routerAt) {
+		n.routerAt = append(n.routerAt, nil)
+	}
+	n.routerAt[r.Node] = r
 }
 
 // Router returns the device at a node.
 func (n *Network) Router(id topo.NodeID) *device.Router { return n.Routers[id] }
 
+// routerFor is the hot-path router lookup: a dense slice indexed by node.
+func (n *Network) routerFor(id topo.NodeID) *device.Router {
+	if int(id) >= len(n.routerAt) {
+		return nil
+	}
+	return n.routerAt[id]
+}
+
 // SetScheduler installs a QoS scheduler on one directed link's egress port.
 func (n *Network) SetScheduler(link topo.LinkID, s qos.Scheduler) {
-	p, ok := n.ports[link]
-	if !ok {
+	p := n.port(link)
+	if p == nil {
 		p = &port{link: link}
-		n.ports[link] = p
+		n.setPort(link, p)
 	}
 	p.sched = s
 	n.attachPortTel(p)
+}
+
+// port returns the egress port for a link, or nil if none exists yet.
+func (n *Network) port(link topo.LinkID) *port {
+	if int(link) >= len(n.ports) {
+		return nil
+	}
+	return n.ports[link]
+}
+
+func (n *Network) setPort(link topo.LinkID, p *port) {
+	for int(link) >= len(n.ports) {
+		n.ports = append(n.ports, nil)
+	}
+	n.ports[link] = p
 }
 
 // SetShaper installs a token-bucket shaper on a port: packets leave no
@@ -128,16 +171,16 @@ func (n *Network) SetSchedulerFactory(f func(l *topo.Link) qos.Scheduler) {
 	for i := 0; i < n.G.NumLinks(); i++ {
 		id := topo.LinkID(i)
 		p := &port{link: id, sched: f(n.G.Link(id))}
-		n.ports[id] = p
+		n.setPort(id, p)
 		n.attachPortTel(p)
 	}
 }
 
 func (n *Network) portFor(link topo.LinkID) *port {
-	p, ok := n.ports[link]
-	if !ok {
+	p := n.port(link)
+	if p == nil {
 		p = &port{link: link, sched: qos.NewFIFO(DefaultQueueBytes)}
-		n.ports[link] = p
+		n.setPort(link, p)
 		n.attachPortTel(p)
 	}
 	return p
@@ -149,7 +192,9 @@ func (n *Network) portFor(link topo.LinkID) *port {
 func (n *Network) EnableTelemetry(reg *telemetry.Registry) {
 	n.telReg = reg
 	for _, p := range n.ports {
-		n.attachPortTel(p)
+		if p != nil {
+			n.attachPortTel(p)
+		}
 	}
 }
 
@@ -195,8 +240,8 @@ func (n *Network) attachPortTel(p *port) {
 // Core hangs this off the snapshot OnSample hook.
 func (n *Network) SampleTelemetry() {
 	for id, p := range n.ports {
-		if p.tel != nil {
-			p.tel.util.Set(n.LinkUtilization(id))
+		if p != nil && p.tel != nil {
+			p.tel.util.Set(n.LinkUtilization(topo.LinkID(id)))
 		}
 	}
 }
@@ -214,36 +259,57 @@ func (n *Network) Inject(at topo.NodeID, p *packet.Packet) {
 // process runs one router's pipeline and acts on the verdict. clk is the
 // clock of the shard owning node at (the engine itself when serial).
 func (n *Network) process(clk sim.Clock, at topo.NodeID, p *packet.Packet, inLink topo.LinkID) {
-	r, ok := n.Routers[at]
-	if !ok {
-		n.drop(clk, at, p, fmt.Errorf("netsim: no router at node %d", at))
+	r := n.routerFor(at)
+	if r == nil {
+		n.drop(clk, at, p, packet.DropNoRouter)
 		return
 	}
 	v := r.Receive(clk.Now(), p, inLink)
-	if v.Err != nil {
-		n.drop(clk, at, p, v.Err)
+	if v.Drop != packet.DropNone {
+		n.drop(clk, at, p, v.Drop)
 		return
 	}
 	if v.Deliver {
-		n.count(clk, ctrDelivered, 1)
-		if n.OnDeliver != nil {
-			if sh, ok := clk.(*sim.Shard); ok {
-				// Delivery hooks touch global state (flow stats, SLA
-				// watcher, VPN counters): defer to the barrier, where they
-				// dispatch in deterministic order at this same timestamp.
-				sh.Defer(func() { n.OnDeliver(at, p) })
-			} else {
-				n.OnDeliver(at, p)
-			}
-		}
+		n.deliver(clk, at, p)
 		return
 	}
+	// Headers are settled for this hop: refresh the cached wire length once
+	// so the queue, scheduler, shaper, and serialization all reuse it.
+	p.RefreshWire()
 	delay := v.Delay + n.HopDelay
 	if delay > 0 {
-		clk.After(delay, func() { n.enqueue(clk, at, v.OutLink, p) })
+		ev := n.poolFor(clk).getEvent()
+		ev.n, ev.kind, ev.clk, ev.node, ev.link, ev.p = n, evEnqueue, clk, at, v.OutLink, p
+		clk.PostAfter(delay, ev)
 		return
 	}
 	n.enqueue(clk, at, v.OutLink, p)
+}
+
+// deliver finalizes a packet that terminated at node at: count it, notify,
+// and recycle. Delivery hooks touch global state (flow stats, SLA watcher,
+// VPN counters): when sharded they defer to the barrier, where they
+// dispatch in deterministic order at this same timestamp — and the recycle
+// rides the same note, because the hook must see the packet intact.
+func (n *Network) deliver(clk sim.Clock, at topo.NodeID, p *packet.Packet) {
+	n.count(clk, ctrDelivered, 1)
+	if sh, ok := clk.(*sim.Shard); ok {
+		pl := n.poolFor(clk)
+		if n.OnDeliver == nil {
+			// No observer: the packet's journey ends inside this shard's
+			// segment, so it recycles into the shard's own pool right away.
+			pl.putPacket(p)
+			return
+		}
+		ev := pl.getEvent()
+		ev.n, ev.kind, ev.node, ev.p = n, evDeliverNote, at, p
+		sh.DeferAction(ev)
+		return
+	}
+	if n.OnDeliver != nil {
+		n.OnDeliver(at, p)
+	}
+	n.pools[0].putPacket(p)
 }
 
 // enqueue places the packet on the egress port, starting transmission if
@@ -253,11 +319,11 @@ func (n *Network) process(clk sim.Clock, at topo.NodeID, p *packet.Packet, inLin
 func (n *Network) enqueue(clk sim.Clock, at topo.NodeID, link topo.LinkID, p *packet.Packet) {
 	l := n.G.Link(link)
 	if l.From != at {
-		n.drop(clk, at, p, fmt.Errorf("netsim: router %d forwarded out foreign link %d", at, link))
+		n.drop(clk, at, p, packet.DropForeignLink)
 		return
 	}
 	pt := n.portFor(link)
-	size := int64(p.SerializedLen())
+	size := int64(p.Wire())
 	cls := qos.ClassOf(p)
 	pt.offeredPkts++
 	pt.offeredBytes += size
@@ -270,7 +336,7 @@ func (n *Network) enqueue(clk sim.Clock, at topo.NodeID, link topo.LinkID, p *pa
 		if pt.tel != nil {
 			pt.tel.dropped[cls].Add(size)
 		}
-		n.drop(clk, at, p, fmt.Errorf("netsim: link %d is down", link))
+		n.drop(clk, at, p, packet.DropLinkDown)
 		return
 	}
 	if !pt.sched.Enqueue(clk.Now(), cls, p) {
@@ -279,7 +345,7 @@ func (n *Network) enqueue(clk sim.Clock, at topo.NodeID, link topo.LinkID, p *pa
 		if pt.tel != nil {
 			pt.tel.dropped[cls].Add(size)
 		}
-		n.drop(clk, at, p, fmt.Errorf("netsim: queue overflow on link %d at %s", link, n.G.Name(at)))
+		n.drop(clk, at, p, packet.DropQueueOverflow)
 		return
 	}
 	if !pt.busy {
@@ -301,37 +367,45 @@ func (n *Network) transmitNext(clk sim.Clock, pt *port) {
 		return
 	}
 	pt.busy = true
+	wire := p.Wire()
 	if pt.shaper != nil {
-		if d := pt.shaper.DelayUntilConform(clk.Now(), p.SerializedLen()); d > 0 {
+		if d := pt.shaper.DelayUntilConform(clk.Now(), wire); d > 0 {
 			pt.pending = p
-			clk.After(d, func() { n.transmitNext(clk, pt) })
+			ev := n.poolFor(clk).getEvent()
+			ev.n, ev.kind, ev.clk, ev.pt = n, evTxKick, clk, pt
+			clk.PostAfter(d, ev)
 			return
 		}
-		pt.shaper.Conforms(clk.Now(), p.SerializedLen())
+		pt.shaper.Conforms(clk.Now(), wire)
 	}
 	l := n.G.Link(pt.link)
-	size := int64(p.SerializedLen())
+	size := int64(wire)
 	pt.wireBytes += size
-	txTime := sim.Time(float64(p.SerializedLen()*8) / l.Bandwidth * float64(sim.Second))
-	clk.After(txTime, func() {
-		// Serialization finished: settle the byte accounting (tx on success,
-		// drop if the link died mid-flight — never both), launch propagation,
-		// then serve the next queued packet (the wire is pipelined).
-		pt.wireBytes -= size
-		if l.Down {
-			pt.dropPkts++
-			pt.dropBytes += size
-			if pt.tel != nil {
-				pt.tel.dropped[qos.ClassOf(p)].Add(size)
-			}
-			n.drop(clk, l.From, p, fmt.Errorf("netsim: link %d went down mid-flight", pt.link))
-		} else {
-			pt.txBytes += size
-			pt.txPkts++
-			n.propagate(clk, l, pt.link, p)
+	txTime := sim.Time(float64(wire*8) / l.Bandwidth * float64(sim.Second))
+	ev := n.poolFor(clk).getEvent()
+	ev.n, ev.kind, ev.clk, ev.pt, ev.p, ev.size = n, evTxDone, clk, pt, p, size
+	clk.PostAfter(txTime, ev)
+}
+
+// txDone settles one finished serialization: settle the byte accounting
+// (tx on success, drop if the link died mid-flight — never both), launch
+// propagation, then serve the next queued packet (the wire is pipelined).
+func (n *Network) txDone(clk sim.Clock, pt *port, p *packet.Packet, size int64) {
+	l := n.G.Link(pt.link)
+	pt.wireBytes -= size
+	if l.Down {
+		pt.dropPkts++
+		pt.dropBytes += size
+		if pt.tel != nil {
+			pt.tel.dropped[qos.ClassOf(p)].Add(size)
 		}
-		n.transmitNext(clk, pt)
-	})
+		n.drop(clk, l.From, p, packet.DropLinkDown)
+	} else {
+		pt.txBytes += size
+		pt.txPkts++
+		n.propagate(clk, l, pt.link, p)
+	}
+	n.transmitNext(clk, pt)
 }
 
 // propagate delivers the packet to the far router after the link delay,
@@ -341,21 +415,35 @@ func (n *Network) propagate(clk sim.Clock, l *topo.Link, link topo.LinkID, p *pa
 	if n.shardOf != nil && n.shardOf[l.From] != n.shardOf[dst] {
 		dclk := n.shClk[n.shardOf[dst]]
 		n.count(clk, ctrHandoffs, 1)
-		clk.(*sim.Shard).Handoff(dclk, l.Delay, func() { n.process(dclk, dst, p, link) })
+		// Cross-shard events are one-shot (pool nil): the destination
+		// worker runs them, and recycling into the source shard's pool
+		// from there would race. Handoffs are rare — only cut edges.
+		ev := &dpEvent{n: n, kind: evArrive, clk: dclk, node: dst, link: link, p: p}
+		clk.(*sim.Shard).HandoffAction(dclk, l.Delay, ev)
 		return
 	}
-	clk.After(l.Delay, func() { n.process(clk, dst, p, link) })
+	ev := n.poolFor(clk).getEvent()
+	ev.n, ev.kind, ev.clk, ev.node, ev.link, ev.p = n, evArrive, clk, dst, link, p
+	clk.PostAfter(l.Delay, ev)
 }
 
-func (n *Network) drop(clk sim.Clock, at topo.NodeID, p *packet.Packet, reason error) {
+func (n *Network) drop(clk sim.Clock, at topo.NodeID, p *packet.Packet, reason packet.DropReason) {
 	n.count(clk, ctrDropped, 1)
-	if n.OnDrop != nil {
-		if sh, ok := clk.(*sim.Shard); ok {
-			sh.Defer(func() { n.OnDrop(at, p, reason) })
-		} else {
-			n.OnDrop(at, p, reason)
+	if sh, ok := clk.(*sim.Shard); ok {
+		pl := n.poolFor(clk)
+		if n.OnDrop == nil {
+			pl.putPacket(p)
+			return
 		}
+		ev := pl.getEvent()
+		ev.n, ev.kind, ev.node, ev.p, ev.reason = n, evDropNote, at, p, reason
+		sh.DeferAction(ev)
+		return
 	}
+	if n.OnDrop != nil {
+		n.OnDrop(at, p, reason)
+	}
+	n.pools[0].putPacket(p)
 }
 
 // Run executes events until quiescence.
@@ -391,8 +479,8 @@ func (n *Network) LinkDroppedPkts(link topo.LinkID) int64 { return n.portFor(lin
 func (n *Network) CheckConservation() error {
 	for i := 0; i < n.G.NumLinks(); i++ {
 		id := topo.LinkID(i)
-		pt, ok := n.ports[id]
-		if !ok {
+		pt := n.port(id)
+		if pt == nil {
 			continue
 		}
 		var queued int64
@@ -407,7 +495,7 @@ func (n *Network) CheckConservation() error {
 			}
 		}
 		if pt.pending != nil {
-			queued += int64(pt.pending.SerializedLen())
+			queued += int64(pt.pending.Wire())
 		}
 		if got := pt.txBytes + pt.dropBytes + queued + pt.wireBytes; got != pt.offeredBytes {
 			l := n.G.Link(id)

@@ -77,8 +77,8 @@ func TestQueueingDelaySerializes(t *testing.T) {
 func TestQueueOverflowDrops(t *testing.T) {
 	n, a, _, ab := pair()
 	n.SetScheduler(ab, qos.NewFIFO(3000)) // room for ~3 packets
-	var reasons []error
-	n.OnDrop = func(_ topo.NodeID, _ *packet.Packet, err error) { reasons = append(reasons, err) }
+	var reasons []packet.DropReason
+	n.OnDrop = func(_ topo.NodeID, _ *packet.Packet, reason packet.DropReason) { reasons = append(reasons, reason) }
 	for i := 0; i < 10; i++ {
 		n.Inject(a, mkPkt(972, 0))
 	}

@@ -74,6 +74,14 @@ func (n *Network) SetSharding(assign []int) error {
 	for i := 0; i < shards; i++ {
 		n.shClk[i] = n.E.Shard(i)
 	}
+	// One freelist per shard, replacing the serial pool. Any packets already
+	// drawn from pools[0] stay valid — recycle routes by current clock, not
+	// by origin.
+	disabled := n.pools[0].disabled
+	n.pools = make([]*dpPool, shards)
+	for i := range n.pools {
+		n.pools[i] = &dpPool{disabled: disabled}
+	}
 	n.acc = telemetry.NewShardAccumulator(shards, numShardCtrs)
 	n.E.OnBarrier(n.mergeShardCounters)
 	return nil

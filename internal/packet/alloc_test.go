@@ -1,0 +1,50 @@
+package packet
+
+import "testing"
+
+// The label stack is inline in the packet: every MPLS operation must be
+// allocation-free. This is the innermost gate of the zero-allocation data
+// plane — if these fail, everything downstream fails too.
+func TestLabelStackOpsZeroAlloc(t *testing.T) {
+	var s LabelStack
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Push(LabelStackEntry{Label: 500, EXP: 5, TTL: 64})   // VPN
+		s.Push(LabelStackEntry{Label: 100, EXP: 5, TTL: 64})   // transport
+		s.SetTop(LabelStackEntry{Label: 101, EXP: 5, TTL: 63}) // swap
+		s.SetTopTTL(62)
+		_ = s.Top()
+		_ = s.At(1)
+		_ = s.Pop()
+		_ = s.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("label stack push/pop/swap allocates %v per run, want 0", allocs)
+	}
+}
+
+// DropReason must convert to the error interface without allocating: values
+// below 256 hit the runtime's small-integer interning.
+func TestDropReasonErrorZeroAlloc(t *testing.T) {
+	var sink error
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = DropTTLExpired
+	})
+	if allocs != 0 {
+		t.Fatalf("DropReason -> error conversion allocates %v per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// Cached hashes and wire lengths must not allocate either.
+func TestPacketCachesZeroAlloc(t *testing.T) {
+	p := &Packet{Payload: 200}
+	p.MPLS.Push(LabelStackEntry{Label: 100, TTL: 64})
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = p.FlowHash()
+		_ = p.Wire()
+		_ = p.RefreshWire()
+	})
+	if allocs != 0 {
+		t.Fatalf("packet cache reads allocate %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,59 @@
+package packet
+
+// DropReason is a typed, allocation-free drop cause. The data plane returns
+// these sentinels instead of formatted errors so the hot path never touches
+// fmt; human-readable text is produced only when an observer (the OnDrop
+// hook, a trace, the journal) actually asks for it. DropReason implements
+// error — values below 256 convert to the error interface without
+// allocating (the runtime's small-integer interning).
+type DropReason uint8
+
+// Drop causes, data plane first (device/mpls), then egress (netsim).
+const (
+	DropNone           DropReason = iota // not dropped
+	DropTTLExpired                       // IP or label TTL reached zero
+	DropNoLabelBinding                   // labelled packet with no ILM entry (RFC 3031 §3.18)
+	DropBadILMOp                         // ILM entry with an invalid operation
+	DropNoRoute                          // no matching route (global table or VRF)
+	DropNoTransportLSP                   // VRF route resolved but no LSP to the egress PE
+	DropPoliced                          // CE classifier policer rejected the packet
+	DropNoSA                             // ESP packet with no SA for its SPI
+	DropNotESP                           // decapsulation of a non-ESP packet
+	DropBadSPI                           // ESP SPI does not match the SA
+	DropReplay                           // ESP anti-replay window rejected the sequence
+	DropNoRouter                         // arrival at a node with no forwarding element
+	DropForeignLink                      // router forwarded out a link it does not own
+	DropLinkDown                         // egress (or mid-flight) link is down
+	DropQueueOverflow                    // egress queue refused the packet
+
+	NumDropReasons int = iota
+)
+
+var dropReasonNames = [NumDropReasons]string{
+	DropNone:           "none",
+	DropTTLExpired:     "ttl_expired",
+	DropNoLabelBinding: "no_label_binding",
+	DropBadILMOp:       "bad_ilm_op",
+	DropNoRoute:        "no_route",
+	DropNoTransportLSP: "no_transport_lsp",
+	DropPoliced:        "policed",
+	DropNoSA:           "no_sa",
+	DropNotESP:         "not_esp",
+	DropBadSPI:         "bad_spi",
+	DropReplay:         "replay",
+	DropNoRouter:       "no_router",
+	DropForeignLink:    "foreign_link",
+	DropLinkDown:       "link_down",
+	DropQueueOverflow:  "queue_overflow",
+}
+
+// String returns the stable snake_case name used as a telemetry label.
+func (r DropReason) String() string {
+	if int(r) < len(dropReasonNames) {
+		return dropReasonNames[r]
+	}
+	return "unknown"
+}
+
+// Error makes DropReason usable as an error for observers that log one.
+func (r DropReason) Error() string { return "drop: " + r.String() }

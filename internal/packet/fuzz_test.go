@@ -28,7 +28,7 @@ func FuzzUnmarshalIPv4(f *testing.F) {
 // FuzzUnmarshalLabelStack checks the stack parser never panics and that
 // accepted stacks round-trip.
 func FuzzUnmarshalLabelStack(f *testing.F) {
-	s := LabelStack{{Label: 100, EXP: 5, TTL: 64}, {Label: 200, TTL: 63}}
+	s := StackOf(LabelStackEntry{Label: 100, EXP: 5, TTL: 64}, LabelStackEntry{Label: 200, TTL: 63})
 	f.Add(s.Marshal())
 	f.Add([]byte{1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -20,6 +20,12 @@ const (
 // LabelStackEntryLen is the wire size of one MPLS shim header.
 const LabelStackEntryLen = 4
 
+// MaxLabelDepth is the inline capacity of a LabelStack. Deployments here
+// stack at most four shims (VPN + transport + FRR bypass + inter-AS), so
+// eight leaves headroom; exceeding it is a provisioning error, not a data
+// plane condition.
+const MaxLabelDepth = 8
+
 // LabelStackEntry is one 32-bit MPLS shim header: 20-bit label, 3-bit EXP
 // (traffic class), bottom-of-stack bit, and TTL. The EXP field is the QoS
 // carrier the paper builds on: "The network edge will then map the
@@ -57,15 +63,99 @@ func UnmarshalLabelStackEntry(b []byte) (LabelStackEntry, error) {
 	}, nil
 }
 
-// LabelStack is an MPLS label stack; index 0 is the top (outermost) entry.
-type LabelStack []LabelStackEntry
+// LabelStack is an MPLS label stack held inline in the packet: a
+// fixed-capacity array plus a depth, so push/pop/swap never allocate and
+// never shift entries. Entries are stored bottom-first — e[0] is the bottom
+// of stack, e[depth-1] the top (outermost) shim — which makes push and pop
+// single-slot writes at the end. The zero value is an empty stack.
+type LabelStack struct {
+	e     [MaxLabelDepth]LabelStackEntry
+	depth int32
+}
 
-// Marshal encodes the whole stack, fixing up the S bit so only the last
-// entry has it set.
-func (s LabelStack) Marshal() []byte {
-	out := make([]byte, 0, len(s)*LabelStackEntryLen)
-	for i, e := range s {
-		e.S = i == len(s)-1
+// StackOf builds a stack from entries listed outermost (top) first, the
+// order the shims appear on the wire.
+func StackOf(entries ...LabelStackEntry) LabelStack {
+	if len(entries) > MaxLabelDepth {
+		panic(fmt.Sprintf("packet: label stack of %d entries exceeds MaxLabelDepth %d", len(entries), MaxLabelDepth))
+	}
+	var s LabelStack
+	for i := len(entries) - 1; i >= 0; i-- {
+		s.Push(entries[i])
+	}
+	return s
+}
+
+// Depth returns the number of entries.
+func (s *LabelStack) Depth() int { return int(s.depth) }
+
+// Push adds an entry on top of the stack, in place.
+func (s *LabelStack) Push(e LabelStackEntry) {
+	if s.depth >= MaxLabelDepth {
+		panic("packet: label stack overflow")
+	}
+	s.e[s.depth] = e
+	s.depth++
+}
+
+// Pop removes and returns the top entry, in place. It panics on an empty
+// stack; callers check Depth first.
+func (s *LabelStack) Pop() LabelStackEntry {
+	if s.depth == 0 {
+		panic("packet: pop of empty label stack")
+	}
+	s.depth--
+	return s.e[s.depth]
+}
+
+// Top returns the outermost entry without removing it.
+func (s *LabelStack) Top() LabelStackEntry {
+	if s.depth == 0 {
+		panic("packet: top of empty label stack")
+	}
+	return s.e[s.depth-1]
+}
+
+// SetTop replaces the outermost entry (the swap operation).
+func (s *LabelStack) SetTop(e LabelStackEntry) {
+	if s.depth == 0 {
+		panic("packet: set-top of empty label stack")
+	}
+	s.e[s.depth-1] = e
+}
+
+// SetTopTTL rewrites only the outermost entry's TTL.
+func (s *LabelStack) SetTopTTL(ttl uint8) {
+	if s.depth == 0 {
+		panic("packet: set-top of empty label stack")
+	}
+	s.e[s.depth-1].TTL = ttl
+}
+
+// At returns the i-th entry counted from the top: At(0) is the outermost
+// shim, At(Depth()-1) the bottom of stack — the order the wire encodes.
+func (s *LabelStack) At(i int) LabelStackEntry {
+	if i < 0 || i >= int(s.depth) {
+		panic(fmt.Sprintf("packet: label stack index %d out of range (depth %d)", i, s.depth))
+	}
+	return s.e[int(s.depth)-1-i]
+}
+
+// Clear empties the stack.
+func (s *LabelStack) Clear() { s.depth = 0 }
+
+// Clone returns an independent copy of the stack. With the inline
+// representation this is a plain value copy; it survives for callers that
+// snapshot stacks (traces).
+func (s *LabelStack) Clone() LabelStack { return *s }
+
+// Marshal encodes the whole stack outermost-first, fixing up the S bit so
+// only the bottom entry has it set.
+func (s *LabelStack) Marshal() []byte {
+	out := make([]byte, 0, int(s.depth)*LabelStackEntryLen)
+	for i := int(s.depth) - 1; i >= 0; i-- {
+		e := s.e[i]
+		e.S = i == 0
 		b := e.Marshal()
 		out = append(out, b[:]...)
 	}
@@ -73,67 +163,43 @@ func (s LabelStack) Marshal() []byte {
 }
 
 // UnmarshalLabelStack decodes entries until the bottom-of-stack bit. It
-// returns the stack and the number of bytes consumed.
+// returns the stack and the number of bytes consumed. Stacks deeper than
+// MaxLabelDepth are rejected.
 func UnmarshalLabelStack(b []byte) (LabelStack, int, error) {
-	var s LabelStack
+	var tmp [MaxLabelDepth]LabelStackEntry
+	n := 0
 	off := 0
 	for {
 		e, err := UnmarshalLabelStackEntry(b[off:])
 		if err != nil {
-			return nil, 0, err
+			return LabelStack{}, 0, err
 		}
-		s = append(s, e)
+		if n >= MaxLabelDepth {
+			return LabelStack{}, 0, fmt.Errorf("packet: label stack deeper than %d entries", MaxLabelDepth)
+		}
+		tmp[n] = e
+		n++
 		off += LabelStackEntryLen
 		if e.S {
+			var s LabelStack
+			for i := n - 1; i >= 0; i-- {
+				s.Push(tmp[i])
+			}
 			return s, off, nil
 		}
 		if off >= len(b) {
-			return nil, 0, fmt.Errorf("packet: label stack ran past end of buffer without S bit")
+			return LabelStack{}, 0, fmt.Errorf("packet: label stack ran past end of buffer without S bit")
 		}
 	}
 }
 
-// Push adds an entry on top of the stack.
-func (s LabelStack) Push(e LabelStackEntry) LabelStack {
-	return append(LabelStack{e}, s...)
-}
-
-// Pop removes the top entry. It panics on an empty stack; callers check
-// Depth first.
-func (s LabelStack) Pop() (LabelStackEntry, LabelStack) {
-	if len(s) == 0 {
-		panic("packet: pop of empty label stack")
-	}
-	return s[0], s[1:]
-}
-
-// Top returns the outermost entry without removing it.
-func (s LabelStack) Top() LabelStackEntry {
-	if len(s) == 0 {
-		panic("packet: top of empty label stack")
-	}
-	return s[0]
-}
-
-// Depth returns the number of entries.
-func (s LabelStack) Depth() int { return len(s) }
-
-// Clone returns an independent copy of the stack.
-func (s LabelStack) Clone() LabelStack {
-	if s == nil {
-		return nil
-	}
-	out := make(LabelStack, len(s))
-	copy(out, s)
-	return out
-}
-
-func (s LabelStack) String() string {
+func (s *LabelStack) String() string {
 	out := "["
-	for i, e := range s {
+	for i := 0; i < int(s.depth); i++ {
 		if i > 0 {
 			out += " "
 		}
+		e := s.At(i)
 		out += fmt.Sprintf("%d(exp=%d,ttl=%d)", e.Label, e.EXP, e.TTL)
 	}
 	return out + "]"

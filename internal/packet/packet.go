@@ -37,6 +37,15 @@ type Packet struct {
 	// packet was injected into, used only to *check* isolation — the data
 	// plane itself must never consult it for forwarding.
 	OriginVPN string
+
+	// Hot-path caches. fh memoizes the 5-tuple hash (flows never change
+	// their tuple in flight except at an IPSec gateway, which invalidates);
+	// wire memoizes SerializedLen between the end of a router's pipeline
+	// and the far end of the link, where the headers cannot change.
+	fh     uint32
+	fhSet  bool
+	wire   int32
+	pooled bool // owned by a netsim freelist; recycled at deliver/drop
 }
 
 // L4Header is a minimal UDP-style transport header (8 bytes on the wire).
@@ -65,8 +74,18 @@ type ESPInfo struct {
 
 // FlowHash returns a stable FNV-1a hash of the packet's 5-tuple, used to
 // pin a flow onto one path of an ECMP set (so a flow never reorders across
-// parallel paths).
+// parallel paths). The hash is computed once per packet and cached; code
+// that rewrites the 5-tuple mid-flight (IPSec encap/decap) must call
+// InvalidateCaches.
 func (p *Packet) FlowHash() uint32 {
+	if !p.fhSet {
+		p.fh = flowHash(p)
+		p.fhSet = true
+	}
+	return p.fh
+}
+
+func flowHash(p *Packet) uint32 {
 	const (
 		offset = 2166136261
 		prime  = 16777619
@@ -86,6 +105,13 @@ func (p *Packet) FlowHash() uint32 {
 	return h
 }
 
+// InvalidateCaches discards the memoized flow hash and wire length after a
+// header rewrite that changes them (tunnel encap/decap).
+func (p *Packet) InvalidateCaches() {
+	p.fhSet = false
+	p.wire = 0
+}
+
 // FlowKey extracts the packet's transport 5-tuple.
 func (p *Packet) FlowKey() FlowKey {
 	return FlowKey{
@@ -97,8 +123,10 @@ func (p *Packet) FlowKey() FlowKey {
 
 // SerializedLen returns the packet's on-wire length in bytes: IP header,
 // MPLS shim headers, ESP overhead if present, transport header, payload.
+// It always computes from the headers; the hot path uses Wire, which
+// memoizes between header rewrites.
 func (p *Packet) SerializedLen() int {
-	n := IPv4HeaderLen + len(p.MPLS)*LabelStackEntryLen + L4HeaderLen + p.Payload
+	n := IPv4HeaderLen + p.MPLS.Depth()*LabelStackEntryLen + L4HeaderLen + p.Payload
 	if p.ESP != nil {
 		// Outer IP header already counted; add ESP header (SPI+seq = 8),
 		// IV (16), inner IP header, padding, and ICV.
@@ -107,11 +135,47 @@ func (p *Packet) SerializedLen() int {
 	return n
 }
 
+// Wire returns the cached on-wire length, computing it on first use.
+// Headers only change inside a router's pipeline; netsim refreshes the
+// cache (RefreshWire) when the packet leaves the pipeline, so queues,
+// schedulers, and shapers all read one consistent precomputed size.
+func (p *Packet) Wire() int {
+	if p.wire == 0 {
+		p.wire = int32(p.SerializedLen())
+	}
+	return int(p.wire)
+}
+
+// RefreshWire recomputes and caches the on-wire length. Called once per hop
+// after label operations settle.
+func (p *Packet) RefreshWire() int {
+	p.wire = int32(p.SerializedLen())
+	return int(p.wire)
+}
+
+// Reset returns the packet to its zero state, keeping only freelist
+// ownership. Pools call it on recycle so a reused packet is
+// indistinguishable from a freshly allocated one — that equivalence is
+// what keeps pooling invisible to the deterministic engine.
+func (p *Packet) Reset() {
+	pooled := p.pooled
+	*p = Packet{pooled: pooled}
+}
+
+// SetPooled marks the packet as owned by a freelist. Only netsim pools use
+// this; packets constructed by tests or probes stay unpooled and are left
+// for the garbage collector.
+func (p *Packet) SetPooled() { p.pooled = true }
+
+// Pooled reports whether the packet belongs to a freelist.
+func (p *Packet) Pooled() bool { return p.pooled }
+
 // Clone returns a deep copy (label stack and ESP info included). Multicast
-// or ECMP replication must not alias the stack.
+// or ECMP replication must not alias the stack. Clones are never
+// pool-owned: the pool recycles only the original at delivery.
 func (p *Packet) Clone() *Packet {
 	q := *p
-	q.MPLS = p.MPLS.Clone()
+	q.pooled = false
 	if p.ESP != nil {
 		e := *p.ESP
 		q.ESP = &e
@@ -121,7 +185,7 @@ func (p *Packet) Clone() *Packet {
 
 func (p *Packet) String() string {
 	s := fmt.Sprintf("%s->%s dscp=%s len=%d ttl=%d", p.IP.Src, p.IP.Dst, p.IP.DSCP, p.SerializedLen(), p.IP.TTL)
-	if len(p.MPLS) > 0 {
+	if p.MPLS.Depth() > 0 {
 		s += " mpls=" + p.MPLS.String()
 	}
 	if p.ESP != nil {

@@ -85,11 +85,11 @@ func TestLabelStackEntryRoundTrip(t *testing.T) {
 }
 
 func TestLabelStackMarshalRoundTrip(t *testing.T) {
-	s := LabelStack{
-		{Label: 1000, EXP: 5, TTL: 255},
-		{Label: 2000, EXP: 3, TTL: 254},
-		{Label: 3000, EXP: 0, TTL: 64},
-	}
+	s := StackOf(
+		LabelStackEntry{Label: 1000, EXP: 5, TTL: 255},
+		LabelStackEntry{Label: 2000, EXP: 3, TTL: 254},
+		LabelStackEntry{Label: 3000, EXP: 0, TTL: 64},
+	)
 	b := s.Marshal()
 	if len(b) != 12 {
 		t.Fatalf("marshalled length = %d, want 12", len(b))
@@ -101,10 +101,11 @@ func TestLabelStackMarshalRoundTrip(t *testing.T) {
 	if got.Depth() != 3 {
 		t.Fatalf("depth = %d, want 3", got.Depth())
 	}
-	for i := range s {
+	for i := 0; i < s.Depth(); i++ {
 		wantS := i == 2
-		if got[i].Label != s[i].Label || got[i].EXP != s[i].EXP || got[i].TTL != s[i].TTL || got[i].S != wantS {
-			t.Fatalf("entry %d = %+v", i, got[i])
+		w, g := s.At(i), got.At(i)
+		if g.Label != w.Label || g.EXP != w.EXP || g.TTL != w.TTL || g.S != wantS {
+			t.Fatalf("entry %d = %+v", i, g)
 		}
 	}
 }
@@ -119,12 +120,12 @@ func TestLabelStackMissingBottom(t *testing.T) {
 
 func TestLabelStackPushPop(t *testing.T) {
 	var s LabelStack
-	s = s.Push(LabelStackEntry{Label: 100})
-	s = s.Push(LabelStackEntry{Label: 200})
+	s.Push(LabelStackEntry{Label: 100})
+	s.Push(LabelStackEntry{Label: 200})
 	if s.Top().Label != 200 {
 		t.Fatalf("top = %d, want 200", s.Top().Label)
 	}
-	e, s := s.Pop()
+	e := s.Pop()
 	if e.Label != 200 || s.Depth() != 1 || s.Top().Label != 100 {
 		t.Fatalf("pop broke stack: %v %v", e, s)
 	}
@@ -136,7 +137,8 @@ func TestLabelStackPopEmptyPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	LabelStack{}.Pop()
+	var s LabelStack
+	s.Pop()
 }
 
 func TestPacketSerializedLen(t *testing.T) {
@@ -144,11 +146,11 @@ func TestPacketSerializedLen(t *testing.T) {
 	if p.SerializedLen() != IPv4HeaderLen+L4HeaderLen+100 {
 		t.Fatalf("plain IP len = %d", p.SerializedLen())
 	}
-	p.MPLS = LabelStack{{Label: 16}, {Label: 17}}
+	p.MPLS = StackOf(LabelStackEntry{Label: 16}, LabelStackEntry{Label: 17})
 	if p.SerializedLen() != IPv4HeaderLen+8+L4HeaderLen+100 {
 		t.Fatalf("MPLS len = %d", p.SerializedLen())
 	}
-	p.MPLS = nil
+	p.MPLS = LabelStack{}
 	p.ESP = &ESPInfo{AuthBytes: 16, PadBytes: 4}
 	want := IPv4HeaderLen + L4HeaderLen + 100 + 8 + 16 + IPv4HeaderLen + 4 + 16
 	if p.SerializedLen() != want {
@@ -157,11 +159,11 @@ func TestPacketSerializedLen(t *testing.T) {
 }
 
 func TestPacketCloneIndependence(t *testing.T) {
-	p := &Packet{MPLS: LabelStack{{Label: 1}}, ESP: &ESPInfo{SPI: 9}}
+	p := &Packet{MPLS: StackOf(LabelStackEntry{Label: 1}), ESP: &ESPInfo{SPI: 9}}
 	q := p.Clone()
-	q.MPLS[0].Label = 2
+	q.MPLS.SetTop(LabelStackEntry{Label: 2})
 	q.ESP.SPI = 10
-	if p.MPLS[0].Label != 1 || p.ESP.SPI != 9 {
+	if p.MPLS.Top().Label != 1 || p.ESP.SPI != 9 {
 		t.Fatal("clone aliases original")
 	}
 }
@@ -192,14 +194,14 @@ func TestStringFormats(t *testing.T) {
 			t.Fatalf("empty name for DSCP %d", d)
 		}
 	}
-	s := LabelStack{{Label: 5, EXP: 3, TTL: 10}, {Label: 6, EXP: 1, TTL: 9}}
+	s := StackOf(LabelStackEntry{Label: 5, EXP: 3, TTL: 10}, LabelStackEntry{Label: 6, EXP: 1, TTL: 9})
 	if got := s.String(); !strings.Contains(got, "5(exp=3,ttl=10)") || !strings.Contains(got, "6(") {
 		t.Fatalf("stack String = %q", got)
 	}
 	p := &Packet{
 		IP: IPv4Header{DSCP: DSCPEF, TTL: 7,
 			Src: addr.MustParseIPv4("1.1.1.1"), Dst: addr.MustParseIPv4("2.2.2.2")},
-		MPLS:    LabelStack{{Label: 5}},
+		MPLS:    StackOf(LabelStackEntry{Label: 5}),
 		ESP:     &ESPInfo{SPI: 9},
 		Payload: 10,
 	}
@@ -226,6 +228,7 @@ func TestFlowHashProperties(t *testing.T) {
 	}
 	other := base.Clone()
 	other.L4.SrcPort = 1001
+	other.InvalidateCaches() // tuple rewrite must drop the memoized hash
 	if other.FlowHash() == h {
 		t.Fatal("port change did not change hash")
 	}
@@ -234,6 +237,7 @@ func TestFlowHashProperties(t *testing.T) {
 	for i := 0; i < 1024; i++ {
 		p := base.Clone()
 		p.L4.SrcPort = uint16(i)
+		p.InvalidateCaches()
 		buckets[p.FlowHash()%16]++
 	}
 	for i, c := range buckets {
@@ -269,13 +273,14 @@ func TestTopPanicsOnEmpty(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	LabelStack{}.Top()
+	var s LabelStack
+	s.Top()
 }
 
 func TestCloneNilStack(t *testing.T) {
 	p := &Packet{}
 	q := p.Clone()
-	if q.MPLS != nil || q.ESP != nil {
+	if q.MPLS.Depth() != 0 || q.ESP != nil {
 		t.Fatal("clone invented state")
 	}
 }

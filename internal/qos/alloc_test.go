@@ -1,0 +1,50 @@
+package qos
+
+import (
+	"testing"
+
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/sim"
+)
+
+// Every scheduler's enqueue/dequeue must be allocation-free at steady state:
+// the class queues are ring buffers that recirculate one backing array, and
+// packet sizes come from the cached wire length. One warm burst sizes the
+// rings; after that the gate is exactly zero.
+func TestSchedulerEnqueueDequeueZeroAlloc(t *testing.T) {
+	var weights [NumClasses]float64
+	for c := range weights {
+		weights[c] = 1
+	}
+	var quanta [NumClasses]int
+	for c := range quanta {
+		quanta[c] = 1500
+	}
+	scheds := map[string]Scheduler{
+		"fifo":     NewFIFO(1 << 20),
+		"priority": NewPriority(1 << 20),
+		"wfq":      NewWFQ(1<<20, weights),
+		"drr":      NewDRR(1<<20, quanta),
+		"hybrid":   NewHybrid(1<<20, weights),
+	}
+	pkts := make([]*packet.Packet, 32)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{Payload: 100 + 10*i}
+	}
+	for name, s := range scheds {
+		burst := func(now sim.Time) {
+			for i, p := range pkts {
+				if !s.Enqueue(now, Class(i%int(NumClasses)), p) {
+					t.Fatalf("%s: enqueue refused packet %d", name, i)
+				}
+			}
+			for s.Dequeue(now) != nil {
+			}
+		}
+		burst(0) // warm the rings
+		allocs := testing.AllocsPerRun(20, func() { burst(sim.Second) })
+		if allocs != 0 {
+			t.Errorf("%s: enqueue/dequeue allocates %v per burst, want 0", name, allocs)
+		}
+	}
+}

@@ -103,7 +103,7 @@ func (cl *Classifier) Classify(now sim.Time, p *packet.Packet) (Class, bool) {
 		pol.Matched++
 		pol.TelMatched.Inc()
 		if pol.Meter != nil {
-			switch pol.Meter.Mark(now, p.SerializedLen()) {
+			switch pol.Meter.Mark(now, p.Wire()) {
 			case Green:
 				// in contract
 			case Yellow:

@@ -35,11 +35,11 @@ func TestClassDSCPRoundTrip(t *testing.T) {
 
 func TestClassOfUsesEXPWhenLabeled(t *testing.T) {
 	p := pkt(100, packet.DSCPBestEffort)
-	p.MPLS = packet.LabelStack{{Label: 100, EXP: 5}}
+	p.MPLS = packet.StackOf(packet.LabelStackEntry{Label: 100, EXP: 5})
 	if got := ClassOf(p); got != ClassVoice {
 		t.Fatalf("labeled packet class = %v, want voice", got)
 	}
-	p.MPLS = nil
+	p.MPLS.Clear()
 	p.IP.DSCP = packet.DSCPEF
 	if got := ClassOf(p); got != ClassVoice {
 		t.Fatalf("IP packet class = %v, want voice", got)

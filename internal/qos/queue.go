@@ -74,7 +74,13 @@ type Queue struct {
 	LimitPkts  int
 	Drop       DropPolicy
 
+	// Ring buffer: pkts[head..head+count) modulo len(pkts). A slice that
+	// only ever pops from the front (q.pkts = q.pkts[1:]) strands its
+	// backing array and re-allocates forever; the ring recirculates one
+	// allocation for the life of the queue.
 	pkts  []*packet.Packet
+	head  int
+	count int
 	bytes int
 
 	// Counters for the experiment reports.
@@ -95,7 +101,7 @@ func NewQueue(limitBytes, limitPkts int) *Queue {
 }
 
 // Len returns the number of queued packets.
-func (q *Queue) Len() int { return len(q.pkts) }
+func (q *Queue) Len() int { return q.count }
 
 // Bytes returns the queued byte count.
 func (q *Queue) Bytes() int { return q.bytes }
@@ -103,41 +109,57 @@ func (q *Queue) Bytes() int { return q.bytes }
 // Enqueue appends p unless a limit or the drop policy rejects it. It
 // reports whether the packet was accepted.
 func (q *Queue) Enqueue(now sim.Time, p *packet.Packet) bool {
-	n := p.SerializedLen()
+	n := p.Wire()
 	if (q.LimitBytes > 0 && q.bytes+n > q.LimitBytes) ||
-		(q.LimitPkts > 0 && len(q.pkts)+1 > q.LimitPkts) {
+		(q.LimitPkts > 0 && q.count+1 > q.LimitPkts) {
 		q.DroppedFull++
 		q.TelDropFull.Inc()
 		return false
 	}
-	if q.Drop != nil && q.Drop.ShouldDrop(now, p, q.bytes, len(q.pkts)) {
+	if q.Drop != nil && q.Drop.ShouldDrop(now, p, q.bytes, q.count) {
 		q.DroppedEarly++
 		q.TelDropEarly.Inc()
 		return false
 	}
 	p.EnqueuedAt = now
-	q.pkts = append(q.pkts, p)
+	if q.count == len(q.pkts) {
+		q.grow()
+	}
+	q.pkts[(q.head+q.count)%len(q.pkts)] = p
+	q.count++
 	q.bytes += n
 	q.Enqueued++
 	return true
 }
 
+// grow doubles the ring, unrolling the wrapped contents into order. It runs
+// only until the ring reaches the queue's working set, then never again.
+func (q *Queue) grow() {
+	next := make([]*packet.Packet, 2*len(q.pkts)+8)
+	for i := 0; i < q.count; i++ {
+		next[i] = q.pkts[(q.head+i)%len(q.pkts)]
+	}
+	q.pkts = next
+	q.head = 0
+}
+
 // Dequeue removes and returns the head packet, or nil when empty.
 func (q *Queue) Dequeue() *packet.Packet {
-	if len(q.pkts) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
-	q.bytes -= p.SerializedLen()
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head = (q.head + 1) % len(q.pkts)
+	q.count--
+	q.bytes -= p.Wire()
 	return p
 }
 
 // Head returns the head packet without removing it, or nil when empty.
 func (q *Queue) Head() *packet.Packet {
-	if len(q.pkts) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	return q.pkts[0]
+	return q.pkts[q.head]
 }

@@ -134,7 +134,7 @@ func (s *WFQScheduler) Enqueue(now sim.Time, c Class, p *packet.Packet) bool {
 	if s.vtime > start {
 		start = s.vtime
 	}
-	s.finish[c] = start + float64(p.SerializedLen())/s.weights[c]
+	s.finish[c] = start + float64(p.Wire())/s.weights[c]
 	return true
 }
 
@@ -150,7 +150,7 @@ func (s *WFQScheduler) Dequeue(sim.Time) *packet.Packet {
 			continue
 		}
 		// Head finish time = finish[c] - (bytes queued behind head)/weight.
-		behind := float64(q.Bytes()-q.Head().SerializedLen()) / s.weights[c]
+		behind := float64(q.Bytes()-q.Head().Wire()) / s.weights[c]
 		f := s.finish[c] - behind
 		if best < 0 || f < bestFinish {
 			best, bestFinish = c, f
@@ -224,8 +224,8 @@ func (s *DRRScheduler) Dequeue(sim.Time) *packet.Packet {
 			s.deficit[c] += s.quantum[c]
 			s.granted = true
 		}
-		if head := q.Head(); head.SerializedLen() <= s.deficit[c] {
-			s.deficit[c] -= head.SerializedLen()
+		if head := q.Head(); head.Wire() <= s.deficit[c] {
+			s.deficit[c] -= head.Wire()
 			p := q.Dequeue()
 			if q.Len() == 0 {
 				s.deficit[c] = 0
@@ -289,7 +289,7 @@ func (s *HybridScheduler) SetEFLimit(tb *TokenBucket) { s.efLimit = tb }
 // Enqueue routes the packet to the priority or WFQ tier by class.
 func (s *HybridScheduler) Enqueue(now sim.Time, c Class, p *packet.Packet) bool {
 	if isPriorityClass(c) {
-		if c == ClassVoice && s.efLimit != nil && !s.efLimit.Conforms(now, p.SerializedLen()) {
+		if c == ClassVoice && s.efLimit != nil && !s.efLimit.Conforms(now, p.Wire()) {
 			s.EFPoliced++
 			return false
 		}

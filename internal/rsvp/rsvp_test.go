@@ -176,13 +176,13 @@ func TestLabelChainConsistency(t *testing.T) {
 	if l.Entry.OutLabel == packet.LabelImplicitNull {
 		t.Fatal("3-hop LSP should not be PHP at ingress")
 	}
-	pkt.MPLS = pkt.MPLS.Push(packet.LabelStackEntry{Label: l.Entry.OutLabel, TTL: 64})
+	pkt.MPLS.Push(packet.LabelStackEntry{Label: l.Entry.OutLabel, TTL: 64})
 	at := g.Link(l.Entry.OutLink).To
 	hops := 0
 	for pkt.MPLS.Depth() > 0 {
-		out, labeled, err := p.LFIBFor(at).ProcessLabeled(pkt)
-		if err != nil {
-			t.Fatalf("forwarding broke at %s: %v", g.Name(at), err)
+		out, labeled, drop := p.LFIBFor(at).ProcessLabeled(pkt)
+		if drop != packet.DropNone {
+			t.Fatalf("forwarding broke at %s: %v", g.Name(at), drop)
 		}
 		at = g.Link(out).To
 		hops++

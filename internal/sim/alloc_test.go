@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+type nopAction struct{ ran int }
+
+func (a *nopAction) Run() { a.ran++ }
+
+// Post + Step on a warmed engine must be allocation-free: the carrying
+// Event comes from the freelist, the Action is a pointer-to-struct in an
+// interface (no box), and the open-coded heap push never goes through
+// container/heap's interface{}.
+func TestEnginePostZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	act := &nopAction{}
+	// Warm the freelist and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.PostAfter(Time(i), act)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.PostAfter(Time(i), act)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("engine Post/Run allocates %v per run, want 0", allocs)
+	}
+	if act.ran == 0 {
+		t.Fatal("actions never ran")
+	}
+}
+
+// A pooled event must be recycled before its action runs, so a
+// self-rescheduling action (the traffic-source pattern) reuses one Event
+// forever instead of growing the heap.
+func TestPostRecycleBeforeRun(t *testing.T) {
+	e := NewEngine(1)
+	var hops int
+	var act Action
+	act = actionFunc(func() {
+		if hops++; hops < 100 {
+			e.PostAfter(1, act)
+		}
+	})
+	e.Post(0, act)
+	e.Run()
+	if hops != 100 {
+		t.Fatalf("hops = %d", hops)
+	}
+	if got := len(e.pool.free); got != 1 {
+		t.Fatalf("freelist holds %d events after a self-rescheduling chain, want 1", got)
+	}
+}
+
+type actionFunc func()
+
+func (f actionFunc) Run() { f() }

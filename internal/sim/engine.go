@@ -39,13 +39,16 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // Event is a scheduled callback. The callback runs with the clock set to the
-// event's due time.
+// event's due time. Exactly one of fn and act is set: fn for closure-based
+// Schedule/After, act for pooled Post/PostAfter (see action.go).
 type Event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among simultaneous events
-	fn   func()
-	idx  int // heap index; -1 once popped or cancelled
-	dead bool
+	at     Time
+	seq    uint64 // tie-break: FIFO among simultaneous events
+	fn     func()
+	act    Action
+	idx    int // heap index; -1 once popped or cancelled
+	dead   bool
+	pooled bool // owned by a scheduler freelist; recycled after execution
 }
 
 // Cancel prevents the event from running. Cancelling an already-executed or
@@ -95,6 +98,7 @@ type Engine struct {
 	seq    uint64
 	events uint64 // total executed, for diagnostics
 	rand   *Rand
+	pool   eventFree  // freelist backing Post/PostAfter
 	par    *parEngine // nil until EnableShards
 }
 
@@ -168,7 +172,17 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.events++
-		ev.fn()
+		if ev.act != nil {
+			// Recycle before running: pooled events never escape, and the
+			// action may immediately Post again, reusing this very Event.
+			act := ev.act
+			if ev.pooled {
+				e.pool.put(ev)
+			}
+			act.Run()
+		} else {
+			ev.fn()
+		}
 		return true
 	}
 	return false

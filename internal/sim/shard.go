@@ -53,6 +53,10 @@ type Clock interface {
 	Now() Time
 	Schedule(at Time, fn func()) *Event
 	After(d Time, fn func()) *Event
+	// Post and PostAfter are the pooled, fire-and-forget counterparts of
+	// Schedule and After: no *Event escapes, so the engine recycles it.
+	Post(at Time, act Action)
+	PostAfter(d Time, act Action)
 }
 
 // Shard is one partition's event queue and clock. Within a segment exactly
@@ -64,25 +68,29 @@ type Shard struct {
 	seq      uint64
 	now      Time
 	executed uint64
-	draining bool // true only while the owning worker drains a segment
+	draining bool      // true only while the owning worker drains a segment
+	pool     eventFree // freelist backing Post/PostAfter
 
 	out   []handoffMsg // cross-shard sends buffered for the next barrier
 	notes []noteMsg    // deferred notifications for the next barrier
 }
 
-// handoffMsg is a cross-shard event waiting for the barrier merge.
+// handoffMsg is a cross-shard event waiting for the barrier merge. One of
+// fn and act is set.
 type handoffMsg struct {
 	dst *Shard
 	at  Time
 	fn  func()
+	act Action
 }
 
 // noteMsg is a deferred notification: a callback that must run on the
 // coordinating goroutine (it touches global state) stamped with the
-// shard-local time it was emitted.
+// shard-local time it was emitted. One of fn and act is set.
 type noteMsg struct {
-	at Time
-	fn func()
+	at  Time
+	fn  func()
+	act Action
 }
 
 // ID returns the shard's index.
@@ -164,7 +172,15 @@ func (s *Shard) drain(boundary Time) {
 		heap.Pop(&s.q)
 		s.now = ev.at
 		s.executed++
-		ev.fn()
+		if ev.act != nil {
+			act := ev.act
+			if ev.pooled {
+				s.pool.put(ev)
+			}
+			act.Run()
+		} else {
+			ev.fn()
+		}
 	}
 	s.draining = false
 }
@@ -202,6 +218,7 @@ type noteDispatch struct {
 	shard int
 	seq   int
 	fn    func()
+	act   Action
 }
 
 // EnableShards switches the engine to the sharded backend with n shard
@@ -377,8 +394,13 @@ func (p *parEngine) flush() {
 		for _, s := range p.shards {
 			if len(s.out) > 0 {
 				moved = true
-				for _, h := range s.out {
-					h.dst.Schedule(h.at, h.fn)
+				for i, h := range s.out {
+					if h.act != nil {
+						h.dst.Post(h.at, h.act)
+					} else {
+						h.dst.Schedule(h.at, h.fn)
+					}
+					s.out[i] = handoffMsg{}
 				}
 				s.out = s.out[:0]
 			}
@@ -389,7 +411,8 @@ func (p *parEngine) flush() {
 		p.dispatch = p.dispatch[:0]
 		for _, s := range p.shards {
 			for i, nt := range s.notes {
-				p.dispatch = append(p.dispatch, noteDispatch{at: nt.at, shard: s.id, seq: i, fn: nt.fn})
+				p.dispatch = append(p.dispatch, noteDispatch{at: nt.at, shard: s.id, seq: i, fn: nt.fn, act: nt.act})
+				s.notes[i] = noteMsg{}
 			}
 			s.notes = s.notes[:0]
 		}
@@ -409,7 +432,11 @@ func (p *parEngine) flush() {
 				if p.e.now < d.at {
 					p.e.now = d.at
 				}
-				d.fn()
+				if d.act != nil {
+					d.act.Run()
+				} else {
+					d.fn()
+				}
 			}
 		}
 		if !moved {

@@ -36,6 +36,7 @@ type Labels struct {
 	Link   string `json:"link,omitempty"`   // directed link, "A->B"
 	Class  string `json:"class,omitempty"`  // forwarding class name
 	Policy string `json:"policy,omitempty"` // classifier policy name
+	Reason string `json:"reason,omitempty"` // drop cause (packet.DropReason name)
 }
 
 // String renders the label set in a fixed field order, e.g.
@@ -62,6 +63,7 @@ func (l Labels) String() string {
 	add("link", l.Link)
 	add("class", l.Class)
 	add("policy", l.Policy)
+	add("reason", l.Reason)
 	if b.Len() == 0 {
 		return ""
 	}

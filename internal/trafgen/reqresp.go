@@ -53,7 +53,7 @@ func (rr *ReqResp) SendRequests(reqPayload int, interval, start, stop sim.Time) 
 		}
 		rr.net.E.Schedule(t, func() {
 			rr.Req.Stats.RecordSent()
-			p := rr.Req.Packet(reqPayload)
+			p := rr.Req.fill(rr.net.NewPacket(rr.Req.At), reqPayload)
 			rr.pending[p.Seq] = rr.net.E.Now()
 			rr.net.Inject(rr.Req.At, p)
 			tick(t + interval)
@@ -71,7 +71,7 @@ func (rr *ReqResp) HandleDelivery(p *packet.Packet) bool {
 	case flowKey(rr.Req):
 		// Server side: answer with the same transaction sequence.
 		rr.Resp.Flow.Stats.RecordSent()
-		resp := rr.Resp.Flow.Packet(rr.Resp.Payload)
+		resp := rr.Resp.Flow.fill(rr.net.NewPacket(rr.Resp.Flow.At), rr.Resp.Payload)
 		resp.Seq = p.Seq
 		rr.net.Inject(rr.Resp.Flow.At, resp)
 		return true

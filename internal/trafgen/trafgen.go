@@ -39,25 +39,33 @@ func NewFlow(name string, at topo.NodeID, src, dst addr.IPv4, dstPort uint16) *F
 	}
 }
 
-// Packet materializes the next packet of the flow.
+// Packet materializes the next packet of the flow as a fresh allocation.
+// Steady-state senders go through fill + the network's packet pool instead;
+// Packet remains for probes and tests that outlive delivery.
 func (f *Flow) Packet(payload int) *packet.Packet {
-	f.seq++
-	return &packet.Packet{
-		IP: packet.IPv4Header{
-			DSCP: f.DSCP, TTL: 64, Protocol: f.Proto,
-			Src: f.Src, Dst: f.Dst,
-		},
-		L4:        packet.L4Header{SrcPort: f.SrcPort, DstPort: f.DstPort},
-		Payload:   payload,
-		Seq:       f.seq,
-		OriginVPN: f.VPN,
-	}
+	return f.fill(&packet.Packet{}, payload)
 }
 
-// send injects one packet and records it.
+// fill stamps the flow's headers onto a (possibly recycled) packet.
+func (f *Flow) fill(p *packet.Packet, payload int) *packet.Packet {
+	f.seq++
+	p.IP = packet.IPv4Header{
+		DSCP: f.DSCP, TTL: 64, Protocol: f.Proto,
+		Src: f.Src, Dst: f.Dst,
+	}
+	p.L4 = packet.L4Header{SrcPort: f.SrcPort, DstPort: f.DstPort}
+	p.Payload = payload
+	p.Seq = f.seq
+	p.OriginVPN = f.VPN
+	return p
+}
+
+// send injects one packet, drawn from the network's pool, and records it.
+// The pool recycles it at delivery or drop, so a long-running source
+// recirculates a handful of packets instead of allocating one per send.
 func (f *Flow) send(n *netsim.Network, payload int) {
 	f.Stats.RecordSent()
-	n.Inject(f.At, f.Packet(payload))
+	n.Inject(f.At, f.fill(n.NewPacket(f.At), payload))
 }
 
 // CBR emits fixed-size packets at a fixed interval from start until stop:
@@ -65,71 +73,116 @@ func (f *Flow) send(n *netsim.Network, payload int) {
 // paces itself on the clock of the injection node's shard, so a sharded
 // run keeps every flow's schedule inside its own partition.
 func CBR(n *netsim.Network, f *Flow, payload int, interval, start, stop sim.Time) {
-	clk := n.SourceClock(f.At)
-	var tick func(t sim.Time)
-	tick = func(t sim.Time) {
-		if t > stop {
-			return
-		}
-		clk.Schedule(t, func() {
-			f.send(n, payload)
-			tick(t + interval)
-		})
+	if start > stop {
+		return
 	}
-	tick(start)
+	s := &cbrSrc{n: n, f: f, clk: n.SourceClock(f.At), payload: payload,
+		interval: interval, stop: stop, t: start}
+	s.clk.Post(start, s)
+}
+
+// cbrSrc is a self-rescheduling sim.Action: one struct per source, reposted
+// on a pooled event every tick, so the steady state allocates nothing.
+type cbrSrc struct {
+	n              *netsim.Network
+	f              *Flow
+	clk            sim.Clock
+	payload        int
+	interval, stop sim.Time
+	t              sim.Time
+}
+
+func (s *cbrSrc) Run() {
+	s.f.send(s.n, s.payload)
+	s.t += s.interval
+	if s.t <= s.stop {
+		s.clk.Post(s.t, s)
+	}
 }
 
 // Poisson emits fixed-size packets with exponential interarrivals at the
 // given mean rate (packets/second): the classic data-traffic model.
 func Poisson(n *netsim.Network, f *Flow, payload int, pktPerSec float64, start, stop sim.Time, rng *sim.Rand) {
-	clk := n.SourceClock(f.At)
-	var next func(t sim.Time)
-	next = func(t sim.Time) {
-		if t > stop {
-			return
-		}
-		clk.Schedule(t, func() {
-			f.send(n, payload)
-			gap := sim.Time(rng.ExpFloat64() / pktPerSec * float64(sim.Second))
-			if gap < sim.Microsecond {
-				gap = sim.Microsecond
-			}
-			next(t + gap)
-		})
+	if start > stop {
+		return
 	}
-	next(start)
+	s := &poissonSrc{n: n, f: f, clk: n.SourceClock(f.At), payload: payload,
+		rate: pktPerSec, stop: stop, rng: rng, t: start}
+	s.clk.Post(start, s)
+}
+
+type poissonSrc struct {
+	n       *netsim.Network
+	f       *Flow
+	clk     sim.Clock
+	payload int
+	rate    float64
+	stop    sim.Time
+	rng     *sim.Rand
+	t       sim.Time
+}
+
+func (s *poissonSrc) Run() {
+	s.f.send(s.n, s.payload)
+	gap := sim.Time(s.rng.ExpFloat64() / s.rate * float64(sim.Second))
+	if gap < sim.Microsecond {
+		gap = sim.Microsecond
+	}
+	s.t += gap
+	if s.t <= s.stop {
+		s.clk.Post(s.t, s)
+	}
 }
 
 // OnOff emits CBR bursts during exponentially distributed on-periods
 // separated by exponential off-periods: a talkspurt/silence voice model or
 // a bursty data source.
 func OnOff(n *netsim.Network, f *Flow, payload int, interval, meanOn, meanOff, start, stop sim.Time, rng *sim.Rand) {
-	clk := n.SourceClock(f.At)
-	var burst func(t sim.Time)
-	burst = func(t sim.Time) {
-		if t > stop {
+	s := &onOffSrc{n: n, f: f, clk: n.SourceClock(f.At), payload: payload,
+		interval: interval, meanOn: meanOn, meanOff: meanOff, stop: stop,
+		rng: rng, t: start}
+	s.clk.Post(start, s)
+}
+
+// onOffSrc alternates between two self-rescheduling states: a burst-start
+// event (draw the on-duration, then post the first send at the same
+// timestamp, mirroring the closure version's event pattern) and per-packet
+// send events until the burst ends, when it draws the off-gap.
+type onOffSrc struct {
+	n                         *netsim.Network
+	f                         *Flow
+	clk                       sim.Clock
+	payload                   int
+	interval, meanOn, meanOff sim.Time
+	stop, end, t              sim.Time
+	rng                       *sim.Rand
+	inBurst                   bool
+}
+
+func (s *onOffSrc) Run() {
+	if !s.inBurst {
+		if s.t > s.stop {
 			return
 		}
-		onDur := sim.Time(rng.ExpFloat64() * float64(meanOn))
-		end := t + onDur
-		var tick func(u sim.Time)
-		tick = func(u sim.Time) {
-			if u > end || u > stop {
-				// Off period, then the next burst.
-				off := sim.Time(rng.ExpFloat64() * float64(meanOff))
-				if u+off <= stop {
-					clk.Schedule(u+off, func() { burst(u + off) })
-				}
-				return
-			}
-			clk.Schedule(u, func() {
-				f.send(n, payload)
-				tick(u + interval)
-			})
-		}
-		tick(t)
+		onDur := sim.Time(s.rng.ExpFloat64() * float64(s.meanOn))
+		s.end = s.t + onDur
+		s.inBurst = true
+		s.clk.Post(s.t, s)
+		return
 	}
-	clk.Schedule(start, func() { burst(start) })
+	s.f.send(s.n, s.payload)
+	s.t += s.interval
+	if s.t > s.end || s.t > s.stop {
+		// Off period, then the next burst.
+		off := sim.Time(s.rng.ExpFloat64() * float64(s.meanOff))
+		s.inBurst = false
+		if s.t+off <= s.stop {
+			s.t += off
+			s.clk.Post(s.t, s)
+		}
+		return
+	}
+	s.clk.Post(s.t, s)
 }
 
 // AIMD is a greedy window-based bulk source: it keeps `window` packets in
