@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability cover examples record clean
+.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability verify-intent cover examples record clean
 
-all: build vet test test-race fuzz-short bench-reconverge bench-gate
+all: build vet test test-race fuzz-short verify-intent bench-reconverge bench-gate
 
 build:
 	$(GO) build ./...
@@ -64,12 +64,23 @@ verify-survivability:
 		-run='TestE16|TestGRTimer|TestDoubleRestartWithinWindow|TestSessionLossWithoutGR|TestMBBReoptimize|TestCtrlLossCompounds|TestGraceful|TestSurvivability|TestDamping' \
 		./internal/experiments ./internal/core ./internal/chaos ./internal/bgp
 
-# Ten seconds each on the text-input parsers: the netconf config loader and
-# the chaos scenario DSL (generic, plus the survivability/damping knobs).
+# The intent-plane acceptance gate under the race detector: spec round
+# trip, reconciler convergence, the kill-mid-commit / kill-pre-commit
+# digest-equality proofs (direct and chaos-scripted), session transaction
+# semantics, and the E18 provisioning-crash scorecard.
+verify-intent:
+	$(GO) test -race -count=1 \
+		-run='TestSpec|TestStore|TestReconciler|TestKill|TestChaosScriptedKill|TestQuarantine|TestSession|TestValidate|TestCommit|TestConfirmed|TestClose|TestConcurrent|TestRemoveAdd|TestE18' \
+		./internal/intent ./internal/netconf ./internal/experiments
+
+# Ten seconds each on the text-input parsers: the netconf config loader,
+# the chaos scenario DSL (generic, plus the survivability/damping knobs),
+# and the intent spec language (round-trip contract).
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=10s ./internal/netconf
 	$(GO) test -run='^$$' -fuzz=FuzzScenario -fuzztime=10s ./internal/chaos
 	$(GO) test -run='^$$' -fuzz=FuzzSurvivability -fuzztime=10s ./internal/chaos
+	$(GO) test -run='^$$' -fuzz=FuzzIntentSpec -fuzztime=10s ./internal/intent
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -82,6 +93,7 @@ examples:
 	$(GO) run ./examples/multicarrier
 	$(GO) run ./examples/backbone
 	$(GO) run ./examples/paperfigs
+	$(GO) run ./examples/intent
 
 # Regenerate the recorded outputs referenced by EXPERIMENTS.md / README.
 record:

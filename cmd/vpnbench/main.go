@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e16 or all)")
+		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e18 or all)")
 		dur      = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
 		e1N      = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
 		shards   = flag.String("shards", "1,2,4,8", "E15 shard counts to sweep")
@@ -44,7 +44,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"} {
 			want[e] = true
 		}
 	} else {
@@ -179,6 +179,14 @@ func main() {
 		results["e17"] = res
 		fmt.Println(res.Scaling.String())
 		fmt.Println(res.Ablation.String())
+	}
+
+	if want["e18"] {
+		res := experiments.E18TransactionalProvisioning(d)
+		results["e18"] = res
+		fmt.Println(res.Table.String())
+		fmt.Printf("%d VPNs / %d sites declared; digests identical across clean and crashed runs: %t\n\n",
+			res.VPNs, res.Sites, res.DigestMatch["kill-mid-commit"] && res.DigestMatch["kill-pre-commit"])
 	}
 
 	if *jsonFile != "" {

@@ -5,17 +5,19 @@
 //
 // Usage:
 //
-//	vpnctl -f network.conf [-sched hybrid] [-seed 1] [-v] [-dot topo.dot] [-metrics out.json] [-chaos faults.scn]
+//	vpnctl -f network.conf [-sched hybrid] [-seed 1] [-v] [-dot topo.dot] [-metrics out.json] [-chaos faults.scn] [-intent desired.int]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"mplsvpn/internal/chaos"
 	"mplsvpn/internal/core"
+	"mplsvpn/internal/intent"
 	"mplsvpn/internal/netconf"
 	"mplsvpn/internal/packet"
 	"mplsvpn/internal/sim"
@@ -31,13 +33,14 @@ func main() {
 		dot   = flag.String("dot", "", "write a Graphviz rendering of the network to this file")
 		met   = flag.String("metrics", "", "write a telemetry snapshot to this file after the run ('-' = stdout; a .json suffix selects JSON, anything else text)")
 		chs   = flag.String("chaos", "", "fault scenario file to inject during the run (see internal/chaos for the DSL)")
+		intf  = flag.String("intent", "", "declarative intent spec to reconcile onto the backbone (see internal/intent for the DSL)")
 	)
 	flag.Parse()
 	if *file == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, *sched, *seed, *verb, *dot, *met, *chs); err != nil {
+	if err := run(*file, *sched, *seed, *verb, *dot, *met, *chs, *intf); err != nil {
 		fmt.Fprintln(os.Stderr, "vpnctl:", err)
 		os.Exit(1)
 	}
@@ -59,7 +62,7 @@ func schedKind(s string) (core.SchedulerKind, error) {
 	return 0, fmt.Errorf("unknown scheduler %q", s)
 }
 
-func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile, chaosFile string) error {
+func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile, chaosFile, intentFile string) error {
 	kind, err := schedKind(sched)
 	if err != nil {
 		return err
@@ -78,6 +81,19 @@ func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile, ch
 		}
 		scenario, err = chaos.ParseScenario(cf, chaosFile)
 		cf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	var spec *intent.Spec
+	if intentFile != "" {
+		inf, err := os.Open(intentFile)
+		if err != nil {
+			return err
+		}
+		spec, err = intent.Parse(inf, intentFile)
+		inf.Close()
 		if err != nil {
 			return err
 		}
@@ -104,11 +120,44 @@ func run(path, sched string, seed uint64, verbose bool, dotFile, metricsFile, ch
 		inj = chaos.New(b, scenario)
 		inj.Schedule()
 	}
+	var rec *intent.Reconciler
+	var srv *netconf.Server
+	if spec != nil {
+		store := intent.NewStore()
+		if err := store.Put(spec); err != nil {
+			return err
+		}
+		srv = netconf.NewServer(b)
+		rec = intent.NewReconciler(srv, store, intent.Options{Horizon: horizon})
+		if inj != nil {
+			inj.Reconciler = rec
+		}
+		rec.Start()
+	}
 	for _, lsp := range sc.TELSPs {
 		fmt.Printf("telsp %s: %s (%.0f b/s reserved)\n", lsp.Name, lsp.Path.String(b.G), lsp.Bandwidth)
 	}
 
 	b.Net.RunUntil(horizon + sim.Second)
+
+	if rec != nil {
+		st := rec.Stats
+		fmt.Printf("=== intent report (%s) ===\n", intentFile)
+		fmt.Printf("converged=%t scans=%d batches=%d ops=%d retries=%d quarantined=%d\n",
+			rec.Converged(), st.Scans, st.Batches, st.OpsApplied, st.Retries, st.Quarantined)
+		fmt.Printf("sessions: %d commits, %d rollbacks (%d auto), %d ops applied\n",
+			srv.Commits, srv.Rollbacks, srv.AutoRolled, srv.OpsApplied)
+		q := rec.Quarantined()
+		keys := make([]string, 0, len(q))
+		for k := range q {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  QUARANTINED %s: %v\n", k, q[k])
+		}
+		fmt.Println()
+	}
 
 	fmt.Printf("\n=== SLA report (scheduler=%s, %v simulated) ===\n", sched, sc.Duration)
 	for _, fl := range sc.Flows {

@@ -13,33 +13,33 @@ import (
 )
 
 func TestRunDemoConfig(t *testing.T) {
-	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, true, "", "", ""); err != nil {
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, true, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTEConfig(t *testing.T) {
-	if err := run(filepath.Join("testdata", "te.conf"), "fifo", 1, false, "", "", ""); err != nil {
+	if err := run(filepath.Join("testdata", "te.conf"), "fifo", 1, false, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllSchedulers(t *testing.T) {
 	for _, s := range []string{"fifo", "priority", "wfq", "drr", "hybrid"} {
-		if err := run(filepath.Join("testdata", "demo.conf"), s, 1, false, "", "", ""); err != nil {
+		if err := run(filepath.Join("testdata", "demo.conf"), s, 1, false, "", "", "", ""); err != nil {
 			t.Fatalf("scheduler %s: %v", s, err)
 		}
 	}
 }
 
 func TestBadScheduler(t *testing.T) {
-	if err := run(filepath.Join("testdata", "demo.conf"), "nope", 1, false, "", "", ""); err == nil {
+	if err := run(filepath.Join("testdata", "demo.conf"), "nope", 1, false, "", "", "", ""); err == nil {
 		t.Fatal("accepted unknown scheduler")
 	}
 }
 
 func TestMissingFile(t *testing.T) {
-	if err := run("testdata/absent.conf", "hybrid", 1, false, "", "", ""); err == nil {
+	if err := run("testdata/absent.conf", "hybrid", 1, false, "", "", "", ""); err == nil {
 		t.Fatal("accepted missing file")
 	}
 }
@@ -70,7 +70,7 @@ func TestConfigErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := run(writeConf(t, c.body), "hybrid", 1, false, "", "", "")
+			err := run(writeConf(t, c.body), "hybrid", 1, false, "", "", "", "")
 			if err == nil || !strings.Contains(err.Error(), c.want) {
 				t.Fatalf("err = %v, want containing %q", err, c.want)
 			}
@@ -80,7 +80,7 @@ func TestConfigErrors(t *testing.T) {
 
 func TestDOTFlag(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "topo.dot")
-	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, out, "", ""); err != nil {
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, out, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -126,7 +126,7 @@ func TestParseDur(t *testing.T) {
 }
 
 func TestRunFailoverConfig(t *testing.T) {
-	if err := run(filepath.Join("testdata", "failover.conf"), "hybrid", 1, false, "", "", ""); err != nil {
+	if err := run(filepath.Join("testdata", "failover.conf"), "hybrid", 1, false, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -134,17 +134,17 @@ func TestRunFailoverConfig(t *testing.T) {
 func TestDirectiveOrderErrors(t *testing.T) {
 	// routereflector after build must fail.
 	body := "pe A\npe B\nlink A B 10M 1ms 1\nvpn v\nroutereflector A\n"
-	if err := run(writeConf(t, body), "hybrid", 1, false, "", "", ""); err == nil {
+	if err := run(writeConf(t, body), "hybrid", 1, false, "", "", "", ""); err == nil {
 		t.Fatal("routereflector after build accepted")
 	}
-	if err := run(writeConf(t, "dste 2.0\n"), "hybrid", 1, false, "", "", ""); err == nil {
+	if err := run(writeConf(t, "dste 2.0\n"), "hybrid", 1, false, "", "", "", ""); err == nil {
 		t.Fatal("dste > 1 accepted")
 	}
 }
 
 func TestMetricsFlagText(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "metrics.txt")
-	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", out, ""); err != nil {
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", out, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -161,7 +161,7 @@ func TestMetricsFlagText(t *testing.T) {
 
 func TestMetricsFlagJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "metrics.json")
-	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", out, ""); err != nil {
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", out, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -195,7 +195,7 @@ func TestMetricsFlagJSON(t *testing.T) {
 }
 
 func TestMetricsFlagStdout(t *testing.T) {
-	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", "-", ""); err != nil {
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", "-", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -215,7 +215,7 @@ telsp prem A B 3M ef
 run 500ms
 flow f s1 s2 80 ef cbr 160 20ms
 `
-	if err := run(writeConf(t, body), "hybrid", 1, false, "", "", ""); err != nil {
+	if err := run(writeConf(t, body), "hybrid", 1, false, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -223,7 +223,7 @@ flow f s1 s2 80 ef cbr 160 20ms
 func TestRunChaosScenario(t *testing.T) {
 	out := captureStdout(t, func() {
 		if err := run(filepath.Join("testdata", "failover.conf"), "hybrid", 1, false, "", "",
-			filepath.Join("testdata", "flapstorm.scn")); err != nil {
+			filepath.Join("testdata", "flapstorm.scn"), ""); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -239,11 +239,11 @@ func TestRunChaosBadScenario(t *testing.T) {
 	if err := os.WriteFile(scn, []byte("explode X Y at=1s\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(filepath.Join("testdata", "failover.conf"), "hybrid", 1, false, "", "", scn); err == nil {
+	if err := run(filepath.Join("testdata", "failover.conf"), "hybrid", 1, false, "", "", scn, ""); err == nil {
 		t.Fatal("bad scenario accepted")
 	}
 	if err := run(filepath.Join("testdata", "failover.conf"), "hybrid", 1, false, "", "",
-		"testdata/absent.scn"); err == nil {
+		"testdata/absent.scn", ""); err == nil {
 		t.Fatal("missing scenario file accepted")
 	}
 }
@@ -278,4 +278,32 @@ func captureStdout(t *testing.T, fn func()) string {
 	fn()
 	w.Close()
 	return <-done
+}
+
+func TestRunIntentFlag(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", "", "",
+			filepath.Join("testdata", "provision.int")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"=== intent report", "converged=true", "quarantined=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunIntentBadSpec(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.int")
+	if err := os.WriteFile(bad, []byte("vpn headless\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", "", "", bad); err == nil {
+		t.Fatal("bad intent spec accepted")
+	}
+	if err := run(filepath.Join("testdata", "demo.conf"), "hybrid", 1, false, "", "", "",
+		"testdata/absent.int"); err == nil {
+		t.Fatal("missing intent file accepted")
+	}
 }

@@ -9,6 +9,14 @@ import (
 	"mplsvpn/internal/telemetry"
 )
 
+// ReconcilerTarget is what rkill/rrestart directives act on: the intent
+// reconciler (declared as an interface here to avoid importing the intent
+// package, which imports core just as chaos does).
+type ReconcilerTarget interface {
+	Kill() error
+	Restart() error
+}
+
 // Injector schedules a scenario's faults on a backbone's engine and runs
 // the invariant checker after every one. All jitter comes from a stream
 // forked off the engine's seeded generator at construction, drawn in
@@ -21,6 +29,10 @@ type Injector struct {
 	// Checker verifies isolation, loop-freedom, and byte conservation
 	// after every injected operation.
 	Checker *Checker
+
+	// Reconciler receives rkill/rrestart operations; when nil those
+	// directives are rejected (counted, not fatal).
+	Reconciler ReconcilerTarget
 
 	// Applied and Rejected count fired operations by outcome (an operation
 	// is rejected when its precondition no longer holds, e.g. failing an
@@ -103,6 +115,18 @@ func (inj *Injector) fire(op timedOp) {
 		err = inj.B.CutSiteAttachment(op.a)
 	case OpUncut:
 		err = inj.B.RestoreSiteAttachment(op.a)
+	case OpRKill:
+		if inj.Reconciler == nil {
+			err = fmt.Errorf("chaos: no reconciler attached")
+		} else {
+			err = inj.Reconciler.Kill()
+		}
+	case OpRRestart:
+		if inj.Reconciler == nil {
+			err = fmt.Errorf("chaos: no reconciler attached")
+		} else {
+			err = inj.Reconciler.Restart()
+		}
 	default:
 		err = fmt.Errorf("chaos: unknown op %v", op.op)
 	}

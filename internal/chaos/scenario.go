@@ -18,6 +18,12 @@
 //	restart P2 at=6s detect=100ms
 //	cut hq at=7s
 //	uncut hq at=8s
+//	rkill at=9s
+//	rrestart at=10s
+//
+// rkill/rrestart target the intent reconciler (when one is attached to the
+// injector): a kill mid-commit must leave no half-provisioned state, and a
+// restart must converge to the same digest as an uninterrupted run.
 package chaos
 
 import (
@@ -43,6 +49,8 @@ const (
 	OpRestart
 	OpCut
 	OpUncut
+	OpRKill
+	OpRRestart
 )
 
 func (o Op) String() string {
@@ -61,6 +69,10 @@ func (o Op) String() string {
 		return "cut"
 	case OpUncut:
 		return "uncut"
+	case OpRKill:
+		return "rkill"
+	case OpRRestart:
+		return "rrestart"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -340,6 +352,23 @@ func ParseScenario(r io.Reader, name string) (*Scenario, error) {
 			}
 			op := map[string]Op{"crash": OpCrash, "restart": OpRestart, "cut": OpCut, "uncut": OpUncut}[fields[0]]
 			sc.Events = append(sc.Events, Event{At: at, Op: op, A: fields[1], Detect: detectOr(kv)})
+		case "rkill", "rrestart":
+			if len(fields) != 2 {
+				return nil, fail("%s at=<t>", fields[0])
+			}
+			kv, err := parseKVs(fields[1:], "at")
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			at, ok := kv["at"]
+			if !ok {
+				return nil, fail("%s needs at=<t>", fields[0])
+			}
+			op := OpRKill
+			if fields[0] == "rrestart" {
+				op = OpRRestart
+			}
+			sc.Events = append(sc.Events, Event{At: at, Op: op})
 		default:
 			return nil, fail("unknown directive %q", fields[0])
 		}

@@ -18,8 +18,6 @@
 package core
 
 import (
-	"fmt"
-
 	"mplsvpn/internal/addr"
 	"mplsvpn/internal/bgp"
 	"mplsvpn/internal/device"
@@ -142,6 +140,8 @@ type siteRecord struct {
 	// Dual-homing state (Spec.BackupPE set).
 	backupPE     topo.NodeID
 	backupCEToPE topo.LinkID
+	backupPEToCE topo.LinkID
+	backupLabels map[addr.Prefix]packet.Label // backup PE's VPN labels
 
 	// hosts are the workstation nodes behind the CE (Spec.Hosts > 0).
 	hosts []topo.NodeID
@@ -168,9 +168,16 @@ type Backbone struct {
 	vpns          map[string]*vpnConfig
 	sites         map[string]*siteRecord // by site name
 	siteByCE      map[topo.NodeID]*siteRecord
-	nextRD        uint32
-	built         bool
-	bypasses      map[topo.LinkID]*rsvp.LSP
+	// retired keeps the physical skeleton (CE node, access links, hosts)
+	// of removed sites: the graph cannot delete nodes, and fibre does not
+	// evaporate when a service is deprovisioned. Re-adding a site with a
+	// compatible spec revives its skeleton with the same node and link
+	// IDs, which is what makes a rolled-back-then-reapplied provisioning
+	// transaction converge to a byte-identical StateDigest.
+	retired  map[string]*siteRecord
+	nextRD   uint32
+	built    bool
+	bypasses map[topo.LinkID]*rsvp.LSP
 
 	// Fault-state tracking (the chaos plane): which links are
 	// administratively failed, which provider routers are crashed, and which
@@ -264,6 +271,7 @@ func newBackboneOn(cfg Config, e *sim.Engine, g *topo.Graph, net *netsim.Network
 		vpns:         make(map[string]*vpnConfig),
 		sites:        make(map[string]*siteRecord),
 		siteByCE:     make(map[topo.NodeID]*siteRecord),
+		retired:      make(map[string]*siteRecord),
 		siteByPrefix: addr.NewTable[*siteRecord](),
 		nextRD:       1,
 		failedLinks:  make(map[linkPair]bool),
@@ -365,7 +373,7 @@ func (b *Backbone) Link(a, z string, bandwidth float64, delay sim.Time, metric i
 func (b *Backbone) mustNode(name string) topo.NodeID {
 	id, ok := b.G.NodeByName(name)
 	if !ok {
-		panic(fmt.Sprintf("core: unknown node %q", name))
+		panic(provErr(ProvUnknownNode, "node:"+name, "unknown node %q", name))
 	}
 	return id
 }

@@ -43,8 +43,21 @@ func (b *Backbone) StateDigest() string {
 			fmt.Fprintf(&sb, "lsp %d %s %s %.0f %s\n", l.ID, l.Name, l.State, l.Bandwidth, b.pathName(l.Path))
 		}
 	}
+	// Links touching a retired site's skeleton are not service state: a
+	// deprovisioned-then-reprovisioned site must digest identically to one
+	// that was never touched, or transactional rollback would be visible.
+	retired := make(map[topo.NodeID]bool)
+	for _, rec := range b.retired {
+		retired[rec.CE] = true
+		for _, hid := range rec.hosts {
+			retired[hid] = true
+		}
+	}
 	for i := 0; i < b.G.NumLinks(); i++ {
 		l := b.G.Link(topo.LinkID(i))
+		if retired[l.From] || retired[l.To] {
+			continue
+		}
 		fmt.Fprintf(&sb, "link %s->%s down=%t resv=%.0f\n", b.G.Name(l.From), b.G.Name(l.To), l.Down, l.ReservedBw)
 	}
 	return sb.String()

@@ -37,6 +37,11 @@ type teRequest struct {
 	degraded      bool
 	attempts      int
 	retryPending  bool
+
+	// removed marks an intent torn down by TeardownTE: retry timers that
+	// still hold a pointer to it must become no-ops instead of
+	// resurrecting the LSP.
+	removed bool
 }
 
 // linkPair is a direction-normalized link key for fault-state tracking.

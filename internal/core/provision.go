@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mplsvpn/internal/addr"
 	"mplsvpn/internal/device"
@@ -32,7 +33,7 @@ func (b *Backbone) DefineVPN(name string) {
 // an ad-hoc basis").
 func (b *Backbone) DefineVPNWithRTs(name string, imports, exports []addr.RouteTarget) {
 	if _, dup := b.vpns[name]; dup {
-		panic(fmt.Sprintf("core: VPN %q already defined", name))
+		panic(provErr(ProvDuplicateVPN, "vpn:"+name, "VPN %q already defined", name))
 	}
 	b.vpns[name] = &vpnConfig{
 		Name:     name,
@@ -51,7 +52,7 @@ func (b *Backbone) DefineVPNWithRTs(name string, imports, exports []addr.RouteTa
 func (b *Backbone) SetVPNSLA(name string, c qos.Class) {
 	cfg, ok := b.vpns[name]
 	if !ok {
-		panic(fmt.Sprintf("core: VPN %q not defined", name))
+		panic(provErr(ProvUnknownVPN, "vpn:"+name, "VPN %q not defined", name))
 	}
 	cfg.SLAClass = c
 	for _, r := range b.routers {
@@ -66,9 +67,42 @@ func (b *Backbone) SetVPNSLA(name string, c qos.Class) {
 func (b *Backbone) RTOf(name string) addr.RouteTarget {
 	cfg, ok := b.vpns[name]
 	if !ok || len(cfg.Exports) == 0 {
-		panic(fmt.Sprintf("core: VPN %q not defined", name))
+		panic(provErr(ProvUnknownVPN, "vpn:"+name, "VPN %q not defined", name))
 	}
 	return cfg.Exports[0]
+}
+
+// UndefineVPN removes a VPN definition and sweeps its (empty) VRFs off
+// every PE. A VPN with provisioned sites or live TE intents is refused —
+// remove those first. When the VPN holds the most recently assigned RD it
+// is reclaimed, so a define rolled back and re-applied in LIFO order gets
+// the identical identity — part of the transactional digest-equality
+// contract.
+func (b *Backbone) UndefineVPN(name string) error {
+	cfg, ok := b.vpns[name]
+	if !ok {
+		return provErr(ProvUnknownVPN, "vpn:"+name, "VPN %q not defined", name)
+	}
+	for _, rec := range b.sites {
+		if rec.Spec.VPN == name {
+			return provErr(ProvVPNInUse, "vpn:"+name,
+				"VPN %q still has site %q provisioned", name, rec.Spec.Name)
+		}
+	}
+	for _, req := range b.teRequests {
+		if req.vpn == name {
+			return provErr(ProvVPNInUse, "vpn:"+name,
+				"VPN %q is still steered by TE intent %q", name, req.name)
+		}
+	}
+	for _, id := range b.peNodes {
+		delete(b.routers[id].VRFs, name)
+	}
+	delete(b.vpns, name)
+	if cfg.RD.Assigned == b.nextRD-1 {
+		b.nextRD--
+	}
+	return nil
 }
 
 // SiteSpec describes one customer site to provision.
@@ -111,14 +145,14 @@ type SiteSpec struct {
 // ConvergeVPNs afterwards (sites may be added in batches).
 func (b *Backbone) AddSite(spec SiteSpec) *device.Router {
 	if !b.built {
-		panic("core: BuildProvider before AddSite")
+		panic(provErr(ProvNotBuilt, "site:"+spec.Name, "BuildProvider before AddSite"))
 	}
 	cfg, ok := b.vpns[spec.VPN]
 	if !ok {
-		panic(fmt.Sprintf("core: VPN %q not defined", spec.VPN))
+		panic(provErr(ProvUnknownVPN, "vpn:"+spec.VPN, "VPN %q not defined", spec.VPN))
 	}
 	if _, dup := b.sites[spec.Name]; dup {
-		panic(fmt.Sprintf("core: site %q already provisioned", spec.Name))
+		panic(provErr(ProvDuplicateSite, "site:"+spec.Name, "site %q already provisioned", spec.Name))
 	}
 	if spec.AccessBw == 0 {
 		spec.AccessBw = 100e6
@@ -129,6 +163,16 @@ func (b *Backbone) AddSite(spec SiteSpec) *device.Router {
 
 	peID := b.mustNode(spec.PE)
 	pe := b.routers[peID]
+
+	// A previously removed site of the same name left its physical
+	// skeleton behind; revive it instead of growing the graph (node names
+	// are unique forever). The spec must be shaped compatibly.
+	if old, ok := b.retired[spec.Name]; ok {
+		if err := b.skeletonCompatible(old, spec); err != nil {
+			panic(err)
+		}
+		return b.reviveSite(old, spec, cfg, pe)
+	}
 
 	// CE node, router, and access link.
 	ceID := b.G.AddNode("ce-" + spec.Name)
@@ -197,7 +241,7 @@ func (b *Backbone) AddSite(spec SiteSpec) *device.Router {
 	} else {
 		b.provisionVPNSite(rec, cfg, pe)
 		if spec.BackupPE != "" {
-			b.provisionBackupAttachment(rec, cfg)
+			b.provisionBackupAttachment(rec, cfg, true)
 		}
 	}
 
@@ -205,7 +249,90 @@ func (b *Backbone) AddSite(spec SiteSpec) *device.Router {
 	if err := b.Registry.Join(vpn.Site{
 		Name: spec.Name, VPN: spec.VPN, PE: peID, Prefixes: spec.Prefixes,
 	}); err != nil {
-		panic(err)
+		panic(provErr(ProvMembership, "site:"+spec.Name, "%v", err))
+	}
+	return ce
+}
+
+// skeletonCompatible checks that a new spec can reuse a retired site's
+// physical skeleton: every topology-shaping field must match, because the
+// CE node, access links, and host LAN already exist with those parameters.
+// Mutable service attributes (ShapeRate, Classifier, the owning VPN) may
+// differ freely.
+func (b *Backbone) skeletonCompatible(old *siteRecord, spec SiteSpec) error {
+	o := old.Spec
+	mismatch := func(field string) error {
+		return provErr(ProvSkeletonMismatch, "site:"+spec.Name,
+			"site %q was provisioned before with a different %s; its physical skeleton (CE, access links) cannot be reshaped", spec.Name, field)
+	}
+	switch {
+	case o.PE != spec.PE:
+		return mismatch("PE")
+	case o.BackupPE != spec.BackupPE:
+		return mismatch("backup PE")
+	case o.AccessBw != spec.AccessBw || o.AccessDelay != spec.AccessDelay:
+		return mismatch("access link")
+	case o.Hosts != spec.Hosts || (spec.Hosts > 0 && o.LANBw != spec.LANBw && spec.LANBw != 0):
+		return mismatch("host LAN")
+	case len(o.Prefixes) != len(spec.Prefixes):
+		return mismatch("prefix list")
+	}
+	for i, p := range o.Prefixes {
+		if spec.Prefixes[i] != p {
+			return mismatch("prefix list")
+		}
+	}
+	return nil
+}
+
+// reviveSite re-provisions a retired site over its existing skeleton: the
+// access link comes back up, fresh VPN labels and VRF state are installed,
+// and membership is re-announced. Node and link IDs are exactly the ones
+// the site had before, so a remove+add round-trip is digest-invisible.
+func (b *Backbone) reviveSite(rec *siteRecord, spec SiteSpec, cfg *vpnConfig, pe *device.Router) *device.Router {
+	if spec.Hosts > 0 && spec.LANBw == 0 {
+		spec.LANBw = rec.Spec.LANBw
+	}
+	delete(b.retired, spec.Name)
+	ce := b.routers[rec.CE]
+	ce.Classifier = spec.Classifier
+	ce.IPTable.Insert(addr.Prefix{}, rec.ceToPE) // default route back to the primary
+	rec.Spec = spec
+	rec.labels = make(map[addr.Prefix]packet.Label)
+	rec.backupLabels = nil
+	if !b.nodeDown[rec.PE] {
+		b.G.SetLinkDown(rec.CE, rec.PE, false)
+	}
+	if spec.ShapeRate > 0 {
+		b.Net.SetShaper(rec.ceToPE, qos.NewTokenBucket(spec.ShapeRate/8, 4*1500))
+	} else {
+		b.Net.SetShaper(rec.ceToPE, nil)
+	}
+
+	b.sites[spec.Name] = rec
+	b.siteByCE[rec.CE] = rec
+	for _, hid := range rec.hosts {
+		b.siteByCE[hid] = rec
+	}
+	for _, p := range spec.Prefixes {
+		b.siteByPrefix.Insert(p, rec)
+	}
+	if b.tel != nil && spec.Classifier != nil {
+		spec.Classifier.BindTelemetry(b.tel.Reg, "ce-"+spec.Name)
+	}
+
+	if b.Cfg.PlainIP {
+		b.provisionPlainIPSite(rec)
+	} else {
+		b.provisionVPNSite(rec, cfg, pe)
+		if spec.BackupPE != "" {
+			b.provisionBackupAttachment(rec, cfg, false)
+		}
+	}
+	if err := b.Registry.Join(vpn.Site{
+		Name: spec.Name, VPN: spec.VPN, PE: rec.PE, Prefixes: spec.Prefixes,
+	}); err != nil {
+		panic(provErr(ProvMembership, "site:"+spec.Name, "%v", err))
 	}
 	return ce
 }
@@ -238,7 +365,7 @@ func (b *Backbone) provisionVPNSite(rec *siteRecord, cfg *vpnConfig, pe *device.
 	// Control plane: export into BGP.
 	sp, ok := b.BGP.Speaker(rec.PE)
 	if !ok {
-		panic(fmt.Sprintf("core: PE %s has no BGP speaker", pe.Name))
+		panic(provErr(ProvNoBGPSpeaker, "node:"+pe.Name, "PE %s has no BGP speaker", pe.Name))
 	}
 	for _, e := range exports {
 		sp.Originate(e)
@@ -247,17 +374,24 @@ func (b *Backbone) provisionVPNSite(rec *siteRecord, cfg *vpnConfig, pe *device.
 
 // provisionBackupAttachment dual-homes a site: a second access link to the
 // backup PE whose exports carry LocalPref 50 (primary exports carry 100),
-// so remote PEs use the backup path only when the primary withdraws.
-func (b *Backbone) provisionBackupAttachment(rec *siteRecord, cfg *vpnConfig) {
+// so remote PEs use the backup path only when the primary withdraws. With
+// fresh false, the site is being revived and the backup access link
+// already exists in the skeleton.
+func (b *Backbone) provisionBackupAttachment(rec *siteRecord, cfg *vpnConfig, fresh bool) {
 	peID := b.mustNode(rec.Spec.BackupPE)
 	pe := b.routers[peID]
-	bw := rec.Spec.AccessBw
-	delay := rec.Spec.AccessDelay
-	ceToPE, peToCE := b.G.AddDuplexLink(rec.CE, peID, bw, delay, 1)
-	b.Net.SetScheduler(ceToPE, b.newScheduler())
-	b.Net.SetScheduler(peToCE, b.newScheduler())
-	rec.backupCEToPE = ceToPE
-	rec.backupPE = peID
+	if fresh {
+		bw := rec.Spec.AccessBw
+		delay := rec.Spec.AccessDelay
+		ceToPE, peToCE := b.G.AddDuplexLink(rec.CE, peID, bw, delay, 1)
+		b.Net.SetScheduler(ceToPE, b.newScheduler())
+		b.Net.SetScheduler(peToCE, b.newScheduler())
+		rec.backupCEToPE = ceToPE
+		rec.backupPEToCE = peToCE
+		rec.backupPE = peID
+	} else if !b.nodeDown[peID] {
+		b.G.SetLinkDown(rec.CE, peID, false)
+	}
 
 	v, ok := pe.VRFs[cfg.Name]
 	if !ok {
@@ -265,24 +399,24 @@ func (b *Backbone) provisionBackupAttachment(rec *siteRecord, cfg *vpnConfig) {
 		v.SLAClass = int(cfg.SLAClass)
 		pe.VRFs[cfg.Name] = v
 	}
-	pe.BindAccess(ceToPE, cfg.Name)
-	pe.BindSiteAccess(cfg.Name, rec.Spec.Name, peToCE)
+	pe.BindAccess(rec.backupCEToPE, cfg.Name)
+	pe.BindSiteAccess(cfg.Name, rec.Spec.Name, rec.backupPEToCE)
 
 	alloc := b.allocs[peID]
-	backupLabels := make(map[addr.Prefix]packet.Label)
+	rec.backupLabels = make(map[addr.Prefix]packet.Label)
 	exports := v.AttachSite(&vpn.Site{
 		Name: rec.Spec.Name, VPN: cfg.Name, PE: peID, Prefixes: rec.Spec.Prefixes,
 	}, func(p addr.Prefix) packet.Label {
 		l := alloc.Alloc()
-		backupLabels[p] = l
+		rec.backupLabels[p] = l
 		return l
 	}, ospf.Loopback(peID))
-	for _, l := range backupLabels {
-		pe.LFIB.BindILM(l, mpls.NHLFE{Op: mpls.OpPop, OutLink: peToCE})
+	for _, l := range rec.backupLabels {
+		pe.LFIB.BindILM(l, mpls.NHLFE{Op: mpls.OpPop, OutLink: rec.backupPEToCE})
 	}
 	sp, ok := b.BGP.Speaker(peID)
 	if !ok {
-		panic(fmt.Sprintf("core: backup PE %s has no BGP speaker", pe.Name))
+		panic(provErr(ProvNoBGPSpeaker, "node:"+pe.Name, "backup PE %s has no BGP speaker", pe.Name))
 	}
 	for _, e := range exports {
 		e.LocalPref = 50 // primary (100) wins while it lives
@@ -297,10 +431,10 @@ func (b *Backbone) provisionBackupAttachment(rec *siteRecord, cfg *vpnConfig) {
 func (b *Backbone) FailSitePrimary(name string) error {
 	rec, ok := b.sites[name]
 	if !ok {
-		return fmt.Errorf("core: unknown site %q", name)
+		return provErr(ProvUnknownSite, "site:"+name, "unknown site %q", name)
 	}
 	if rec.Spec.BackupPE == "" {
-		return fmt.Errorf("core: site %q is single-homed", name)
+		return provErr(ProvSingleHomed, "site:"+name, "site %q is single-homed", name)
 	}
 	b.G.SetLinkDown(rec.CE, rec.PE, true)
 	pe := b.routers[rec.PE]
@@ -359,28 +493,58 @@ func (b *Backbone) installPlainRoutes(rec *siteRecord) {
 	}
 }
 
-// RemoveSite detaches a site: VRF withdrawal, BGP withdrawal, membership
-// leave, and access teardown. ConvergeVPNs must run afterwards.
+// RemoveSite detaches a site: VRF withdrawal (primary and backup), BGP
+// withdrawal, membership leave, and access teardown. The physical skeleton
+// (CE node, access links, host LAN) is retired rather than destroyed —
+// node and link IDs are immutable — so a later AddSite with a compatible
+// spec revives it with identical identifiers and the remove+add round-trip
+// is invisible in the StateDigest. ConvergeVPNs must run afterwards.
 func (b *Backbone) RemoveSite(name string) error {
 	rec, ok := b.sites[name]
 	if !ok {
-		return fmt.Errorf("core: unknown site %q", name)
+		return provErr(ProvUnknownSite, "site:"+name, "unknown site %q", name)
 	}
-	pe := b.routers[rec.PE]
+	b.detachAttachment(rec, rec.PE, rec.labels, rec.ceToPE)
+	if rec.Spec.BackupPE != "" {
+		b.detachAttachment(rec, rec.backupPE, rec.backupLabels, rec.backupCEToPE)
+		b.G.SetLinkDown(rec.CE, rec.backupPE, true)
+	}
+	b.G.SetLinkDown(rec.CE, rec.PE, true)
+	b.Net.SetShaper(rec.ceToPE, nil)
+
+	delete(b.sites, name)
+	delete(b.siteByCE, rec.CE)
+	for _, hid := range rec.hosts {
+		delete(b.siteByCE, hid)
+	}
+	for _, p := range rec.Spec.Prefixes {
+		b.siteByPrefix.Delete(p)
+	}
+	delete(b.cutSites, name)
+	b.retired[name] = rec
+	return b.Registry.Leave(rec.Spec.VPN, name)
+}
+
+// detachAttachment tears down one attachment (primary or backup) of a site
+// at the given PE: VRF detach, BGP withdrawal, ILM unbinds, and the access
+// bindings installed at provisioning time.
+func (b *Backbone) detachAttachment(rec *siteRecord, peID topo.NodeID, labels map[addr.Prefix]packet.Label, inLink topo.LinkID) {
+	pe := b.routers[peID]
+	if pe == nil {
+		return
+	}
 	if v, ok := pe.VRFs[rec.Spec.VPN]; ok {
-		for _, wp := range v.DetachSite(name) {
-			if sp, ok := b.BGP.Speaker(rec.PE); ok {
+		for _, wp := range v.DetachSite(rec.Spec.Name) {
+			if sp, ok := b.BGP.Speaker(peID); ok {
 				sp.WithdrawLocal(wp)
 			}
 		}
 	}
-	for _, l := range rec.labels {
+	for _, l := range labels {
 		pe.LFIB.UnbindILM(l)
 	}
-	b.G.SetLinkDown(rec.CE, rec.PE, true)
-	delete(b.sites, name)
-	delete(b.siteByCE, rec.CE)
-	return b.Registry.Leave(rec.Spec.VPN, name)
+	pe.UnbindAccess(inLink)
+	pe.UnbindSiteAccess(rec.Spec.VPN, rec.Spec.Name)
 }
 
 // ConvergeVPNs runs BGP to steady state and imports the resulting routes
@@ -429,11 +593,16 @@ func (b *Backbone) SetupTELSP(name, ingressPE, egressPE string, bandwidth float6
 // abstract. An empty vpnName steers every VPN.
 func (b *Backbone) SetupTELSPForVPN(name, ingressPE, egressPE, vpnName string, bandwidth float64, class qos.Class, opt rsvp.SetupOptions) (*rsvp.LSP, error) {
 	if b.RSVP == nil {
-		return nil, fmt.Errorf("core: TE requires MPLS mode")
+		return nil, provErr(ProvTERequiresMPLS, "lsp:"+name, "TE requires MPLS mode")
 	}
 	if vpnName != "" {
 		if _, ok := b.vpns[vpnName]; !ok {
-			return nil, fmt.Errorf("core: VPN %q not defined", vpnName)
+			return nil, provErr(ProvUnknownVPN, "vpn:"+vpnName, "VPN %q not defined", vpnName)
+		}
+	}
+	for _, req := range b.teRequests {
+		if req.name == name {
+			return nil, provErr(ProvDuplicateTE, "lsp:"+name, "TE intent %q already exists", name)
 		}
 	}
 	in := b.mustNode(ingressPE)
@@ -443,7 +612,9 @@ func (b *Backbone) SetupTELSPForVPN(name, ingressPE, egressPE, vpnName string, b
 	}
 	l, err := b.RSVP.Setup(name, in, eg, bandwidth, opt)
 	if err != nil {
-		return nil, err
+		// Admission or path failure is the canonical retryable condition:
+		// capacity may free up as other reservations drain.
+		return nil, &ProvisionError{Code: ProvNoTEPath, Subject: "lsp:" + name, Detail: err.Error()}
 	}
 	req := &teRequest{name: name, ingress: in, egress: eg, vpn: vpnName,
 		bandwidth: bandwidth, class: class, opt: opt, lsp: l,
@@ -459,24 +630,50 @@ func (b *Backbone) SetupTELSPForVPN(name, ingressPE, egressPE, vpnName string, b
 // for LSPDrainDelay so committed in-flight traffic is never dropped.
 func (b *Backbone) ReoptimizeTE(name string, avoid map[topo.LinkID]bool) error {
 	if b.RSVP == nil {
-		return fmt.Errorf("core: TE requires MPLS mode")
+		return provErr(ProvTERequiresMPLS, "lsp:"+name, "TE requires MPLS mode")
 	}
 	for _, req := range b.teRequests {
 		if req.name != name {
 			continue
 		}
 		if req.lsp == nil || req.lsp.State != rsvp.Up {
-			return fmt.Errorf("core: TE intent %q is not up", name)
+			return provErr(ProvTENotUp, "lsp:"+name, "TE intent %q is not up", name)
 		}
 		nl, err := b.RSVP.ReoptimizeAvoiding(req.lsp.ID, avoid)
 		if err != nil {
-			return err
+			return &ProvisionError{Code: ProvNoTEPath, Subject: "lsp:" + name, Detail: err.Error()}
 		}
 		req.lsp = nl
 		b.routers[req.ingress].SetTE(teKeyFor(req), nl.Entry)
 		return nil
 	}
-	return fmt.Errorf("core: unknown TE intent %q", name)
+	return provErr(ProvUnknownTE, "lsp:"+name, "unknown TE intent %q", name)
+}
+
+// TeardownTE removes a TE intent: the LSP is torn down (reservations
+// release immediately; interior labels drain), its ID reclaimed when it was
+// the most recent assignment (LIFO — the transactional rollback order), the
+// ingress steering entry deleted, and the intent dropped from the retry
+// queue. Pending retry timers for the intent become no-ops.
+func (b *Backbone) TeardownTE(name string) error {
+	if b.RSVP == nil {
+		return provErr(ProvTERequiresMPLS, "lsp:"+name, "TE requires MPLS mode")
+	}
+	for i, req := range b.teRequests {
+		if req.name != name {
+			continue
+		}
+		if req.lsp != nil && req.lsp.State == rsvp.Up {
+			id := req.lsp.ID
+			b.RSVP.Teardown(id)
+			b.RSVP.ReclaimID(id)
+		}
+		b.routers[req.ingress].DeleteTE(teKeyFor(req))
+		req.removed = true
+		b.teRequests = append(b.teRequests[:i], b.teRequests[i+1:]...)
+		return nil
+	}
+	return provErr(ProvUnknownTE, "lsp:"+name, "unknown TE intent %q", name)
 }
 
 // teKeyFor derives the ingress steering key from a teRequest.
@@ -520,6 +717,81 @@ func (b *Backbone) SiteNames() []string {
 		out = append(out, n)
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Read-only accessors for the actual-state side of intent reconciliation.
+
+// HasVPN reports whether a VPN is defined.
+func (b *Backbone) HasVPN(name string) bool {
+	_, ok := b.vpns[name]
+	return ok
+}
+
+// VPNNames lists defined VPNs, sorted.
+func (b *Backbone) VPNNames() []string {
+	out := make([]string, 0, len(b.vpns))
+	for n := range b.vpns {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VPNSLA returns a VPN's SLA class (-1 = honour customer DSCP) and whether
+// the VPN is defined.
+func (b *Backbone) VPNSLA(name string) (qos.Class, bool) {
+	cfg, ok := b.vpns[name]
+	if !ok {
+		return -1, false
+	}
+	return cfg.SLAClass, true
+}
+
+// VPNRTs returns a VPN's import/export route targets.
+func (b *Backbone) VPNRTs(name string) (imports, exports []addr.RouteTarget, ok bool) {
+	cfg, ok := b.vpns[name]
+	if !ok {
+		return nil, nil, false
+	}
+	return cfg.Imports, cfg.Exports, true
+}
+
+// SiteSpecOf returns the spec a provisioned site was created with.
+func (b *Backbone) SiteSpecOf(name string) (SiteSpec, bool) {
+	rec, ok := b.sites[name]
+	if !ok {
+		return SiteSpec{}, false
+	}
+	return rec.Spec, true
+}
+
+// IsPE reports whether a named node exists and is a provider edge.
+func (b *Backbone) IsPE(name string) bool {
+	id, ok := b.G.NodeByName(name)
+	if !ok {
+		return false
+	}
+	r := b.routers[id]
+	return r != nil && r.Kind == device.PE
+}
+
+// SkeletonCompatibleSpec checks whether a spec would be refused because a
+// retired site of the same name has an incompatible physical skeleton —
+// the validation hook transactional layers call before committing an
+// AddSite. Specs with no retired namesake always pass.
+func (b *Backbone) SkeletonCompatibleSpec(spec SiteSpec) error {
+	old, ok := b.retired[spec.Name]
+	if !ok {
+		return nil
+	}
+	if spec.AccessBw == 0 {
+		spec.AccessBw = 100e6
+	}
+	if spec.AccessDelay == 0 {
+		spec.AccessDelay = sim.Millisecond
+	}
+	return b.skeletonCompatible(old, spec)
 }
 
 // BuildIPSecMesh provisions pairwise ESP tunnels between every pair of

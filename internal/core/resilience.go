@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"mplsvpn/internal/qos"
 	"mplsvpn/internal/rsvp"
 	"mplsvpn/internal/sim"
 	"mplsvpn/internal/telemetry"
@@ -221,7 +222,7 @@ func (b *Backbone) scheduleRetry(req *teRequest) {
 // degraded) reservation.
 func (b *Backbone) retrySignal(req *teRequest) {
 	req.retryPending = false
-	if b.RSVP == nil {
+	if b.RSVP == nil || req.removed {
 		return
 	}
 	if req.lsp != nil && req.lsp.State == rsvp.Up {
@@ -325,6 +326,9 @@ func (b *Backbone) restoreTo(req *teRequest, nl *rsvp.LSP, fullOpt rsvp.SetupOpt
 type TEIntentStatus struct {
 	Name          string
 	VPN           string
+	Ingress       string // ingress PE node name
+	Egress        string // egress PE node name
+	Class         qos.Class
 	State         string // "up", "degraded", or "down" (riding the LDP LSP)
 	Bandwidth     float64
 	FullBandwidth float64
@@ -339,6 +343,8 @@ func (b *Backbone) TEIntents() []TEIntentStatus {
 	for _, req := range b.teRequests {
 		st := TEIntentStatus{
 			Name: req.name, VPN: req.vpn,
+			Ingress: b.G.Name(req.ingress), Egress: b.G.Name(req.egress),
+			Class:     req.class,
 			Bandwidth: req.bandwidth, FullBandwidth: req.fullBandwidth,
 			Attempts: req.attempts,
 		}

@@ -166,6 +166,22 @@ func (r *Router) AccessVRF(in topo.LinkID) (*vpn.VRF, bool) {
 	return v, ok
 }
 
+// UnbindAccess removes the inbound access-link binding installed by
+// BindAccess (site deprovisioning).
+func (r *Router) UnbindAccess(in topo.LinkID) {
+	delete(r.accessVRF, in)
+}
+
+// UnbindSiteAccess removes the outbound access-link binding installed by
+// BindSiteAccess, dropping the per-VRF map when it empties.
+func (r *Router) UnbindSiteAccess(vrfName, site string) {
+	m := r.siteAccess[vrfName]
+	delete(m, site)
+	if len(m) == 0 {
+		delete(r.siteAccess, vrfName)
+	}
+}
+
 // Receive processes a packet arriving on inLink (-1 = locally injected) at
 // virtual time now.
 func (r *Router) Receive(now sim.Time, p *packet.Packet, inLink topo.LinkID) Verdict {

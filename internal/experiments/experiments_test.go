@@ -299,3 +299,34 @@ func TestE17PoolingAblation(t *testing.T) {
 		t.Fatalf("unpooled ablation allocates %.2f objects/pkt — ablation not ablating", unpooled.AllocsPerPkt)
 	}
 }
+
+func TestE18TransactionalProvisioning(t *testing.T) {
+	res := E18TransactionalProvisioning(2 * sim.Second)
+	if res.VPNs < 150 || res.Sites < 300 {
+		t.Fatalf("spec too small: %d VPNs, %d sites", res.VPNs, res.Sites)
+	}
+	for _, cfg := range []string{"clean", "kill-mid-commit", "kill-pre-commit"} {
+		if !res.Converged[cfg] {
+			t.Fatalf("%s did not converge", cfg)
+		}
+		if !res.DigestMatch[cfg] {
+			t.Fatalf("%s diverged from the clean run's digest", cfg)
+		}
+		if res.Batches[cfg] < 2 {
+			t.Fatalf("%s: %d batches — rate limiting never engaged", cfg, res.Batches[cfg])
+		}
+	}
+	// The mid-commit kill must have orphaned a commit for the server's
+	// confirm timer to erase; otherwise the kill missed its window.
+	if res.AutoRolled["kill-mid-commit"] < 1 {
+		t.Fatalf("kill-mid-commit: auto-rollback never fired (%d)", res.AutoRolled["kill-mid-commit"])
+	}
+	// The pre-commit kill abandons a validated session: no rollback needed.
+	if res.AutoRolled["kill-pre-commit"] != 0 || res.Rollbacks["kill-pre-commit"] != 0 {
+		t.Fatalf("kill-pre-commit rolled back (%d/%d) — ops leaked into the backbone",
+			res.Rollbacks["kill-pre-commit"], res.AutoRolled["kill-pre-commit"])
+	}
+	if res.Table == nil || res.Table.String() == "" {
+		t.Fatal("table missing")
+	}
+}

@@ -1,0 +1,478 @@
+// Package intent is the northbound declarative service layer: customers'
+// VPN/SLA/site/tunnel desires as versioned specs (this file), a store of
+// the currently-desired state (store.go), and a reconciler that drives the
+// backbone toward it through transactional netconf sessions
+// (reconcile.go). The paper's §2.1 argues per-site hand provisioning
+// cannot scale; here one spec line can declare a thousand VPNs and the
+// reconciler compiles the difference into batched control-plane commits.
+//
+// Spec language (# starts a comment):
+//
+//	intent <name> version=<n>        (first directive, exactly once)
+//	vpn    <name> [sla=<class>]
+//	site   <vpn> <name> <pe> <prefix> [hosts=N] [shape=BW] [backup=PE] [bw=BW] [delay=D]
+//	tunnel <vpn> <name> <ingress> <egress> <bw> [class=<class>]
+//	bulk   <prefix> count=<n> pes=<a,b,c> base=<cidr> [sites=<k>] [sla=<class>] [bw=BW]
+//
+// bulk expands at parse time into count VPNs named <prefix>-0001 ...,
+// each with k sites (default 2) attached round-robin over the listed PEs,
+// their /24 prefixes carved consecutively out of base. Classes and
+// bandwidth use the netconf notation (ef/af41/..., 10M/1G).
+package intent
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/netconf"
+	"mplsvpn/internal/qos"
+)
+
+// Limits a spec must respect: a typo in a bulk count must not declare a
+// million VPNs.
+const (
+	maxBulkCount   = 65536
+	maxSitesPerVPN = 64
+	maxSpecVPNs    = 100000
+)
+
+// VPNSpec is the desired state of one VPN: its SLA, sites, and tunnels.
+type VPNSpec struct {
+	Name    string
+	SLA     qos.Class // -1 = honour customer DSCP
+	Sites   []core.SiteSpec
+	Tunnels []netconf.TunnelSpec
+}
+
+// Spec is one named, versioned intent document.
+type Spec struct {
+	Name    string
+	Version int
+	VPNs    []VPNSpec // declaration order; names unique
+}
+
+// Parse reads a spec from r (name is used in error messages only).
+func Parse(r io.Reader, name string) (*Spec, error) {
+	sp := &Spec{}
+	byName := make(map[string]*VPNSpec)
+	siteNames := make(map[string]string)   // site -> vpn
+	tunnelNames := make(map[string]string) // tunnel -> vpn
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", name, lineNo, fmt.Sprintf(format, args...))
+		}
+		if sp.Name == "" && fields[0] != "intent" {
+			return nil, fail("spec must start with: intent <name> version=<n>")
+		}
+		switch fields[0] {
+		case "intent":
+			if sp.Name != "" {
+				return nil, fail("duplicate intent directive")
+			}
+			if len(fields) != 3 {
+				return nil, fail("intent <name> version=<n>")
+			}
+			v, ok := strings.CutPrefix(fields[2], "version=")
+			if !ok {
+				return nil, fail("intent <name> version=<n>")
+			}
+			ver, err := strconv.Atoi(v)
+			if err != nil || ver < 1 {
+				return nil, fail("bad version %q (positive integer)", v)
+			}
+			sp.Name = fields[1]
+			sp.Version = ver
+		case "vpn":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fail("vpn <name> [sla=<class>]")
+			}
+			vs := VPNSpec{Name: fields[1], SLA: -1}
+			if len(fields) == 3 {
+				v, ok := strings.CutPrefix(fields[2], "sla=")
+				if !ok {
+					return nil, fail("vpn option %q (want sla=<class>)", fields[2])
+				}
+				c, err := parseClass(v)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				vs.SLA = c
+			}
+			if err := addVPN(sp, byName, vs); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "site":
+			if len(fields) < 5 {
+				return nil, fail("site <vpn> <name> <pe> <prefix> [options]")
+			}
+			vs, ok := byName[fields[1]]
+			if !ok {
+				return nil, fail("site %q references undeclared VPN %q", fields[2], fields[1])
+			}
+			pfx, err := addr.ParsePrefix(fields[4])
+			if err != nil {
+				return nil, fail("bad prefix: %v", err)
+			}
+			spec := core.SiteSpec{
+				VPN: fields[1], Name: fields[2], PE: fields[3],
+				Prefixes: []addr.Prefix{pfx},
+			}
+			seen := map[string]bool{}
+			for _, opt := range fields[5:] {
+				k, v, found := strings.Cut(opt, "=")
+				if !found {
+					return nil, fail("site option %q is not key=value", opt)
+				}
+				if seen[k] {
+					return nil, fail("duplicate site option %q", k)
+				}
+				seen[k] = true
+				switch k {
+				case "hosts":
+					n, err := strconv.Atoi(v)
+					if err != nil || n < 0 || n > 1024 {
+						return nil, fail("bad hosts count %q (0..1024)", v)
+					}
+					spec.Hosts = n
+				case "shape":
+					bw, err := netconf.ParseBandwidth(v)
+					if err != nil || bw <= 0 {
+						return nil, fail("bad shape rate %q", v)
+					}
+					spec.ShapeRate = bw
+				case "backup":
+					spec.BackupPE = v
+				case "bw":
+					bw, err := netconf.ParseBandwidth(v)
+					if err != nil || bw <= 0 {
+						return nil, fail("bad access bandwidth %q", v)
+					}
+					spec.AccessBw = bw
+				case "delay":
+					d, err := netconf.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, fail("bad access delay %q", v)
+					}
+					spec.AccessDelay = d
+				default:
+					return nil, fail("unknown site option %q", k)
+				}
+			}
+			if owner, dup := siteNames[spec.Name]; dup {
+				return nil, fail("site %q already declared (in VPN %q)", spec.Name, owner)
+			}
+			if len(vs.Sites) >= maxSitesPerVPN {
+				return nil, fail("VPN %q exceeds %d sites", vs.Name, maxSitesPerVPN)
+			}
+			siteNames[spec.Name] = spec.VPN
+			vs.Sites = append(vs.Sites, spec)
+		case "tunnel":
+			if len(fields) < 6 || len(fields) > 7 {
+				return nil, fail("tunnel <vpn> <name> <ingress> <egress> <bw> [class=<class>]")
+			}
+			vs, ok := byName[fields[1]]
+			if !ok {
+				return nil, fail("tunnel %q references undeclared VPN %q", fields[2], fields[1])
+			}
+			bw, err := netconf.ParseBandwidth(fields[5])
+			if err != nil || bw <= 0 {
+				return nil, fail("bad bandwidth %q", fields[5])
+			}
+			t := netconf.TunnelSpec{
+				VPN: fields[1], Name: fields[2],
+				Ingress: fields[3], Egress: fields[4],
+				Bandwidth: bw, Class: -1,
+			}
+			if len(fields) == 7 {
+				v, ok := strings.CutPrefix(fields[6], "class=")
+				if !ok {
+					return nil, fail("tunnel option %q (want class=<class>)", fields[6])
+				}
+				c, err := parseClass(v)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				t.Class = c
+			}
+			if owner, dup := tunnelNames[t.Name]; dup {
+				return nil, fail("tunnel %q already declared (in VPN %q)", t.Name, owner)
+			}
+			tunnelNames[t.Name] = t.VPN
+			vs.Tunnels = append(vs.Tunnels, t)
+		case "bulk":
+			if err := expandBulk(sp, byName, siteNames, fields, fail); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s:%d: %v", name, lineNo+1, err)
+	}
+	if sp.Name == "" {
+		return nil, fmt.Errorf("%s: empty spec (no intent directive)", name)
+	}
+	return sp, nil
+}
+
+func addVPN(sp *Spec, byName map[string]*VPNSpec, vs VPNSpec) error {
+	if vs.Name == "" {
+		return fmt.Errorf("VPN needs a name")
+	}
+	if _, dup := byName[vs.Name]; dup {
+		return fmt.Errorf("VPN %q already declared", vs.Name)
+	}
+	if len(sp.VPNs) >= maxSpecVPNs {
+		return fmt.Errorf("spec exceeds %d VPNs", maxSpecVPNs)
+	}
+	sp.VPNs = append(sp.VPNs, vs)
+	byName[vs.Name] = &sp.VPNs[len(sp.VPNs)-1]
+	return nil
+}
+
+// expandBulk turns one bulk directive into count fully-specified VPNs.
+func expandBulk(sp *Spec, byName map[string]*VPNSpec, siteNames map[string]string,
+	fields []string, fail func(string, ...any) error) error {
+	if len(fields) < 5 {
+		return fail("bulk <prefix> count=<n> pes=<a,b,c> base=<cidr> [sites=<k>] [sla=<class>] [bw=BW]")
+	}
+	prefix := fields[1]
+	count, sites := 0, 2
+	var pes []string
+	var base addr.Prefix
+	baseSet := false
+	sla := qos.Class(-1)
+	accessBw := 0.0
+	seen := map[string]bool{}
+	for _, opt := range fields[2:] {
+		k, v, found := strings.Cut(opt, "=")
+		if !found {
+			return fail("bulk option %q is not key=value", opt)
+		}
+		if seen[k] {
+			return fail("duplicate bulk option %q", k)
+		}
+		seen[k] = true
+		switch k {
+		case "count":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > maxBulkCount {
+				return fail("bad count %q (1..%d)", v, maxBulkCount)
+			}
+			count = n
+		case "pes":
+			pes = strings.Split(v, ",")
+			for _, p := range pes {
+				if p == "" {
+					return fail("empty PE name in pes=%q", v)
+				}
+			}
+		case "base":
+			p, err := addr.ParsePrefix(v)
+			if err != nil {
+				return fail("bad base %q: %v", v, err)
+			}
+			if p.Len > 24 {
+				return fail("base %q must be /24 or shorter", v)
+			}
+			base, baseSet = p, true
+		case "sites":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > maxSitesPerVPN {
+				return fail("bad sites count %q (1..%d)", v, maxSitesPerVPN)
+			}
+			sites = n
+		case "sla":
+			c, err := parseClass(v)
+			if err != nil {
+				return fail("%v", err)
+			}
+			sla = c
+		case "bw":
+			bw, err := netconf.ParseBandwidth(v)
+			if err != nil || bw <= 0 {
+				return fail("bad bw %q", v)
+			}
+			accessBw = bw
+		default:
+			return fail("unknown bulk option %q", k)
+		}
+	}
+	if count == 0 || len(pes) == 0 || !baseSet {
+		return fail("bulk needs count=, pes=, and base=")
+	}
+	capacity := 1 << (24 - base.Len)
+	if count*sites > capacity {
+		return fail("bulk needs %d /24s but base has room for %d", count*sites, capacity)
+	}
+	slot := 0
+	for i := 0; i < count; i++ {
+		vs := VPNSpec{Name: fmt.Sprintf("%s-%04d", prefix, i+1), SLA: sla}
+		for s := 0; s < sites; s++ {
+			sitePfx := addr.Prefix{Addr: base.Addr + addr.IPv4(slot<<8), Len: 24}
+			slot++
+			spec := core.SiteSpec{
+				VPN:      vs.Name,
+				Name:     fmt.Sprintf("%s-s%d", vs.Name, s+1),
+				PE:       pes[(i+s)%len(pes)],
+				Prefixes: []addr.Prefix{sitePfx},
+				AccessBw: accessBw,
+			}
+			if owner, dup := siteNames[spec.Name]; dup {
+				return fail("bulk site %q collides with site in VPN %q", spec.Name, owner)
+			}
+			siteNames[spec.Name] = vs.Name
+			vs.Sites = append(vs.Sites, spec)
+		}
+		if err := addVPN(sp, byName, vs); err != nil {
+			return fail("%v", err)
+		}
+	}
+	return nil
+}
+
+// Render writes the spec back in canonical (fully expanded) form: the
+// output reparses into a deeply equal Spec — the round-trip contract
+// FuzzIntentSpec enforces.
+func (sp *Spec) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "intent %s version=%d\n", sp.Name, sp.Version)
+	for _, vs := range sp.VPNs {
+		if vs.SLA >= 0 {
+			fmt.Fprintf(&b, "vpn %s sla=%s\n", vs.Name, classToken(vs.SLA))
+		} else {
+			fmt.Fprintf(&b, "vpn %s\n", vs.Name)
+		}
+		for _, s := range vs.Sites {
+			fmt.Fprintf(&b, "site %s %s %s %s", s.VPN, s.Name, s.PE, s.Prefixes[0])
+			if s.Hosts > 0 {
+				fmt.Fprintf(&b, " hosts=%d", s.Hosts)
+			}
+			if s.ShapeRate > 0 {
+				fmt.Fprintf(&b, " shape=%s", renderBw(s.ShapeRate))
+			}
+			if s.BackupPE != "" {
+				fmt.Fprintf(&b, " backup=%s", s.BackupPE)
+			}
+			if s.AccessBw > 0 {
+				fmt.Fprintf(&b, " bw=%s", renderBw(s.AccessBw))
+			}
+			if s.AccessDelay > 0 {
+				fmt.Fprintf(&b, " delay=%s", time.Duration(s.AccessDelay))
+			}
+			b.WriteByte('\n')
+		}
+		for _, t := range vs.Tunnels {
+			fmt.Fprintf(&b, "tunnel %s %s %s %s %s", t.VPN, t.Name, t.Ingress, t.Egress, renderBw(t.Bandwidth))
+			if t.Class >= 0 {
+				fmt.Fprintf(&b, " class=%s", classToken(t.Class))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Validate applies the spec-level invariants that do not need a backbone:
+// it is what Store.Put enforces before accepting a version.
+func (sp *Spec) Validate() error {
+	if sp.Name == "" || sp.Version < 1 {
+		return fmt.Errorf("intent: spec needs a name and version >= 1")
+	}
+	vpns := make(map[string]bool, len(sp.VPNs))
+	sites := make(map[string]bool)
+	tunnels := make(map[string]bool)
+	for _, vs := range sp.VPNs {
+		if vs.Name == "" {
+			return fmt.Errorf("intent: VPN needs a name")
+		}
+		if vpns[vs.Name] {
+			return fmt.Errorf("intent: duplicate VPN %q", vs.Name)
+		}
+		vpns[vs.Name] = true
+		for _, s := range vs.Sites {
+			if s.Name == "" || s.VPN != vs.Name || len(s.Prefixes) == 0 || s.PE == "" {
+				return fmt.Errorf("intent: malformed site %q in VPN %q", s.Name, vs.Name)
+			}
+			if sites[s.Name] {
+				return fmt.Errorf("intent: duplicate site %q", s.Name)
+			}
+			sites[s.Name] = true
+		}
+		for _, t := range vs.Tunnels {
+			if t.Name == "" || t.VPN != vs.Name || t.Bandwidth <= 0 {
+				return fmt.Errorf("intent: malformed tunnel %q in VPN %q", t.Name, vs.Name)
+			}
+			if tunnels[t.Name] {
+				return fmt.Errorf("intent: duplicate tunnel %q", t.Name)
+			}
+			tunnels[t.Name] = true
+		}
+	}
+	return nil
+}
+
+// SortedVPNs returns the spec's VPNs sorted by name (diff order).
+func (sp *Spec) SortedVPNs() []VPNSpec {
+	out := make([]VPNSpec, len(sp.VPNs))
+	copy(out, sp.VPNs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// parseClass accepts the netconf DSCP tokens and resolves to a class.
+func parseClass(s string) (qos.Class, error) {
+	d, err := netconf.ParseClass(s)
+	if err != nil {
+		return 0, err
+	}
+	return qos.ClassForDSCP(d), nil
+}
+
+// classToken renders a class as its canonical spec token.
+func classToken(c qos.Class) string {
+	switch c {
+	case qos.ClassNetworkControl:
+		return "cs6"
+	case qos.ClassVoice:
+		return "ef"
+	case qos.ClassBusiness:
+		return "af41"
+	case qos.ClassAssured:
+		return "af21"
+	case qos.ClassScavenger:
+		return "cs1"
+	}
+	return "be"
+}
+
+// renderBw renders bits/s with the largest exact suffix.
+func renderBw(bw float64) string {
+	switch {
+	case bw >= 1e9 && bw == float64(int64(bw/1e9))*1e9:
+		return fmt.Sprintf("%dG", int64(bw/1e9))
+	case bw >= 1e6 && bw == float64(int64(bw/1e6))*1e6:
+		return fmt.Sprintf("%dM", int64(bw/1e6))
+	case bw >= 1e3 && bw == float64(int64(bw/1e3))*1e3:
+		return fmt.Sprintf("%dK", int64(bw/1e3))
+	}
+	return strconv.FormatFloat(bw, 'g', -1, 64)
+}

@@ -1,0 +1,605 @@
+// NETCONF-style transactional provisioning sessions. A client opens a
+// session, stages operations into a candidate configuration, validates it
+// against the running state, and commits — either finally, or as a
+// confirmed commit that auto-rolls back unless confirmed within a timeout
+// (RFC 6241 §8.4, the safety net that saves an operator who provisions
+// themselves off the box). Commits are transactional: if any staged op
+// fails mid-apply, the already-applied prefix is undone in reverse order
+// and the backbone converges once, so no half-provisioned VRF or LSP state
+// survives. One BGP convergence runs per commit regardless of batch size —
+// the batching win that makes bulk provisioning scale.
+package netconf
+
+import (
+	"errors"
+	"fmt"
+
+	"mplsvpn/internal/core"
+	"mplsvpn/internal/qos"
+	"mplsvpn/internal/rsvp"
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/telemetry"
+)
+
+// Session-layer sentinel errors.
+var (
+	// ErrDuplicateSession rejects opening a session ID that is already open.
+	ErrDuplicateSession = errors.New("netconf: session ID already open")
+	// ErrStaleSession rejects reusing the ID of a closed session: a client
+	// reconnecting after a crash must open a fresh identity, not impersonate
+	// its dead predecessor (whose pending confirm may have rolled back).
+	ErrStaleSession = errors.New("netconf: stale session ID (already closed)")
+	// ErrSessionClosed rejects operations on a closed session.
+	ErrSessionClosed = errors.New("netconf: session is closed")
+	// ErrCommitInProgress rejects a commit while another session's confirmed
+	// commit is still awaiting its confirm — the global commit lock.
+	ErrCommitInProgress = errors.New("netconf: another commit is awaiting confirmation")
+	// ErrNoPendingConfirm rejects Confirm/Rollback with nothing outstanding.
+	ErrNoPendingConfirm = errors.New("netconf: no confirmed commit is pending")
+)
+
+// OpKind selects a provisioning operation.
+type OpKind uint8
+
+// Provisioning operation kinds.
+const (
+	OpDefineVPN OpKind = iota
+	OpSetVPNSLA
+	OpAddSite
+	OpRemoveSite
+	OpSetupTunnel
+	OpTeardownTunnel
+	OpUndefineVPN
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpDefineVPN:
+		return "define-vpn"
+	case OpSetVPNSLA:
+		return "set-vpn-sla"
+	case OpAddSite:
+		return "add-site"
+	case OpRemoveSite:
+		return "remove-site"
+	case OpSetupTunnel:
+		return "setup-tunnel"
+	case OpTeardownTunnel:
+		return "teardown-tunnel"
+	case OpUndefineVPN:
+		return "undefine-vpn"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// TunnelSpec describes one TE tunnel intent.
+type TunnelSpec struct {
+	Name      string
+	Ingress   string // ingress PE node name
+	Egress    string // egress PE node name
+	VPN       string // "" steers every VPN
+	Bandwidth float64
+	Class     qos.Class // -1 = all classes
+}
+
+// Op is one staged provisioning operation. Which fields matter depends on
+// Kind: VPN ops use VPN (and SLA), site ops use Site or Name, tunnel ops
+// use Tunnel or Name.
+type Op struct {
+	Kind   OpKind
+	VPN    string        // OpDefineVPN / OpSetVPNSLA / OpUndefineVPN
+	SLA    qos.Class     // OpSetVPNSLA
+	Site   core.SiteSpec // OpAddSite
+	Name   string        // OpRemoveSite / OpTeardownTunnel
+	Tunnel TunnelSpec    // OpSetupTunnel
+}
+
+// Subject renders the op's target as a journal subject ("vpn:acme",
+// "site:hq", "lsp:gold") — the key the reconciler dedupes and retries on.
+func (o Op) Subject() string {
+	switch o.Kind {
+	case OpDefineVPN, OpSetVPNSLA, OpUndefineVPN:
+		return "vpn:" + o.VPN
+	case OpAddSite:
+		return "site:" + o.Site.Name
+	case OpRemoveSite:
+		return "site:" + o.Name
+	case OpSetupTunnel:
+		return "lsp:" + o.Tunnel.Name
+	case OpTeardownTunnel:
+		return "lsp:" + o.Name
+	}
+	return "op:?"
+}
+
+func (o Op) String() string { return o.Kind.String() + " " + o.Subject() }
+
+// CommitError reports which staged op a validate or commit failed on.
+type CommitError struct {
+	Index int // position in the staged batch
+	Op    Op
+	Cause error
+}
+
+func (e *CommitError) Error() string {
+	return fmt.Sprintf("netconf: op %d (%s): %v", e.Index, e.Op, e.Cause)
+}
+
+// Unwrap exposes the cause so core.Retryable / errors.Is classify through.
+func (e *CommitError) Unwrap() error { return e.Cause }
+
+// Server owns the session registry and the global commit lock for one
+// backbone.
+type Server struct {
+	B *core.Backbone
+
+	sessions map[string]*Session
+	closed   map[string]bool
+	// inConfirm holds the session whose confirmed commit is pending; while
+	// set, every other commit is refused (the candidate datastore is
+	// locked, in NETCONF terms).
+	inConfirm *Session
+
+	// Counters for scorecards.
+	Commits     int // successful commits (plain + confirmed)
+	Rollbacks   int // explicit, failure-triggered, and auto-rollbacks
+	OpsApplied  int // ops successfully applied inside commits
+	AutoRolled  int // subset of Rollbacks fired by the confirm timer
+	Convergence int // ConvergeVPNs invocations (the batching metric)
+}
+
+// NewServer creates a session server over a backbone.
+func NewServer(b *core.Backbone) *Server {
+	return &Server{B: b, sessions: make(map[string]*Session), closed: make(map[string]bool)}
+}
+
+// Open starts a session. Duplicate IDs (already open) and stale IDs
+// (closed earlier) are refused with distinct errors.
+func (s *Server) Open(id string) (*Session, error) {
+	if _, dup := s.sessions[id]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateSession, id)
+	}
+	if s.closed[id] {
+		return nil, fmt.Errorf("%w: %q", ErrStaleSession, id)
+	}
+	sess := &Session{srv: s, ID: id}
+	s.sessions[id] = sess
+	return sess, nil
+}
+
+// journal records an intent event when telemetry is on.
+func (s *Server) journal(kind telemetry.EventKind, subject, detail string) {
+	if tel := s.B.Telemetry(); tel != nil {
+		tel.Journal.Record(s.B.E.Now(), kind, subject, detail)
+	}
+}
+
+// converge runs one BGP convergence and counts it.
+func (s *Server) converge() {
+	s.B.ConvergeVPNs()
+	s.Convergence++
+}
+
+// Session is one client's transactional channel: a candidate batch of
+// staged ops plus the undo state of its last unconfirmed commit.
+type Session struct {
+	srv *Server
+	ID  string
+
+	staged []Op
+	closed bool
+
+	// Confirmed-commit state: the undo stack of the applied batch, valid
+	// while awaitingConfirm. confirmSeq guards the auto-rollback timer —
+	// bumping it orphans any timer already scheduled.
+	undo            []func()
+	awaitingConfirm bool
+	confirmSeq      int
+}
+
+// Stage appends ops to the candidate configuration.
+func (s *Session) Stage(ops ...Op) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.staged = append(s.staged, ops...)
+	return nil
+}
+
+// Staged returns the current candidate batch size.
+func (s *Session) Staged() int { return len(s.staged) }
+
+// Discard drops the candidate configuration (NETCONF discard-changes),
+// leaving the session open for a fresh Stage.
+func (s *Session) Discard() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.staged = nil
+	return nil
+}
+
+// Validate dry-runs the candidate against the running state plus the
+// staged prefix: name collisions, unknown references, skeleton
+// incompatibilities, and ordering errors surface here without touching
+// the backbone. Resource admission (TE path placement) cannot be
+// validated without applying — those failures surface at Commit as
+// retryable errors.
+func (s *Session) Validate() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	v := newValidateView(s.srv.B)
+	for i, op := range s.staged {
+		if err := v.check(op); err != nil {
+			return &CommitError{Index: i, Op: op, Cause: err}
+		}
+	}
+	return nil
+}
+
+// Commit validates and applies the candidate atomically: on any failure
+// the applied prefix is rolled back in reverse order and the error
+// returned; on success the batch is final. One convergence runs either way.
+func (s *Session) Commit() error {
+	return s.commit(0)
+}
+
+// CommitConfirmed is Commit with a confirmation requirement: the batch
+// applies, but unless Confirm is called within timeout, it is rolled back
+// automatically (RFC 6241 confirmed commit). The global commit lock is
+// held until Confirm, Rollback, auto-rollback, or Close.
+func (s *Session) CommitConfirmed(timeout sim.Time) error {
+	if timeout <= 0 {
+		return fmt.Errorf("netconf: confirm timeout must be positive")
+	}
+	return s.commit(timeout)
+}
+
+func (s *Session) commit(confirmTimeout sim.Time) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if s.srv.inConfirm != nil {
+		return fmt.Errorf("%w (session %q)", ErrCommitInProgress, s.srv.inConfirm.ID)
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	b := s.srv.B
+	var undo []func()
+	for i, op := range s.staged {
+		u, err := applyOp(b, op)
+		if err != nil {
+			// Roll back the applied prefix in reverse order; the batch
+			// never happened.
+			for j := len(undo) - 1; j >= 0; j-- {
+				undo[j]()
+			}
+			s.srv.Rollbacks++
+			s.srv.converge()
+			s.srv.journal(telemetry.EventIntentRollback, op.Subject(),
+				fmt.Sprintf("commit failed at op %d/%d: %v", i+1, len(s.staged), err))
+			return &CommitError{Index: i, Op: op, Cause: err}
+		}
+		undo = append(undo, u)
+		s.srv.OpsApplied++
+	}
+	n := len(s.staged)
+	s.staged = nil
+	s.srv.Commits++
+	s.srv.converge()
+	s.srv.journal(telemetry.EventIntentCommit, "session:"+s.ID,
+		fmt.Sprintf("%d ops committed", n))
+	if confirmTimeout > 0 {
+		s.undo = undo
+		s.awaitingConfirm = true
+		s.srv.inConfirm = s
+		seq := s.confirmSeq
+		b.E.After(confirmTimeout, func() {
+			if s.awaitingConfirm && s.confirmSeq == seq {
+				s.srv.AutoRolled++
+				s.doRollback("confirm timeout expired")
+			}
+		})
+	}
+	return nil
+}
+
+// Confirm accepts the pending confirmed commit: the undo state is
+// discarded and the commit lock released.
+func (s *Session) Confirm() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if !s.awaitingConfirm {
+		return ErrNoPendingConfirm
+	}
+	s.confirmSeq++ // orphan the auto-rollback timer
+	s.awaitingConfirm = false
+	s.undo = nil
+	s.srv.inConfirm = nil
+	return nil
+}
+
+// Rollback explicitly undoes the pending confirmed commit without waiting
+// for the timer.
+func (s *Session) Rollback() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if !s.awaitingConfirm {
+		return ErrNoPendingConfirm
+	}
+	s.doRollback("explicit rollback")
+	return nil
+}
+
+// doRollback reverses the pending batch and releases the commit lock.
+func (s *Session) doRollback(why string) {
+	s.confirmSeq++
+	s.awaitingConfirm = false
+	for j := len(s.undo) - 1; j >= 0; j-- {
+		s.undo[j]()
+	}
+	n := len(s.undo)
+	s.undo = nil
+	if s.srv.inConfirm == s {
+		s.srv.inConfirm = nil
+	}
+	s.srv.Rollbacks++
+	s.srv.converge()
+	s.srv.journal(telemetry.EventIntentRollback, "session:"+s.ID,
+		fmt.Sprintf("%d ops rolled back: %s", n, why))
+}
+
+// Close ends the session. A pending confirmed commit rolls back
+// immediately — the client died without confirming, which is exactly the
+// failure the confirmed-commit contract protects against. The ID becomes
+// stale and cannot be reopened.
+func (s *Session) Close() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if s.awaitingConfirm {
+		s.doRollback("session closed before confirm")
+	}
+	s.closed = true
+	s.staged = nil
+	delete(s.srv.sessions, s.ID)
+	s.srv.closed[s.ID] = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Apply / undo
+
+// applyOp applies one op to the backbone, returning its undo. Core-API
+// panics (precondition failures) are captured as errors, preserving the
+// typed *core.ProvisionError for retryable-vs-terminal classification.
+func applyOp(b *core.Backbone, op Op) (undo func(), err error) {
+	switch op.Kind {
+	case OpDefineVPN:
+		if err := capture(func() { b.DefineVPN(op.VPN) }); err != nil {
+			return nil, err
+		}
+		return func() { _ = b.UndefineVPN(op.VPN) }, nil
+	case OpSetVPNSLA:
+		prev, ok := b.VPNSLA(op.VPN)
+		if err := capture(func() { b.SetVPNSLA(op.VPN, op.SLA) }); err != nil {
+			return nil, err
+		}
+		return func() {
+			if ok {
+				b.SetVPNSLA(op.VPN, prev)
+			}
+		}, nil
+	case OpAddSite:
+		if err := capture(func() { b.AddSite(op.Site) }); err != nil {
+			return nil, err
+		}
+		name := op.Site.Name
+		return func() { _ = b.RemoveSite(name) }, nil
+	case OpRemoveSite:
+		spec, ok := b.SiteSpecOf(op.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown site %q", op.Name)
+		}
+		if err := b.RemoveSite(op.Name); err != nil {
+			return nil, err
+		}
+		return func() { _ = capture(func() { b.AddSite(spec) }) }, nil
+	case OpSetupTunnel:
+		t := op.Tunnel
+		err := capture(func() {
+			_, serr := b.SetupTELSPForVPN(t.Name, t.Ingress, t.Egress, t.VPN, t.Bandwidth, t.Class, rsvp.SetupOptions{})
+			if serr != nil {
+				panic(serr)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func() { _ = b.TeardownTE(t.Name) }, nil
+	case OpTeardownTunnel:
+		var prev *core.TEIntentStatus
+		for _, st := range b.TEIntents() {
+			if st.Name == op.Name {
+				cp := st
+				prev = &cp
+				break
+			}
+		}
+		if err := b.TeardownTE(op.Name); err != nil {
+			return nil, err
+		}
+		return func() {
+			if prev != nil {
+				_ = capture(func() {
+					_, serr := b.SetupTELSPForVPN(prev.Name, prev.Ingress, prev.Egress,
+						prev.VPN, prev.FullBandwidth, prev.Class, rsvp.SetupOptions{})
+					if serr != nil {
+						panic(serr)
+					}
+				})
+			}
+		}, nil
+	case OpUndefineVPN:
+		imports, exports, ok := b.VPNRTs(op.VPN)
+		sla, _ := b.VPNSLA(op.VPN)
+		if !ok {
+			return nil, fmt.Errorf("core: VPN %q not defined", op.VPN)
+		}
+		if err := b.UndefineVPN(op.VPN); err != nil {
+			return nil, err
+		}
+		return func() {
+			_ = capture(func() {
+				b.DefineVPNWithRTs(op.VPN, imports, exports)
+				if sla >= 0 {
+					b.SetVPNSLA(op.VPN, sla)
+				}
+			})
+		}, nil
+	}
+	return nil, fmt.Errorf("netconf: unknown op kind %d", op.Kind)
+}
+
+// capture converts a core-API panic into an error, keeping error panic
+// values (the typed ProvisionError) intact.
+func capture(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("%v", r)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Validation view
+
+// validateView is the dry-run state a candidate batch is checked against:
+// the running configuration overlaid with the effects of the already-
+// checked staged prefix.
+type validateView struct {
+	b       *core.Backbone
+	vpns    map[string]bool
+	sites   map[string]string // site -> vpn
+	tunnels map[string]string // tunnel -> vpn
+}
+
+func newValidateView(b *core.Backbone) *validateView {
+	v := &validateView{
+		b:       b,
+		vpns:    make(map[string]bool),
+		sites:   make(map[string]string),
+		tunnels: make(map[string]string),
+	}
+	for _, n := range b.VPNNames() {
+		v.vpns[n] = true
+	}
+	for _, n := range b.SiteNames() {
+		spec, _ := b.SiteSpecOf(n)
+		v.sites[n] = spec.VPN
+	}
+	for _, st := range b.TEIntents() {
+		v.tunnels[st.Name] = st.VPN
+	}
+	return v
+}
+
+func (v *validateView) check(op Op) error {
+	switch op.Kind {
+	case OpDefineVPN:
+		if op.VPN == "" {
+			return fmt.Errorf("netconf: VPN needs a name")
+		}
+		if v.vpns[op.VPN] {
+			return fmt.Errorf("core: VPN %q already defined", op.VPN)
+		}
+		v.vpns[op.VPN] = true
+	case OpSetVPNSLA:
+		if !v.vpns[op.VPN] {
+			return fmt.Errorf("core: VPN %q not defined", op.VPN)
+		}
+	case OpAddSite:
+		spec := op.Site
+		if spec.Name == "" || spec.VPN == "" {
+			return fmt.Errorf("netconf: site needs both a name and a VPN")
+		}
+		if !v.vpns[spec.VPN] {
+			return fmt.Errorf("core: VPN %q not defined", spec.VPN)
+		}
+		if _, dup := v.sites[spec.Name]; dup {
+			return fmt.Errorf("core: site %q already provisioned", spec.Name)
+		}
+		if len(spec.Prefixes) == 0 {
+			return fmt.Errorf("netconf: site %q has no prefixes", spec.Name)
+		}
+		if !v.b.IsPE(spec.PE) {
+			return fmt.Errorf("core: %q is not a PE", spec.PE)
+		}
+		if spec.BackupPE != "" && !v.b.IsPE(spec.BackupPE) {
+			return fmt.Errorf("core: backup %q is not a PE", spec.BackupPE)
+		}
+		if err := v.b.SkeletonCompatibleSpec(spec); err != nil {
+			return err
+		}
+		v.sites[spec.Name] = spec.VPN
+	case OpRemoveSite:
+		if _, ok := v.sites[op.Name]; !ok {
+			return fmt.Errorf("core: unknown site %q", op.Name)
+		}
+		delete(v.sites, op.Name)
+	case OpSetupTunnel:
+		t := op.Tunnel
+		if t.Name == "" {
+			return fmt.Errorf("netconf: tunnel needs a name")
+		}
+		if _, dup := v.tunnels[t.Name]; dup {
+			return fmt.Errorf("core: TE intent %q already exists", t.Name)
+		}
+		if t.VPN != "" && !v.vpns[t.VPN] {
+			return fmt.Errorf("core: VPN %q not defined", t.VPN)
+		}
+		if !v.b.IsPE(t.Ingress) {
+			return fmt.Errorf("core: %q is not a PE", t.Ingress)
+		}
+		if !v.b.IsPE(t.Egress) {
+			return fmt.Errorf("core: %q is not a PE", t.Egress)
+		}
+		if t.Bandwidth <= 0 {
+			return fmt.Errorf("netconf: tunnel %q needs positive bandwidth", t.Name)
+		}
+		v.tunnels[t.Name] = t.VPN
+	case OpTeardownTunnel:
+		if _, ok := v.tunnels[op.Name]; !ok {
+			return fmt.Errorf("core: unknown TE intent %q", op.Name)
+		}
+		delete(v.tunnels, op.Name)
+	case OpUndefineVPN:
+		if !v.vpns[op.VPN] {
+			return fmt.Errorf("core: VPN %q not defined", op.VPN)
+		}
+		for site, vpn := range v.sites {
+			if vpn == op.VPN {
+				return fmt.Errorf("core: VPN %q still has site %q provisioned", op.VPN, site)
+			}
+		}
+		for tun, vpn := range v.tunnels {
+			if vpn == op.VPN {
+				return fmt.Errorf("core: VPN %q is still steered by TE intent %q", op.VPN, tun)
+			}
+		}
+		delete(v.vpns, op.VPN)
+	default:
+		return fmt.Errorf("netconf: unknown op kind %d", op.Kind)
+	}
+	return nil
+}

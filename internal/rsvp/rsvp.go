@@ -435,6 +435,19 @@ func (p *Protocol) addReservation(l *LSP, sign float64) {
 // Teardown releases an LSP's reservations and label state.
 func (p *Protocol) Teardown(id int) bool { return p.teardown(id, true) }
 
+// ReclaimID returns a torn-down LSP's ID to the allocator when — and only
+// when — it was the most recent assignment. Transactional rollback undoes
+// setups in reverse order, so LIFO reclaim is exactly enough for a rolled
+// back and re-applied batch to sign LSPs with identical IDs, keeping the
+// StateDigest (which renders LSP IDs) equal across the round trip.
+func (p *Protocol) ReclaimID(id int) bool {
+	if _, live := p.lsps[id]; live || id != p.nextID-1 {
+		return false
+	}
+	p.nextID--
+	return true
+}
+
 // teardown implements Teardown; emit suppresses the generic teardown event
 // when the caller reports a more specific one (preemption, reoptimize).
 func (p *Protocol) teardown(id int, emit bool) bool {

@@ -35,10 +35,13 @@ const (
 	EventStaleSwept
 	EventRouteDamped
 	EventRouteReused
+	EventIntentCommit
+	EventIntentRollback
+	EventIntentQuarantine
 )
 
 // eventKindEnd is the last valid kind; UnmarshalJSON ranges up to it.
-const eventKindEnd = EventRouteReused
+const eventKindEnd = EventIntentQuarantine
 
 func (k EventKind) String() string {
 	switch k {
@@ -88,6 +91,12 @@ func (k EventKind) String() string {
 		return "route_damped"
 	case EventRouteReused:
 		return "route_reused"
+	case EventIntentCommit:
+		return "intent_commit"
+	case EventIntentRollback:
+		return "intent_rollback"
+	case EventIntentQuarantine:
+		return "intent_quarantine"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
