@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability verify-intent cover examples record clean
+.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability verify-intent verify-snapshot cover examples record clean
 
-all: build vet test test-race fuzz-short verify-intent bench-reconverge bench-gate
+all: build vet test test-race fuzz-short verify-intent verify-snapshot bench-reconverge bench-gate
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,19 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzScenario -fuzztime=10s ./internal/chaos
 	$(GO) test -run='^$$' -fuzz=FuzzSurvivability -fuzztime=10s ./internal/chaos
 	$(GO) test -run='^$$' -fuzz=FuzzIntentSpec -fuzztime=10s ./internal/intent
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/snapshot
+
+# The checkpoint/restore acceptance gate under the race detector: the
+# restore-equivalence contract (run-to-T + snapshot + restore + run-to-end
+# byte-identical to uninterrupted, serial and sharded), retry/damping state
+# carried across the boundary, the crash-recovery Runner (incl. torn
+# checkpoints), bisection, corrupt-checkpoint rejection, the codec/store
+# unit tests, and the E19 day-in-the-life soak.
+verify-snapshot:
+	$(GO) test -race -count=1 \
+		-run='TestSnapshot|TestRunner|TestBisect|TestRestoreRejectsCorrupt|TestE19' \
+		./internal/chaos ./internal/experiments
+	$(GO) test -race -count=1 ./internal/snapshot
 
 cover:
 	$(GO) test -cover ./internal/...

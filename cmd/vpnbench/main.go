@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e18 or all)")
+		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e19 or all)")
 		dur      = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
 		e1N      = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
 		shards   = flag.String("shards", "1,2,4,8", "E15 shard counts to sweep")
@@ -44,7 +44,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"} {
 			want[e] = true
 		}
 	} else {
@@ -187,6 +187,20 @@ func main() {
 		fmt.Println(res.Table.String())
 		fmt.Printf("%d VPNs / %d sites declared; digests identical across clean and crashed runs: %t\n\n",
 			res.VPNs, res.Sites, res.DigestMatch["kill-mid-commit"] && res.DigestMatch["kill-pre-commit"])
+	}
+
+	if want["e19"] {
+		res, err := experiments.E19DayInTheLife("")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnbench: e19:", err)
+			os.Exit(1)
+		}
+		results["e19"] = res
+		fmt.Println(res.Table.String())
+		fmt.Printf("checkpoint protocol: %d checkpoints, %d crash/resume cycles, %.0f ms replayed, digest match: %t\n",
+			res.Checkpoints, res.Cycles, res.ReplayedMs, res.DigestMatch)
+		fmt.Printf("control plane: %d routes damped, %d reused, %d LSP reoptimizations, %d invariant violations\n\n",
+			res.Suppressions, res.Reuses, res.Reoptimized, res.Violations)
 	}
 
 	if *jsonFile != "" {

@@ -30,6 +30,23 @@ type BenchReport struct {
 	Unpooled200 BenchDataPlane `json:"unpooled200"`
 	// E15EventsPerSec keys are "serial" and "shards-<n>".
 	E15EventsPerSec map[string]float64 `json:"e15_events_per_sec"`
+	// E19Soak is the day-in-the-life SLA scorecard under checkpoint/resume.
+	E19Soak BenchSoak `json:"e19_soak"`
+}
+
+// BenchSoak summarizes the E19 day-in-the-life run: the checkpoint-protocol
+// accounting and the per-class SLA conformance the gate enforces.
+type BenchSoak struct {
+	Checkpoints int     `json:"checkpoints"`
+	Cycles      int     `json:"crash_resume_cycles"`
+	ReplayedMs  float64 `json:"replayed_ms"`
+	DigestMatch bool    `json:"digest_match"`
+	Violations  int     `json:"invariant_violations"`
+	// Conform maps plane -> every-class-SLA-met ("mpls-te", "overlay-ipsec").
+	Conform map[string]bool `json:"conform"`
+	// VoiceLossPct and VoiceP99Ms track the headline class per plane.
+	VoiceLossPct map[string]float64 `json:"voice_loss_pct"`
+	VoiceP99Ms   map[string]float64 `json:"voice_p99_ms"`
 }
 
 // BenchDataPlane summarizes one measured data-plane run.
@@ -91,11 +108,35 @@ func runPerf(dir string, gate bool) int {
 	}
 	fmt.Println()
 
+	fmt.Println("perf: E19 day-in-the-life soak (checkpointed)...")
+	e19, err := experiments.E19DayInTheLife("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpnbench: e19:", err)
+		return 1
+	}
+	fmt.Println(e19.Table.String())
+	fmt.Printf("  %d checkpoints, %d crash/resume cycles, %.0f ms replayed, digest match: %t\n\n",
+		e19.Checkpoints, e19.Cycles, e19.ReplayedMs, e19.DigestMatch)
+
 	rep := &BenchReport{
 		Generated:       time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:      gomaxprocs(),
 		E4NsPerOp:       e4.NsPerOp,
 		E15EventsPerSec: e15,
+		E19Soak: BenchSoak{
+			Checkpoints:  e19.Checkpoints,
+			Cycles:       e19.Cycles,
+			ReplayedMs:   e19.ReplayedMs,
+			DigestMatch:  e19.DigestMatch,
+			Violations:   e19.Violations,
+			Conform:      e19.Conform,
+			VoiceLossPct: map[string]float64{},
+			VoiceP99Ms:   map[string]float64{},
+		},
+	}
+	for plane := range e19.LossPct {
+		rep.E19Soak.VoiceLossPct[plane] = e19.LossPct[plane]["voice"]
+		rep.E19Soak.VoiceP99Ms[plane] = e19.P99Ms[plane]["voice"]
 	}
 	var pooled, unpooled *experiments.E17Run
 	for i := range e17.Runs {
@@ -130,6 +171,25 @@ func runPerf(dir string, gate bool) int {
 	fmt.Printf("perf snapshot written to %s\n", out)
 
 	fail := false
+	// The soak gate is exact, not statistical: the simulation is
+	// deterministic, so a digest mismatch, a missed SLA, or a lost
+	// checkpoint cycle is a real regression, never noise.
+	if !rep.E19Soak.DigestMatch {
+		fmt.Println("GATE: e19 checkpointed run diverged from the uninterrupted run")
+		fail = true
+	}
+	if rep.E19Soak.Cycles < 3 {
+		fmt.Printf("GATE: e19 completed %d crash/resume cycles, want >= 3\n", rep.E19Soak.Cycles)
+		fail = true
+	}
+	if !rep.E19Soak.Conform["mpls-te"] {
+		fmt.Println("GATE: e19 MPLS/TE plane missed its per-class SLAs")
+		fail = true
+	}
+	if rep.E19Soak.Violations != 0 {
+		fmt.Printf("GATE: e19 recorded %d invariant violations\n", rep.E19Soak.Violations)
+		fail = true
+	}
 	if rep.Backbone200.AllocsPerPkt > maxAllocsPerPkt {
 		fmt.Printf("GATE: pooled data plane allocates %.2f objects/pkt, budget %.2f\n",
 			rep.Backbone200.AllocsPerPkt, maxAllocsPerPkt)

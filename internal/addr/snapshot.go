@@ -1,0 +1,59 @@
+package addr
+
+import "mplsvpn/internal/snapshot"
+
+// Snapshot codec helpers shared by every package that serializes addressed
+// state. Prefixes and route distinguishers are small fixed tuples, so they
+// encode as bare varints with no framing.
+
+// SavePrefix appends p to the snapshot stream.
+func SavePrefix(w *snapshot.Writer, p Prefix) {
+	w.U64(uint64(p.Addr))
+	w.U64(uint64(p.Len))
+}
+
+// LoadPrefix decodes a prefix written by SavePrefix.
+func LoadPrefix(r *snapshot.Reader) Prefix {
+	a := IPv4(uint32(r.U64()))
+	l := uint8(r.U64())
+	return Prefix{Addr: a, Len: l}
+}
+
+// SaveRD appends a route distinguisher.
+func SaveRD(w *snapshot.Writer, rd RouteDistinguisher) {
+	w.U64(uint64(rd.Admin))
+	w.U64(uint64(rd.Assigned))
+}
+
+// LoadRD decodes a route distinguisher.
+func LoadRD(r *snapshot.Reader) RouteDistinguisher {
+	admin := uint16(r.U64())
+	assigned := uint32(r.U64())
+	return RouteDistinguisher{Admin: admin, Assigned: assigned}
+}
+
+// SaveRT appends a route target.
+func SaveRT(w *snapshot.Writer, rt RouteTarget) {
+	w.U64(uint64(rt.Admin))
+	w.U64(uint64(rt.Assigned))
+}
+
+// LoadRT decodes a route target.
+func LoadRT(r *snapshot.Reader) RouteTarget {
+	admin := uint16(r.U64())
+	assigned := uint32(r.U64())
+	return RouteTarget{Admin: admin, Assigned: assigned}
+}
+
+// SaveVPNPrefix appends a VPN-qualified prefix.
+func SaveVPNPrefix(w *snapshot.Writer, vp VPNPrefix) {
+	SaveRD(w, vp.RD)
+	SavePrefix(w, vp.Prefix)
+}
+
+// LoadVPNPrefix decodes a VPN-qualified prefix.
+func LoadVPNPrefix(r *snapshot.Reader) VPNPrefix {
+	rd := LoadRD(r)
+	p := LoadPrefix(r)
+	return VPNPrefix{RD: rd, Prefix: p}
+}

@@ -20,10 +20,20 @@
 //	uncut hq at=8s
 //	rkill at=9s
 //	rrestart at=10s
+//	ckpt at=4s
+//	ckill+resume at=11s
 //
 // rkill/rrestart target the intent reconciler (when one is attached to the
 // injector): a kill mid-commit must leave no half-provisioned state, and a
 // restart must converge to the same digest as an uninterrupted run.
+//
+// ckpt and ckill+resume are harness directives, not injected faults: they
+// never become engine events (so they leave no trace in the journal or the
+// event heaps). A Runner drives the run in segments, taking a checkpoint at
+// each ckpt time; at a ckill+resume time it discards the live simulation
+// entirely — modeling a process crash — rebuilds the scenario, restores the
+// newest stored checkpoint, and replays forward to the kill point before
+// continuing.
 package chaos
 
 import (
@@ -124,6 +134,12 @@ type Scenario struct {
 	// Survivability layer configuration (nil = directive absent).
 	Surv    *SurvConfig
 	Damping *DampConfig
+
+	// Harness directives: checkpoint times and crash-kill/resume times.
+	// These are driven by a Runner between engine segments, never injected
+	// as engine events.
+	Checkpoints  []sim.Time
+	CrashResumes []sim.Time
 }
 
 // EventCount returns the number of individual fault operations the
@@ -369,6 +385,23 @@ func ParseScenario(r io.Reader, name string) (*Scenario, error) {
 				op = OpRRestart
 			}
 			sc.Events = append(sc.Events, Event{At: at, Op: op})
+		case "ckpt", "ckill+resume":
+			if len(fields) != 2 {
+				return nil, fail("%s at=<t>", fields[0])
+			}
+			kv, err := parseKVs(fields[1:], "at")
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			at, ok := kv["at"]
+			if !ok {
+				return nil, fail("%s needs at=<t>", fields[0])
+			}
+			if fields[0] == "ckpt" {
+				sc.Checkpoints = append(sc.Checkpoints, at)
+			} else {
+				sc.CrashResumes = append(sc.CrashResumes, at)
+			}
 		default:
 			return nil, fail("unknown directive %q", fields[0])
 		}

@@ -210,10 +210,16 @@ type Backbone struct {
 	deliverHooks []func(topo.NodeID, *packet.Packet)
 	// flows dispatches delivered packets to their measuring flow.
 	flows map[packet.FlowKey]*trafgen.Flow
-	// teRequests records TE intents for re-signalling after failures.
+	// teRequests records TE intents for re-signalling after failures;
+	// teReqSeq issues their stable ids.
 	teRequests []*teRequest
+	teReqSeq   int
 	// aimd dispatches delivery/drop feedback to congestion-controlled sources.
 	aimd map[packet.FlowKey]*trafgen.AIMD
+	// sources are the checkpointable traffic generators in creation order;
+	// srcIndex identifies their pending self-repost events in the heaps.
+	sources  []trafgen.Source
+	srcIndex map[sim.Action]int
 
 	// siteByPrefix resolves a customer address to its provisioned site
 	// (telemetry flow attribution).

@@ -18,6 +18,11 @@ import (
 // teRequest records an intent so TE LSPs can be re-signalled after a
 // topology change.
 type teRequest struct {
+	// id is a stable, never-reused identity (monotone per backbone): retry
+	// timers reference intents by id so a checkpoint can serialize the
+	// pending timer and a restore can re-attach it to the rebuilt intent,
+	// immune to the slice splicing TeardownTE performs.
+	id              int
 	name            string
 	ingress, egress topo.NodeID
 	vpn             string
@@ -98,7 +103,7 @@ func (b *Backbone) scheduleReconverge(detect sim.Time) {
 		b.reconvergeProvider()
 		return
 	}
-	b.E.After(detect, b.reconvergeProvider)
+	b.E.AfterTagged(detect, sim.Tag{Kind: tagReconverge}, b.reconvergeProvider)
 }
 
 // SetControlPlaneLoss configures the control-plane message loss model:
@@ -140,7 +145,9 @@ func (b *Backbone) FailLink(a, z string, detectDelay sim.Time) error {
 		// Protection is never slower than reconvergence: the bypass
 		// activates at min(detect, LocalRepairDelay), so even an
 		// aggressively fast detection still goes through local repair.
-		b.E.After(min(detectDelay, LocalRepairDelay), func() { b.localRepair(na, nz) })
+		b.E.AfterTagged(min(detectDelay, LocalRepairDelay),
+			sim.Tag{Kind: tagLocalRepair, A: uint64(na), B: uint64(nz)},
+			func() { b.localRepair(na, nz) })
 	}
 	b.scheduleReconverge(detectDelay)
 	return nil
@@ -412,7 +419,9 @@ func (b *Backbone) reconvergeProvider() {
 		for _, n := range b.providerNodes {
 			lfibs[n] = b.routers[n].LFIB
 		}
+		oldDrainSeq := b.RSVP.DrainSeq()
 		b.RSVP = rsvp.New(b.G, b.allocs, lfibs)
+		b.RSVP.SetDrainSeq(oldDrainSeq)
 		b.wireRSVPHooks()
 		b.configureDSTE()
 		for _, n := range b.providerNodes {

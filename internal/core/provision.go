@@ -616,7 +616,8 @@ func (b *Backbone) SetupTELSPForVPN(name, ingressPE, egressPE, vpnName string, b
 		// capacity may free up as other reservations drain.
 		return nil, &ProvisionError{Code: ProvNoTEPath, Subject: "lsp:" + name, Detail: err.Error()}
 	}
-	req := &teRequest{name: name, ingress: in, egress: eg, vpn: vpnName,
+	b.teReqSeq++
+	req := &teRequest{id: b.teReqSeq, name: name, ingress: in, egress: eg, vpn: vpnName,
 		bandwidth: bandwidth, class: class, opt: opt, lsp: l,
 		fullBandwidth: bandwidth, fullClassType: opt.ClassType}
 	b.teRequests = append(b.teRequests, req)

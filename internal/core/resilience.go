@@ -215,7 +215,8 @@ func (b *Backbone) scheduleRetry(req *teRequest) {
 	req.retryPending = true
 	b.journal(telemetry.EventTERetry, "lsp:"+req.name,
 		fmt.Sprintf("attempt %d in %v", req.attempts+1, delay))
-	b.E.After(delay, func() { b.retrySignal(req) })
+	b.E.AfterTagged(delay, sim.Tag{Kind: tagTERetry, A: uint64(req.id)},
+		func() { b.retrySignal(req) })
 }
 
 // retrySignal attempts one re-signal of req at its current (possibly

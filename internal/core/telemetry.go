@@ -140,7 +140,13 @@ func (b *Backbone) wireRSVPHooks() {
 	if b.RSVP == nil {
 		return
 	}
-	b.RSVP.Defer = func(fn func()) { b.E.After(LSPDrainDelay, fn) }
+	b.RSVP.Defer = func(id int) {
+		// Tagged so a checkpoint can serialize the pending drain and a
+		// restore can re-arm it. RunDrain on an id from a pre-reconverge
+		// protocol generation is a safe no-op.
+		b.E.AfterTagged(LSPDrainDelay, sim.Tag{Kind: tagDrain, A: uint64(id)},
+			func() { b.RSVP.RunDrain(id) })
+	}
 	if b.tel == nil && b.res == nil {
 		return
 	}

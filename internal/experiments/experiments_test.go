@@ -330,3 +330,34 @@ func TestE18TransactionalProvisioning(t *testing.T) {
 		t.Fatal("table missing")
 	}
 }
+
+func TestE19DayInTheLife(t *testing.T) {
+	res, err := E19DayInTheLife(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 3 {
+		t.Fatalf("only %d crash/resume cycles, want >= 3", res.Cycles)
+	}
+	if res.Checkpoints < res.Cycles {
+		t.Fatalf("%d checkpoints for %d recoveries", res.Checkpoints, res.Cycles)
+	}
+	if !res.DigestMatch {
+		t.Fatal("checkpointed day diverged from the uninterrupted day")
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d invariant violations", res.Violations)
+	}
+	if !res.Conform["mpls-te"] {
+		t.Fatalf("MPLS/TE plane missed its SLAs:\n%s", res.Table.String())
+	}
+	if res.Conform["overlay-ipsec"] {
+		t.Fatalf("overlay met every SLA — the comparison shows nothing:\n%s", res.Table.String())
+	}
+	if res.Suppressions < 1 || res.Reuses < 1 {
+		t.Fatalf("damping never engaged (suppressed=%d reused=%d)", res.Suppressions, res.Reuses)
+	}
+	if res.Reoptimized < 1 {
+		t.Fatal("no make-before-break reoptimization all day")
+	}
+}

@@ -88,8 +88,8 @@ func TestResignalDrainsInteriorLabels(t *testing.T) {
 	if _, ok := p.LFIBFor(x).LookupILM(oldInterior); !ok {
 		t.Fatal("interior ILM not installed")
 	}
-	var deferred []func()
-	p.Defer = func(fn func()) { deferred = append(deferred, fn) }
+	var deferred []int
+	p.Defer = func(id int) { deferred = append(deferred, id) }
 	if _, err := p.Resignal(l.ID, 2e6, SetupOptions{}); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,10 @@ func TestResignalDrainsInteriorLabels(t *testing.T) {
 	if len(deferred) != 1 {
 		t.Fatalf("deferred %d unbind calls, want 1", len(deferred))
 	}
-	deferred[0]()
+	if got := p.PendingDrains(); len(got) != 1 || got[0] != deferred[0] {
+		t.Fatalf("pending drains = %v, want [%d]", got, deferred[0])
+	}
+	p.RunDrain(deferred[0])
 	if _, ok := p.LFIBFor(x).LookupILM(oldInterior); ok {
 		t.Fatal("old interior ILM still bound after the drain")
 	}

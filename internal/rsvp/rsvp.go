@@ -132,11 +132,25 @@ type Protocol struct {
 
 	// Defer, when set, postpones the interior label unbind of a
 	// make-before-break switchover (Resignal): the old path's reservation
-	// is released immediately, but its ILM entries linger until the
-	// deferred call runs, so packets already in flight on the old labels
-	// drain instead of black-holing. Callers with a simulation engine point
-	// this at Engine.After; nil unbinds synchronously.
-	Defer func(func())
+	// is released immediately, but its ILM entries linger — registered in
+	// the drain table under the given id — until the caller invokes
+	// RunDrain(id), so packets already in flight on the old labels drain
+	// instead of black-holing. Callers with a simulation engine schedule
+	// RunDrain after the drain delay; nil unbinds synchronously. Keeping
+	// drains as table entries (not captured closures) is what lets a
+	// checkpoint serialize and a restore re-arm them.
+	Defer func(id int)
+
+	// drains holds the label state of paths pending their deferred unbind.
+	drains   map[int]drainRec
+	drainSeq int
+}
+
+// drainRec is one pending make-before-break unbind: the old path and its
+// interior labels, kept switchable until the drain window elapses.
+type drainRec struct {
+	path   topo.Path
+	labels []packet.Label
 }
 
 // New creates the protocol. alloc and lfib give each router's shared label
@@ -148,7 +162,8 @@ func New(g *topo.Graph, alloc map[topo.NodeID]*mpls.Allocator, lfib map[topo.Nod
 	if lfib == nil {
 		lfib = make(map[topo.NodeID]*mpls.LFIB)
 	}
-	return &Protocol{G: g, alloc: alloc, lfib: lfib, lsps: make(map[int]*LSP), nextID: 1}
+	return &Protocol{G: g, alloc: alloc, lfib: lfib, lsps: make(map[int]*LSP), nextID: 1,
+		drains: make(map[int]drainRec), drainSeq: 1}
 }
 
 func (p *Protocol) allocFor(n topo.NodeID) *mpls.Allocator {
@@ -464,18 +479,14 @@ func (p *Protocol) teardownMode(id int, emit, drain bool) bool {
 		return false
 	}
 	p.addReservation(l, -1)
-	unbind := func() {
-		nodes := l.Path.Nodes(p.G)
-		for i := 1; i < len(nodes)-1; i++ {
-			if l.hopLabels[i] != packet.LabelImplicitNull {
-				p.LFIBFor(nodes[i]).UnbindILM(l.hopLabels[i])
-			}
-		}
-	}
+	rec := drainRec{path: l.Path, labels: l.hopLabels}
 	if drain && p.Defer != nil {
-		p.Defer(unbind)
+		id := p.drainSeq
+		p.drainSeq++
+		p.drains[id] = rec
+		p.Defer(id)
 	} else {
-		unbind()
+		p.unbindDrain(rec)
 	}
 	l.State = Down
 	delete(p.lsps, id)
@@ -484,6 +495,51 @@ func (p *Protocol) teardownMode(id int, emit, drain bool) bool {
 			Egress: l.Egress, Bandwidth: l.Bandwidth})
 	}
 	return true
+}
+
+// unbindDrain removes the interior ILM entries of a drained path.
+func (p *Protocol) unbindDrain(rec drainRec) {
+	nodes := rec.path.Nodes(p.G)
+	for i := 1; i < len(nodes)-1; i++ {
+		if rec.labels[i] != packet.LabelImplicitNull {
+			p.LFIBFor(nodes[i]).UnbindILM(rec.labels[i])
+		}
+	}
+}
+
+// RunDrain executes and retires a pending deferred unbind. Running an
+// unknown (already-run or never-registered) drain is a no-op, so a restore
+// that re-arms drain timers tolerates duplicates safely.
+func (p *Protocol) RunDrain(id int) {
+	rec, ok := p.drains[id]
+	if !ok {
+		return
+	}
+	delete(p.drains, id)
+	p.unbindDrain(rec)
+}
+
+// DrainSeq returns the next drain id to be assigned.
+func (p *Protocol) DrainSeq() int { return p.drainSeq }
+
+// SetDrainSeq continues drain numbering from an earlier protocol generation
+// (reconvergence replaces the protocol wholesale); monotone ids mean a
+// pending drain timer from a dead generation can never collide with a live
+// one.
+func (p *Protocol) SetDrainSeq(n int) {
+	if n > p.drainSeq {
+		p.drainSeq = n
+	}
+}
+
+// PendingDrains lists the ids of drains registered but not yet run, sorted.
+func (p *Protocol) PendingDrains() []int {
+	ids := make([]int, 0, len(p.drains))
+	for id := range p.drains {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // SetupBypass signals a facility-backup bypass tunnel (RFC 4090) around a

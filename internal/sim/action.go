@@ -40,6 +40,7 @@ func (f *eventFree) get() *Event {
 func (f *eventFree) put(ev *Event) {
 	ev.fn = nil
 	ev.act = nil
+	ev.tag = Tag{}
 	ev.dead = false
 	f.free = append(f.free, ev)
 }

@@ -46,6 +46,7 @@ type Event struct {
 	seq    uint64 // tie-break: FIFO among simultaneous events
 	fn     func()
 	act    Action
+	tag    Tag // snapshot identity for dynamically scheduled closures
 	idx    int // heap index; -1 once popped or cancelled
 	dead   bool
 	pooled bool // owned by a scheduler freelist; recycled after execution
@@ -93,13 +94,14 @@ func (h *eventHeap) Pop() any {
 // Engine is the discrete-event scheduler. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64
-	events uint64 // total executed, for diagnostics
-	rand   *Rand
-	pool   eventFree  // freelist backing Post/PostAfter
-	par    *parEngine // nil until EnableShards
+	now      Time
+	queue    eventHeap
+	seq      uint64
+	setupSeq uint64 // watermark set by MarkSetup; lower seqs are setup events
+	events   uint64 // total executed, for diagnostics
+	rand     *Rand
+	pool     eventFree  // freelist backing Post/PostAfter
+	par      *parEngine // nil until EnableShards
 }
 
 // NewEngine returns an engine with the clock at zero and randomness seeded

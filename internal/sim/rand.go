@@ -85,3 +85,10 @@ func (r *Rand) Perm(n int) []int {
 func (r *Rand) Fork() *Rand {
 	return NewRand(r.Uint64())
 }
+
+// State returns the generator's internal state for checkpointing.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state; the next draw after
+// SetState(s) equals the next draw any generator with state s would produce.
+func (r *Rand) SetState(s uint64) { r.state = s }

@@ -66,6 +66,7 @@ type Shard struct {
 	eng      *Engine
 	q        eventHeap
 	seq      uint64
+	setupSeq uint64 // watermark set by MarkSetup; lower seqs are setup events
 	now      Time
 	executed uint64
 	draining bool      // true only while the owning worker drains a segment

@@ -1,0 +1,254 @@
+// Checkpoint support for the event scheduler.
+//
+// Event heaps hold Go closures and pooled actions, neither of which can be
+// serialized directly. The snapshot architecture therefore splits pending
+// work into two classes:
+//
+//   - *setup* events, scheduled before MarkSetup (topology construction,
+//     pre-expanded chaos scripts, horizon-spanning scan series). A restore
+//     rebuilds the scenario from its builder, which re-creates every setup
+//     event with an identical (time, seq); the snapshot only records which
+//     of them were still pending, and FilterPending kills the rest.
+//   - *dynamic* events, scheduled during the run. Closures must carry a Tag
+//     (a small serializable identity registered by the scheduling
+//     subsystem); typed Actions self-describe through per-package encoders.
+//     A restore re-arms each with its original (time, seq) so the FIFO
+//     tie-break order — and therefore the entire future of the run — is
+//     byte-identical to the uninterrupted execution.
+//
+// Sequence counters, clocks, and executed counts restore explicitly;
+// freelists are reconstructed empty (a recycled object is indistinguishable
+// from a fresh one, so pooling stays invisible to the contract).
+package sim
+
+import "sort"
+
+// Tag is the serializable identity of a dynamically scheduled closure. Kind
+// selects a re-arm handler registered by the subsystem that scheduled it;
+// A and B are handler-defined operands (an index into a creation-ordered
+// table, a node pair, a drain ID). The zero Tag marks an untagged closure,
+// which a strict snapshot refuses to serialize.
+type Tag struct {
+	Kind uint16
+	A, B uint64
+}
+
+// GlobalBand is the PendingEvent shard index for the engine's own queue.
+const GlobalBand = -1
+
+// PendingEvent describes one live scheduled event during a snapshot walk.
+type PendingEvent struct {
+	Shard int // GlobalBand or a shard index
+	At    Time
+	Seq   uint64
+	Tag   Tag
+	Act   Action // nil for closure events
+	Setup bool   // scheduled before MarkSetup
+}
+
+// ScheduleTagged is Schedule with a snapshot identity attached.
+func (e *Engine) ScheduleTagged(at Time, tag Tag, fn func()) *Event {
+	ev := e.Schedule(at, fn)
+	ev.tag = tag
+	return ev
+}
+
+// AfterTagged is After with a snapshot identity attached.
+func (e *Engine) AfterTagged(d Time, tag Tag, fn func()) *Event {
+	ev := e.After(d, fn)
+	ev.tag = tag
+	return ev
+}
+
+// ScheduleTagged is Schedule with a snapshot identity attached.
+func (s *Shard) ScheduleTagged(at Time, tag Tag, fn func()) *Event {
+	ev := s.Schedule(at, fn)
+	ev.tag = tag
+	return ev
+}
+
+// AfterTagged is After with a snapshot identity attached.
+func (s *Shard) AfterTagged(d Time, tag Tag, fn func()) *Event {
+	ev := s.After(d, fn)
+	ev.tag = tag
+	return ev
+}
+
+// MarkSetup records the setup watermark on every scheduler: events with a
+// lower sequence number were scheduled during scenario construction and are
+// re-created by a rebuild. Call exactly once, after the builder finishes and
+// before the first Run.
+func (e *Engine) MarkSetup() {
+	e.setupSeq = e.seq
+	if e.par != nil {
+		for _, s := range e.par.shards {
+			s.setupSeq = s.seq
+		}
+	}
+}
+
+// WalkPending visits every live scheduled event — the global band first,
+// then each shard in index order, each scheduler's events in (time, seq)
+// order. The walk must only run between segments (never from inside a
+// draining shard).
+func (e *Engine) WalkPending(visit func(PendingEvent)) {
+	walkHeap(e.queue, GlobalBand, e.setupSeq, visit)
+	if e.par != nil {
+		for _, s := range e.par.shards {
+			walkHeap(s.q, s.id, s.setupSeq, visit)
+		}
+	}
+}
+
+func walkHeap(h eventHeap, shard int, setupSeq uint64, visit func(PendingEvent)) {
+	live := make([]*Event, 0, len(h))
+	for _, ev := range h {
+		if ev != nil && !ev.dead {
+			live = append(live, ev)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].at != live[j].at {
+			return live[i].at < live[j].at
+		}
+		return live[i].seq < live[j].seq
+	})
+	for _, ev := range live {
+		visit(PendingEvent{
+			Shard: shard, At: ev.at, Seq: ev.seq, Tag: ev.tag,
+			Act: ev.act, Setup: ev.seq < setupSeq,
+		})
+	}
+}
+
+// FilterPending removes every scheduled event for which keep returns false.
+// A restore calls it on a freshly rebuilt engine to kill the setup events
+// the original run had already executed (or cancelled) by snapshot time.
+func (e *Engine) FilterPending(keep func(shard int, seq uint64) bool) {
+	e.queue = filterHeap(e.queue, GlobalBand, keep)
+	if e.par != nil {
+		for _, s := range e.par.shards {
+			s.q = filterHeap(s.q, s.id, keep)
+		}
+	}
+}
+
+func filterHeap(h eventHeap, shard int, keep func(int, uint64) bool) eventHeap {
+	out := h[:0]
+	for _, ev := range h {
+		if ev == nil || ev.dead || !keep(shard, ev.seq) {
+			continue
+		}
+		out = append(out, ev)
+	}
+	// Trailing slots keep stale pointers otherwise.
+	for i := len(out); i < len(h); i++ {
+		h[i] = nil
+	}
+	// Sift order restores trivially: re-push preserves the heap invariant
+	// and pop order depends only on (at, seq), not array layout.
+	reheap(out)
+	return out
+}
+
+func reheap(h eventHeap) {
+	for i := range h {
+		h[i].idx = i
+		j := i
+		for j > 0 {
+			parent := (j - 1) / 2
+			if !h.Less(j, parent) {
+				break
+			}
+			h.Swap(j, parent)
+			j = parent
+		}
+	}
+}
+
+// RestoreEvent re-arms a dynamic closure event with its original identity.
+// The caller resolves tag to fn through its re-arm registry.
+func (e *Engine) RestoreEvent(shard int, at Time, seq uint64, tag Tag, fn func()) {
+	ev := &Event{at: at, seq: seq, tag: tag, fn: fn}
+	e.pushRestored(shard, ev)
+}
+
+// RestoreAction re-arms a dynamic action event with its original identity.
+func (e *Engine) RestoreAction(shard int, at Time, seq uint64, act Action) {
+	ev := &Event{at: at, seq: seq, act: act}
+	e.pushRestored(shard, ev)
+}
+
+func (e *Engine) pushRestored(shard int, ev *Event) {
+	if shard == GlobalBand {
+		heapPushEvent(&e.queue, ev)
+		return
+	}
+	heapPushEvent(&e.par.shards[shard].q, ev)
+}
+
+// RestoreClock overwrites a scheduler's clock: the engine clock for
+// GlobalBand, a shard clock otherwise.
+func (e *Engine) RestoreClock(shard int, now Time) {
+	if shard == GlobalBand {
+		e.now = now
+		return
+	}
+	e.par.shards[shard].now = now
+}
+
+// RestoreSeq overwrites a scheduler's sequence counter so events scheduled
+// after the restore continue the original numbering (and therefore the
+// original FIFO tie-breaks).
+func (e *Engine) RestoreSeq(shard int, seq uint64) {
+	if shard == GlobalBand {
+		e.seq = seq
+		return
+	}
+	e.par.shards[shard].seq = seq
+}
+
+// RestoreExecuted overwrites a scheduler's executed-event count.
+func (e *Engine) RestoreExecuted(shard int, n uint64) {
+	if shard == GlobalBand {
+		e.events = n
+		return
+	}
+	e.par.shards[shard].executed = n
+}
+
+// Seq returns a scheduler's next sequence number.
+func (e *Engine) Seq(shard int) uint64 {
+	if shard == GlobalBand {
+		return e.seq
+	}
+	return e.par.shards[shard].seq
+}
+
+// ExecutedOn returns a scheduler's executed-event count.
+func (e *Engine) ExecutedOn(shard int) uint64 {
+	if shard == GlobalBand {
+		return e.events
+	}
+	return e.par.shards[shard].executed
+}
+
+// ClockOf returns a scheduler's current time without barrier adjustment.
+func (e *Engine) ClockOf(shard int) Time {
+	if shard == GlobalBand {
+		return e.now
+	}
+	return e.par.shards[shard].now
+}
+
+// Schedulers returns the walkable scheduler indices: the global band plus
+// every shard.
+func (e *Engine) Schedulers() []int {
+	ids := []int{GlobalBand}
+	if e.par != nil {
+		for _, s := range e.par.shards {
+			ids = append(ids, s.id)
+		}
+	}
+	return ids
+}

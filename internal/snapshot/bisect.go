@@ -1,0 +1,73 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Bisection of chaos failures. A deterministic run that ends with a
+// violated invariant (isolation, loop-freedom, byte conservation) defines a
+// monotone predicate over virtual time: once violated, violated forever.
+// Given the run's checkpoints, the first offending window can therefore be
+// found by binary search, where each probe restores the nearest checkpoint
+// and replays only up to the probe time — O(log n) partial replays instead
+// of one full rerun per candidate window.
+
+// ErrNotViolated reports a bisection whose predicate never fired, i.e. the
+// run does not actually violate the invariant by its final checkpoint.
+var ErrNotViolated = errors.New("snapshot: invariant not violated by final probe time")
+
+// Window is the localized result: the violation first occurs in (Lo, Hi].
+type Window struct {
+	Lo, Hi int64
+}
+
+// Probe evaluates the violation predicate at virtual time t, typically by
+// restoring the newest checkpoint at or before t and replaying forward to
+// t. It reports whether the invariant has been violated by t.
+type Probe func(t int64) (violated bool, err error)
+
+// Bisect localizes the first violation over the sorted probe times (usually
+// checkpoint times plus the horizon). It assumes the predicate is monotone
+// and returns the tightest window (times[i-1], times[i]] containing the
+// first violation, along with the number of probes spent. Lo is 0 when the
+// violation predates the first probe time.
+func Bisect(times []int64, probe Probe) (Window, int, error) {
+	if len(times) == 0 {
+		return Window{}, 0, fmt.Errorf("snapshot: bisect needs at least one probe time")
+	}
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+		return Window{}, 0, fmt.Errorf("snapshot: bisect probe times must be sorted")
+	}
+	probes := 0
+	// Invariant: violated(times[hi]) is true, violated(times[lo]) is false
+	// (virtual positions lo=-1 and hi=len-1 before validation).
+	last, err := probe(times[len(times)-1])
+	probes++
+	if err != nil {
+		return Window{}, probes, err
+	}
+	if !last {
+		return Window{}, probes, ErrNotViolated
+	}
+	lo, hi := -1, len(times)-1
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		v, err := probe(times[mid])
+		probes++
+		if err != nil {
+			return Window{}, probes, err
+		}
+		if v {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	w := Window{Hi: times[hi]}
+	if lo >= 0 {
+		w.Lo = times[lo]
+	}
+	return w, probes, nil
+}

@@ -1,0 +1,156 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrNoCheckpoint reports an empty checkpoint directory.
+var ErrNoCheckpoint = errors.New("snapshot: no checkpoint found")
+
+// Store manages a directory of periodic checkpoints with atomic
+// write-rename publication and bounded retention. File names embed the
+// virtual timestamp (ckpt-%020d.mvsnap), so recovery and bisection order
+// checkpoints lexically without opening them.
+type Store struct {
+	Dir  string
+	Keep int // newest checkpoints retained; <= 0 keeps everything
+}
+
+const (
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".mvsnap"
+)
+
+func (s *Store) path(t int64) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("%s%020d%s", ckptPrefix, t, ckptSuffix))
+}
+
+// Save publishes a checkpoint for virtual time t atomically: the bytes land
+// in a temporary file first and only an os.Rename — atomic on POSIX — makes
+// them visible under the final name. A crash mid-write therefore never
+// leaves a truncated checkpoint where recovery would find it. Older
+// checkpoints beyond Keep are pruned after publication.
+func (s *Store) Save(t int64, data []byte) (string, error) {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return "", err
+	}
+	final := s.path(t)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := s.prune(); err != nil {
+		return final, err
+	}
+	return final, nil
+}
+
+// Times lists the virtual timestamps of all published checkpoints, oldest
+// first. Unparseable or temporary files are ignored.
+func (s *Store) Times() ([]int64, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ts []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+		t, err := strconv.ParseInt(num, 10, 64)
+		if err != nil {
+			continue
+		}
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts, nil
+}
+
+// Load reads the checkpoint for virtual time t and returns its raw bytes,
+// container-decoding them first purely as validation (CRC, structure) so a
+// torn or corrupt file surfaces here rather than mid-restore.
+func (s *Store) Load(t int64) ([]byte, error) {
+	data, err := os.ReadFile(s.path(t))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := Decode(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Latest loads the newest checkpoint, returning its virtual time. A
+// checkpoint that fails to decode (torn by a crash before the rename
+// discipline existed, or hand-corrupted) is skipped and the next-newest
+// tried, so recovery degrades to an older consistent state instead of
+// failing outright.
+func (s *Store) Latest() (int64, []byte, error) {
+	ts, err := s.Times()
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(ts) - 1; i >= 0; i-- {
+		data, err := s.Load(ts[i])
+		if err == nil {
+			return ts[i], data, nil
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			return 0, nil, err
+		}
+	}
+	return 0, nil, ErrNoCheckpoint
+}
+
+// LatestAtOrBefore loads the newest checkpoint with time <= t (for
+// bisection replays).
+func (s *Store) LatestAtOrBefore(t int64) (int64, []byte, error) {
+	ts, err := s.Times()
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(ts) - 1; i >= 0; i-- {
+		if ts[i] > t {
+			continue
+		}
+		data, err := s.Load(ts[i])
+		if err != nil {
+			return 0, nil, err
+		}
+		return ts[i], data, nil
+	}
+	return 0, nil, ErrNoCheckpoint
+}
+
+func (s *Store) prune() error {
+	if s.Keep <= 0 {
+		return nil
+	}
+	ts, err := s.Times()
+	if err != nil {
+		return err
+	}
+	for len(ts) > s.Keep {
+		if err := os.Remove(s.path(ts[0])); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		ts = ts[1:]
+	}
+	return nil
+}

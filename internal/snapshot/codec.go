@@ -1,0 +1,313 @@
+// Package snapshot implements versioned, forward-compatible binary
+// serialization for simulation checkpoints: a primitive codec
+// (varint/zigzag/length-prefixed), a section-framed container with a CRC32
+// integrity trailer, an atomic on-disk checkpoint store with retention, and
+// a bisector that localizes failures by partial replays between
+// checkpoints.
+//
+// The decoder is hostile-input safe by construction: every read is bounds
+// checked, element counts are validated against the bytes that remain, and
+// malformed input surfaces as a typed error (ErrTruncated, ErrCorrupt,
+// ErrVersion) — never a panic and never an out-of-bounds allocation. That
+// contract is what lets a restore parse an entire checkpoint into plain
+// data before touching any live state.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Typed decode failures. Restores must treat any of them as "this file does
+// not exist": no partial state may have been applied.
+var (
+	// ErrTruncated reports input that ends before a declared field.
+	ErrTruncated = errors.New("snapshot: truncated input")
+	// ErrCorrupt reports structurally invalid input: bad magic, a CRC
+	// mismatch, a malformed varint, or a length that exceeds the input.
+	ErrCorrupt = errors.New("snapshot: corrupt input")
+	// ErrVersion reports a checkpoint written by a newer format version.
+	ErrVersion = errors.New("snapshot: unsupported version")
+	// ErrMismatch reports a checkpoint that decoded cleanly but does not
+	// belong to the scenario being restored (fingerprint or shape skew).
+	ErrMismatch = errors.New("snapshot: checkpoint does not match scenario")
+)
+
+// Writer encodes primitives into a growing byte buffer. The zero value is
+// ready to use.
+type Writer struct {
+	b []byte
+}
+
+// Data returns the encoded bytes.
+func (w *Writer) Data() []byte { return w.b }
+
+// Len returns the number of bytes encoded so far.
+func (w *Writer) Len() int { return len(w.b) }
+
+// U64 appends an unsigned varint.
+func (w *Writer) U64(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+
+// I64 appends a zigzag-encoded signed varint.
+func (w *Writer) I64(v int64) { w.b = binary.AppendVarint(w.b, v) }
+
+// F64 appends a float64 as its IEEE 754 bit pattern (fixed 8 bytes), so the
+// value round-trips exactly, NaN payloads included.
+func (w *Writer) F64(v float64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(v))
+}
+
+// Bool appends a single 0/1 byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+
+// Bytes appends a length-prefixed byte string.
+func (w *Writer) Bytes(p []byte) {
+	w.U64(uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// Str appends a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.U64(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Reader decodes primitives with a sticky error: after the first failure
+// every read returns a zero value and Err reports the cause. Callers batch
+// reads and check Err once per record, keeping decode loops linear and
+// panic-free.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps data for decoding.
+func NewReader(data []byte) *Reader { return &Reader{b: data} }
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(err error, what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", err, what, r.off)
+	}
+}
+
+// U64 decodes an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrTruncated, "uvarint")
+		} else {
+			r.fail(ErrCorrupt, "uvarint overflow")
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// I64 decodes a zigzag-encoded signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrTruncated, "varint")
+		} else {
+			r.fail(ErrCorrupt, "varint overflow")
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// F64 decodes a fixed 8-byte IEEE 754 value.
+func (r *Reader) F64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail(ErrTruncated, "float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Bool decodes a single byte; any value other than 0 or 1 is corrupt.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Remaining() < 1 {
+		r.fail(ErrTruncated, "bool")
+		return false
+	}
+	v := r.b[r.off]
+	r.off++
+	if v > 1 {
+		r.fail(ErrCorrupt, "bool")
+		return false
+	}
+	return v == 1
+}
+
+// Bytes decodes a length-prefixed byte string, aliasing the input buffer.
+func (r *Reader) Bytes() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(ErrTruncated, "bytes body")
+		return nil
+	}
+	p := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p
+}
+
+// Str decodes a length-prefixed string.
+func (r *Reader) Str() string { return string(r.Bytes()) }
+
+// Count decodes an element count and validates it against the bytes that
+// remain (every element costs at least minElemBytes), so a crafted count
+// can never drive an oversized allocation or a runaway loop.
+func (r *Reader) Count(minElemBytes int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if n > uint64(r.Remaining()/minElemBytes) {
+		r.fail(ErrCorrupt, "element count exceeds input")
+		return 0
+	}
+	return int(n)
+}
+
+// Container format: magic, format version, named length-prefixed sections,
+// CRC32 (Castagnoli) trailer over everything before it.
+
+// Version is the current container format version. Decoders accept any file
+// whose version is <= Version (older fields read with defaults, unknown
+// sections ignored by name lookup) and refuse newer files with ErrVersion.
+const Version = 1
+
+var magic = []byte{'M', 'V', 'S', 'N'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// File is a decoded (or under-construction) checkpoint container.
+type File struct {
+	Version  uint64
+	names    []string
+	sections map[string][]byte
+}
+
+// NewFile returns an empty container at the current version.
+func NewFile() *File {
+	return &File{Version: Version, sections: make(map[string][]byte)}
+}
+
+// Add appends a named section. Adding a name twice replaces the payload but
+// keeps the original position.
+func (f *File) Add(name string, data []byte) {
+	if _, ok := f.sections[name]; !ok {
+		f.names = append(f.names, name)
+	}
+	f.sections[name] = data
+}
+
+// Section returns a named section's payload.
+func (f *File) Section(name string) ([]byte, bool) {
+	p, ok := f.sections[name]
+	return p, ok
+}
+
+// Names returns the section names in file order.
+func (f *File) Names() []string { return f.names }
+
+// Encode serializes the container: magic, version, section count, sections,
+// CRC32C trailer.
+func (f *File) Encode() []byte {
+	var w Writer
+	w.b = append(w.b, magic...)
+	w.U64(f.Version)
+	w.U64(uint64(len(f.names)))
+	for _, name := range f.names {
+		w.Str(name)
+		w.Bytes(f.sections[name])
+	}
+	sum := crc32.Checksum(w.b, crcTable)
+	w.b = binary.LittleEndian.AppendUint32(w.b, sum)
+	return w.b
+}
+
+// Decode parses and integrity-checks a container. Any structural problem
+// returns a typed error; no partially decoded File escapes.
+func Decode(data []byte) (*File, error) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes is below the minimum container size", ErrTruncated, len(data))
+	}
+	for i, m := range magic {
+		if data[i] != m {
+			return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	r := NewReader(body[len(magic):])
+	f := &File{sections: make(map[string][]byte)}
+	f.Version = r.U64()
+	if r.Err() == nil && f.Version > Version {
+		return nil, fmt.Errorf("%w: file version %d, decoder supports <= %d", ErrVersion, f.Version, Version)
+	}
+	n := r.Count(2) // a section costs at least an empty name + empty body
+	for i := 0; i < n && r.Err() == nil; i++ {
+		name := r.Str()
+		payload := r.Bytes()
+		if r.Err() != nil {
+			break
+		}
+		if _, dup := f.sections[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrCorrupt, name)
+		}
+		f.names = append(f.names, name)
+		f.sections[name] = payload
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrCorrupt, r.Remaining())
+	}
+	return f, nil
+}

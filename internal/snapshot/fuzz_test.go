@@ -1,0 +1,88 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotDecode is the hostile-checkpoint contract: whatever bytes a
+// torn write, disk corruption, or version skew produce, Decode either
+// returns a structurally complete File or one of the typed errors — never a
+// panic, never an unbounded allocation, never a half-decoded container.
+func FuzzSnapshotDecode(f *testing.F) {
+	// A realistic multi-section checkpoint as the main seed.
+	mk := NewFile()
+	var w Writer
+	w.Str("snap-equiv")
+	w.U64(42)
+	w.I64(-7)
+	mk.Add("manifest", w.Data())
+	mk.Add("engine", []byte{0x01, 0x80, 0x80, 0x01})
+	mk.Add("empty", nil)
+	valid := mk.Encode()
+	f.Add(valid)
+
+	// Truncations at interesting boundaries.
+	for _, n := range []int{0, 3, 4, 5, len(valid) / 2, len(valid) - 5, len(valid) - 1} {
+		if n >= 0 && n <= len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// Version skew: a well-formed file claiming a future format.
+	var vw Writer
+	vw.b = append(vw.b, magic...)
+	vw.U64(Version + 3)
+	vw.U64(0)
+	f.Add(reseal(vw.Data()))
+	// Bit flips in header, section table, and trailer.
+	for _, i := range []int{0, 4, 5, 8, len(valid) - 2} {
+		bad := append([]byte(nil), valid...)
+		bad[i] ^= 0x10
+		f.Add(bad)
+	}
+	// Absurd declared counts behind a valid CRC.
+	var cw Writer
+	cw.b = append(cw.b, magic...)
+	cw.U64(Version)
+	cw.U64(1 << 50)
+	f.Add(reseal(cw.Data()))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			if file != nil {
+				t.Fatal("partial File escaped a failed decode")
+			}
+			return
+		}
+		// Accepted input must round-trip losslessly: re-encoding and
+		// re-decoding the container preserves version, section order, and
+		// every payload. (Byte equality is not required — the varint decoder
+		// tolerates non-minimal encodings that Encode canonicalizes.)
+		file2, err := Decode(file.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded container does not decode: %v", err)
+		}
+		if file2.Version != file.Version {
+			t.Fatalf("version changed across round-trip: %d -> %d", file.Version, file2.Version)
+		}
+		names, names2 := file.Names(), file2.Names()
+		if len(names) != len(names2) {
+			t.Fatalf("section count changed: %d -> %d", len(names), len(names2))
+		}
+		for i, name := range names {
+			if names2[i] != name {
+				t.Fatalf("section %d renamed: %q -> %q", i, name, names2[i])
+			}
+			a, _ := file.Section(name)
+			b, ok := file2.Section(name)
+			if !ok || !bytes.Equal(a, b) {
+				t.Fatalf("section %q payload changed across round-trip", name)
+			}
+		}
+	})
+}

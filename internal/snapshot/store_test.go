@@ -1,0 +1,181 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ckptBytes builds a tiny valid checkpoint whose payload identifies t.
+func ckptBytes(t int64) []byte {
+	f := NewFile()
+	var w Writer
+	w.I64(t)
+	f.Add("payload", w.Data())
+	return f.Encode()
+}
+
+func TestStoreSaveLoadLatest(t *testing.T) {
+	s := &Store{Dir: t.TempDir()}
+	for _, ct := range []int64{100, 300, 200} {
+		if _, err := s.Save(ct, ckptBytes(ct)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := s.Times()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[0] != 100 || ts[1] != 200 || ts[2] != 300 {
+		t.Fatalf("Times = %v", ts)
+	}
+	ct, data, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != 300 || !bytes.Equal(data, ckptBytes(300)) {
+		t.Errorf("Latest = %d", ct)
+	}
+	if got, err := s.Load(200); err != nil || !bytes.Equal(got, ckptBytes(200)) {
+		t.Errorf("Load(200): %v", err)
+	}
+	for _, c := range []struct{ at, want int64 }{{250, 200}, {200, 200}, {5000, 300}} {
+		ct, _, err := s.LatestAtOrBefore(c.at)
+		if err != nil || ct != c.want {
+			t.Errorf("LatestAtOrBefore(%d) = %d, %v; want %d", c.at, ct, err, c.want)
+		}
+	}
+	if _, _, err := s.LatestAtOrBefore(99); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("LatestAtOrBefore(99) = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestStoreEmpty(t *testing.T) {
+	s := &Store{Dir: filepath.Join(t.TempDir(), "never-created")}
+	if ts, err := s.Times(); err != nil || len(ts) != 0 {
+		t.Errorf("Times on missing dir = %v, %v", ts, err)
+	}
+	if _, _, err := s.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("Latest on missing dir = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	s := &Store{Dir: t.TempDir(), Keep: 2}
+	for ct := int64(1); ct <= 5; ct++ {
+		if _, err := s.Save(ct, ckptBytes(ct)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := s.Times()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0] != 4 || ts[1] != 5 {
+		t.Errorf("retained %v, want [4 5]", ts)
+	}
+}
+
+// Latest skips a corrupt newest checkpoint (torn write, disk damage) and
+// recovers the next-newest consistent one instead of failing the recovery.
+func TestStoreLatestSkipsCorrupt(t *testing.T) {
+	s := &Store{Dir: t.TempDir()}
+	if _, err := s.Save(1, ckptBytes(1)); err != nil {
+		t.Fatal(err)
+	}
+	good := ckptBytes(2)
+	if _, err := s.Save(2, good[:len(good)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(2); err == nil {
+		t.Fatal("Load accepted the torn checkpoint")
+	}
+	ct, data, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != 1 || !bytes.Equal(data, ckptBytes(1)) {
+		t.Errorf("Latest recovered %d, want 1", ct)
+	}
+}
+
+// Save's write-rename discipline must leave no .tmp debris behind, and a
+// stray temporary file from a crashed writer is invisible to Times.
+func TestStoreAtomicPublish(t *testing.T) {
+	s := &Store{Dir: t.TempDir()}
+	if _, err := s.Save(7, ckptBytes(7)); err != nil {
+		t.Fatal(err)
+	}
+	stray := s.path(9) + ".tmp"
+	if err := os.WriteFile(stray, []byte("half a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") && e.Name() != filepath.Base(stray) {
+			t.Errorf("Save left temporary %s", e.Name())
+		}
+	}
+	ts, err := s.Times()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0] != 7 {
+		t.Errorf("Times sees stray tmp: %v", ts)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	times := []int64{10, 20, 30, 40, 50, 60, 70, 80}
+	mk := func(firstBad int64) Probe {
+		return func(tt int64) (bool, error) { return tt >= firstBad, nil }
+	}
+
+	w, probes, err := Bisect(times, mk(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Lo != 40 || w.Hi != 50 {
+		t.Errorf("window = (%d, %d], want (40, 50]", w.Lo, w.Hi)
+	}
+	if probes > 4 { // 1 validation + ceil(log2(8)) = 4
+		t.Errorf("probes = %d, want <= 4", probes)
+	}
+
+	// Violation predates the first checkpoint: Lo pins to 0.
+	w, _, err = Bisect(times, mk(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Lo != 0 || w.Hi != 10 {
+		t.Errorf("early violation window = (%d, %d], want (0, 10]", w.Lo, w.Hi)
+	}
+
+	// Clean run: typed refusal after a single probe.
+	_, probes, err = Bisect(times, mk(1000))
+	if !errors.Is(err, ErrNotViolated) {
+		t.Errorf("clean run = %v, want ErrNotViolated", err)
+	}
+	if probes != 1 {
+		t.Errorf("clean run spent %d probes, want 1", probes)
+	}
+
+	if _, _, err := Bisect(nil, mk(0)); err == nil {
+		t.Error("empty times accepted")
+	}
+	if _, _, err := Bisect([]int64{30, 10}, mk(0)); err == nil {
+		t.Error("unsorted times accepted")
+	}
+
+	// A probe error propagates.
+	boom := errors.New("probe exploded")
+	if _, _, err := Bisect(times, func(int64) (bool, error) { return false, boom }); !errors.Is(err, boom) {
+		t.Errorf("probe error = %v, want propagation", err)
+	}
+}

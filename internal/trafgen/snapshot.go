@@ -1,0 +1,57 @@
+package trafgen
+
+import (
+	"mplsvpn/internal/sim"
+	"mplsvpn/internal/snapshot"
+)
+
+// SaveState serializes the flow's dynamic state: the packet sequence number
+// and the accumulated statistics. Addressing is scenario configuration.
+func (f *Flow) SaveState(w *snapshot.Writer) {
+	w.U64(f.seq)
+	f.Stats.SaveState(w)
+}
+
+// LoadState replaces the flow's dynamic state.
+func (f *Flow) LoadState(r *snapshot.Reader) error {
+	f.seq = r.U64()
+	return f.Stats.LoadState(r)
+}
+
+// The sources serialize their pacing cursor and the state of their private
+// random stream; rates, intervals, and endpoints are construction arguments
+// the scenario rebuild supplies (the rebuilt source holds an equally-forked
+// stream whose state the load then overwrites).
+
+func (s *cbrSrc) SaveState(w *snapshot.Writer) { w.I64(int64(s.t)) }
+
+func (s *cbrSrc) LoadState(r *snapshot.Reader) error {
+	s.t = sim.Time(r.I64())
+	return r.Err()
+}
+
+func (s *poissonSrc) SaveState(w *snapshot.Writer) {
+	w.I64(int64(s.t))
+	w.U64(s.rng.State())
+}
+
+func (s *poissonSrc) LoadState(r *snapshot.Reader) error {
+	s.t = sim.Time(r.I64())
+	s.rng.SetState(r.U64())
+	return r.Err()
+}
+
+func (s *onOffSrc) SaveState(w *snapshot.Writer) {
+	w.I64(int64(s.t))
+	w.I64(int64(s.end))
+	w.Bool(s.inBurst)
+	w.U64(s.rng.State())
+}
+
+func (s *onOffSrc) LoadState(r *snapshot.Reader) error {
+	s.t = sim.Time(r.I64())
+	s.end = sim.Time(r.I64())
+	s.inBurst = r.Bool()
+	s.rng.SetState(r.U64())
+	return r.Err()
+}

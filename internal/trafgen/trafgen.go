@@ -10,6 +10,7 @@ import (
 	"mplsvpn/internal/netsim"
 	"mplsvpn/internal/packet"
 	"mplsvpn/internal/sim"
+	"mplsvpn/internal/snapshot"
 	"mplsvpn/internal/stats"
 	"mplsvpn/internal/topo"
 )
@@ -68,17 +69,28 @@ func (f *Flow) send(n *netsim.Network, payload int) {
 	n.Inject(f.At, f.fill(n.NewPacket(f.At), payload))
 }
 
+// Source is a self-rescheduling traffic generator whose pacing state can be
+// checkpointed. The concrete sources implement sim.Action — the pending
+// repost in the event heap is the source itself, which is what lets a
+// snapshot identify in-flight generator events and re-arm them after a
+// restore (register sources with core's RegisterSource for that).
+type Source interface {
+	sim.Action
+	SaveState(w *snapshot.Writer)
+	LoadState(r *snapshot.Reader) error
+}
+
 // CBR emits fixed-size packets at a fixed interval from start until stop:
 // the voice workload (e.g. 160-byte G.711 frames every 20 ms). The source
 // paces itself on the clock of the injection node's shard, so a sharded
 // run keeps every flow's schedule inside its own partition.
-func CBR(n *netsim.Network, f *Flow, payload int, interval, start, stop sim.Time) {
-	if start > stop {
-		return
-	}
+func CBR(n *netsim.Network, f *Flow, payload int, interval, start, stop sim.Time) Source {
 	s := &cbrSrc{n: n, f: f, clk: n.SourceClock(f.At), payload: payload,
 		interval: interval, stop: stop, t: start}
-	s.clk.Post(start, s)
+	if start <= stop {
+		s.clk.Post(start, s)
+	}
+	return s
 }
 
 // cbrSrc is a self-rescheduling sim.Action: one struct per source, reposted
@@ -102,13 +114,13 @@ func (s *cbrSrc) Run() {
 
 // Poisson emits fixed-size packets with exponential interarrivals at the
 // given mean rate (packets/second): the classic data-traffic model.
-func Poisson(n *netsim.Network, f *Flow, payload int, pktPerSec float64, start, stop sim.Time, rng *sim.Rand) {
-	if start > stop {
-		return
-	}
+func Poisson(n *netsim.Network, f *Flow, payload int, pktPerSec float64, start, stop sim.Time, rng *sim.Rand) Source {
 	s := &poissonSrc{n: n, f: f, clk: n.SourceClock(f.At), payload: payload,
 		rate: pktPerSec, stop: stop, rng: rng, t: start}
-	s.clk.Post(start, s)
+	if start <= stop {
+		s.clk.Post(start, s)
+	}
+	return s
 }
 
 type poissonSrc struct {
@@ -137,11 +149,12 @@ func (s *poissonSrc) Run() {
 // OnOff emits CBR bursts during exponentially distributed on-periods
 // separated by exponential off-periods: a talkspurt/silence voice model or
 // a bursty data source.
-func OnOff(n *netsim.Network, f *Flow, payload int, interval, meanOn, meanOff, start, stop sim.Time, rng *sim.Rand) {
+func OnOff(n *netsim.Network, f *Flow, payload int, interval, meanOn, meanOff, start, stop sim.Time, rng *sim.Rand) Source {
 	s := &onOffSrc{n: n, f: f, clk: n.SourceClock(f.At), payload: payload,
 		interval: interval, meanOn: meanOn, meanOff: meanOff, stop: stop,
 		rng: rng, t: start}
 	s.clk.Post(start, s)
+	return s
 }
 
 // onOffSrc alternates between two self-rescheduling states: a burst-start

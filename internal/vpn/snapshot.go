@@ -1,0 +1,181 @@
+package vpn
+
+import (
+	"sort"
+
+	"mplsvpn/internal/addr"
+	"mplsvpn/internal/packet"
+	"mplsvpn/internal/snapshot"
+	"mplsvpn/internal/topo"
+)
+
+func saveSite(w *snapshot.Writer, s *Site) {
+	w.Str(s.Name)
+	w.Str(s.VPN)
+	w.I64(int64(s.PE))
+	w.U64(uint64(len(s.Prefixes)))
+	for _, p := range s.Prefixes {
+		addr.SavePrefix(w, p)
+	}
+}
+
+func loadSite(r *snapshot.Reader) *Site {
+	s := &Site{Name: r.Str(), VPN: r.Str(), PE: topo.NodeID(r.I64())}
+	n := r.Count(2)
+	for i := 0; i < n; i++ {
+		s.Prefixes = append(s.Prefixes, addr.LoadPrefix(r))
+	}
+	return s
+}
+
+// SaveState serializes the whole VRF: identity, policy, attached sites, and
+// every forwarding entry. VRFs are created by provisioning — which can run
+// mid-simulation — so restore reconstructs them from the snapshot (LoadVRF)
+// rather than overlaying onto scenario-built ones.
+func (v *VRF) SaveState(w *snapshot.Writer) {
+	w.Str(v.Name)
+	w.I64(int64(v.PE))
+	addr.SaveRD(w, v.RD)
+	w.U64(uint64(len(v.Import)))
+	for _, rt := range v.Import {
+		addr.SaveRT(w, rt)
+	}
+	w.U64(uint64(len(v.Export)))
+	for _, rt := range v.Export {
+		addr.SaveRT(w, rt)
+	}
+	w.I64(int64(v.SLAClass))
+
+	names := v.Sites()
+	w.U64(uint64(len(names)))
+	for _, n := range names {
+		saveSite(w, v.sites[n])
+	}
+
+	type entry struct {
+		p  addr.Prefix
+		rt Route
+	}
+	var entries []entry
+	v.table.Walk(func(p addr.Prefix, rt Route) bool {
+		entries = append(entries, entry{p, rt})
+		return true
+	})
+	w.U64(uint64(len(entries)))
+	for _, e := range entries {
+		addr.SavePrefix(w, e.p)
+		w.Bool(e.rt.Local)
+		w.Str(e.rt.SiteName)
+		w.I64(int64(e.rt.EgressPE))
+		w.U64(uint64(e.rt.NextHop))
+		w.U64(uint64(e.rt.VPNLabel))
+		w.Bool(e.rt.External)
+	}
+}
+
+// LoadVRF reconstructs a VRF serialized by SaveState.
+func LoadVRF(r *snapshot.Reader) (*VRF, error) {
+	v := &VRF{
+		Name:  r.Str(),
+		PE:    topo.NodeID(r.I64()),
+		RD:    addr.LoadRD(r),
+		table: addr.NewTable[Route](),
+		sites: make(map[string]*Site),
+	}
+	ni := r.Count(2)
+	for i := 0; i < ni; i++ {
+		v.Import = append(v.Import, addr.LoadRT(r))
+	}
+	ne := r.Count(2)
+	for i := 0; i < ne; i++ {
+		v.Export = append(v.Export, addr.LoadRT(r))
+	}
+	v.SLAClass = int(r.I64())
+
+	ns := r.Count(4)
+	for i := 0; i < ns; i++ {
+		s := loadSite(r)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		v.sites[s.Name] = s
+	}
+
+	nr := r.Count(8)
+	for i := 0; i < nr; i++ {
+		p := addr.LoadPrefix(r)
+		rt := Route{
+			Prefix:   p,
+			Local:    r.Bool(),
+			SiteName: r.Str(),
+			EgressPE: topo.NodeID(r.I64()),
+			NextHop:  addr.IPv4(uint32(r.U64())),
+			VPNLabel: packet.Label(r.U64()),
+			External: r.Bool(),
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		v.table.Insert(p, rt)
+	}
+	return v, r.Err()
+}
+
+// SaveState serializes the discovery service's membership and delivery
+// counters. Subscriber callbacks are live wiring re-established by the
+// scenario rebuild; LoadState replaces the data they observed.
+func (r *Registry) SaveState(w *snapshot.Writer) {
+	vpns := make([]string, 0, len(r.members))
+	for v := range r.members {
+		vpns = append(vpns, v)
+	}
+	sort.Strings(vpns)
+	w.U64(uint64(len(vpns)))
+	for _, v := range vpns {
+		w.Str(v)
+		for _, s := range r.membersSorted(v) {
+			w.Bool(true)
+			cp := s
+			saveSite(w, &cp)
+		}
+		w.Bool(false)
+	}
+	hv := make([]string, 0, len(r.History))
+	for v := range r.History {
+		hv = append(hv, v)
+	}
+	sort.Strings(hv)
+	w.U64(uint64(len(hv)))
+	for _, v := range hv {
+		w.Str(v)
+		w.I64(int64(r.History[v]))
+	}
+}
+
+// LoadState replaces membership and history, keeping subscriptions.
+func (r *Registry) LoadState(rd *snapshot.Reader) error {
+	nv := rd.Count(2)
+	r.members = make(map[string]map[string]Site, nv)
+	for i := 0; i < nv; i++ {
+		v := rd.Str()
+		m := make(map[string]Site)
+		for rd.Bool() {
+			s := loadSite(rd)
+			if rd.Err() != nil {
+				return rd.Err()
+			}
+			m[s.Name] = *s
+		}
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		r.members[v] = m
+	}
+	nh := rd.Count(2)
+	r.History = make(map[string]int, nh)
+	for i := 0; i < nh; i++ {
+		v := rd.Str()
+		r.History[v] = int(rd.I64())
+	}
+	return rd.Err()
+}
