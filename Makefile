@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability verify-intent verify-snapshot cover examples record clean
+.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability verify-intent verify-snapshot verify-controlplane cover examples record clean
 
-all: build vet test test-race fuzz-short verify-intent verify-snapshot bench-reconverge bench-gate
+all: build vet test test-race fuzz-short verify-intent verify-snapshot verify-controlplane bench-reconverge bench-gate
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,12 @@ test-short:
 	$(GO) test -short ./...
 
 # Race detector over the short suite; the simulation is single-goroutine by
-# design, so this guards the test harness and any future concurrency.
+# design, so this guards the test harness and any future concurrency. The
+# reflector-churn equivalence proof runs explicitly: -short would skip the
+# seeded churn loop it depends on.
 test-race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -count=1 -run='TestClusteredEquivalenceUnderChurn' ./internal/bgp
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -94,6 +97,17 @@ verify-snapshot:
 		-run='TestSnapshot|TestRunner|TestBisect|TestRestoreRejectsCorrupt|TestE19' \
 		./internal/chaos ./internal/experiments
 	$(GO) test -race -count=1 ./internal/snapshot
+
+# The scalable-control-plane acceptance gate under the race detector: the
+# reflection oracle (clustered best paths == full-mesh under seeded churn),
+# the incremental SPF/CSPF oracles (identical tables to full recompute
+# across random flap sequences), the RT-constrained update-volume and
+# loop-prevention contracts, the reflector/ISPF chaos-boundary restore
+# proof at 1/8 shards, and the E20 scaling scorecard.
+verify-controlplane:
+	$(GO) test -race -count=1 \
+		-run='TestClustered|TestRTConstrained|TestISPF|TestIncrementalSPF|TestClusterPEs|TestReflectorSnapshotBoundary|TestE20' \
+		./internal/bgp ./internal/ospf ./internal/topo ./internal/chaos ./internal/experiments
 
 cover:
 	$(GO) test -cover ./internal/...

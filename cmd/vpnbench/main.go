@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e19 or all)")
+		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e20 or all)")
 		dur      = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
 		e1N      = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
 		shards   = flag.String("shards", "1,2,4,8", "E15 shard counts to sweep")
@@ -44,7 +44,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20"} {
 			want[e] = true
 		}
 	} else {
@@ -201,6 +201,18 @@ func main() {
 			res.Checkpoints, res.Cycles, res.ReplayedMs, res.DigestMatch)
 		fmt.Printf("control plane: %d routes damped, %d reused, %d LSP reoptimizations, %d invariant violations\n\n",
 			res.Suppressions, res.Reuses, res.Reoptimized, res.Violations)
+	}
+
+	if want["e20"] {
+		// The standalone run uses the scaled-down headline (the full
+		// million-route build lives in the perf suite: vpnbench -perf).
+		res := experiments.E20ControlPlaneScaling(false)
+		results["e20"] = res
+		fmt.Println(res.Comparison.String())
+		fmt.Println(res.Headline.String())
+		fmt.Println(res.ISPF.String())
+		fmt.Printf("clustered best paths identical to full mesh: %t; ISPF/ICSPF oracle equivalence: %t/%t\n\n",
+			res.MeshEquivalent, res.ISPFOracleOK, res.ICSPFOracleOK)
 	}
 
 	if *jsonFile != "" {

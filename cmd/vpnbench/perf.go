@@ -32,6 +32,28 @@ type BenchReport struct {
 	E15EventsPerSec map[string]float64 `json:"e15_events_per_sec"`
 	// E19Soak is the day-in-the-life SLA scorecard under checkpoint/resume.
 	E19Soak BenchSoak `json:"e19_soak"`
+	// E20ControlPlane is the million-route control-plane scaling snapshot.
+	E20ControlPlane BenchControlPlane `json:"e20_control_plane"`
+}
+
+// BenchControlPlane summarizes the E20 headline build (10k PEs / 1k VPNs /
+// 1M VPN-IPv4 routes through clustered reflection) and the incremental
+// SPF/CSPF speedups, plus the oracle verdicts the gate enforces.
+type BenchControlPlane struct {
+	PEs               int     `json:"pes"`
+	VPNs              int     `json:"vpns"`
+	Routes            int     `json:"routes"`
+	SessionsClustered int     `json:"sessions_clustered"`
+	SessionsFullMesh  int     `json:"sessions_full_mesh"`
+	ConvergeSec       float64 `json:"converge_sec"`
+	Updates           int     `json:"updates"`
+	LoopPrevented     int     `json:"loop_prevented"`
+	BytesPerRoute     float64 `json:"bytes_per_route"`
+	ISPFSpeedup       float64 `json:"ispf_speedup"`
+	ICSPFSpeedup      float64 `json:"icspf_speedup"`
+	MeshEquivalent    bool    `json:"mesh_equivalent"`
+	ISPFOracleOK      bool    `json:"ispf_oracle_ok"`
+	ICSPFOracleOK     bool    `json:"icspf_oracle_ok"`
 }
 
 // BenchSoak summarizes the E19 day-in-the-life run: the checkpoint-protocol
@@ -118,6 +140,12 @@ func runPerf(dir string, gate bool) int {
 	fmt.Printf("  %d checkpoints, %d crash/resume cycles, %.0f ms replayed, digest match: %t\n\n",
 		e19.Checkpoints, e19.Cycles, e19.ReplayedMs, e19.DigestMatch)
 
+	fmt.Println("perf: E20 million-route control plane (full headline)...")
+	e20 := experiments.E20ControlPlaneScaling(true)
+	fmt.Println(e20.Comparison.String())
+	fmt.Println(e20.Headline.String())
+	fmt.Println(e20.ISPF.String())
+
 	rep := &BenchReport{
 		Generated:       time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:      gomaxprocs(),
@@ -137,6 +165,22 @@ func runPerf(dir string, gate bool) int {
 	for plane := range e19.LossPct {
 		rep.E19Soak.VoiceLossPct[plane] = e19.LossPct[plane]["voice"]
 		rep.E19Soak.VoiceP99Ms[plane] = e19.P99Ms[plane]["voice"]
+	}
+	rep.E20ControlPlane = BenchControlPlane{
+		PEs:               e20.HeadlinePEs,
+		VPNs:              e20.HeadlineVPNs,
+		Routes:            e20.HeadlineRoutes,
+		SessionsClustered: e20.SessionsClustered,
+		SessionsFullMesh:  e20.SessionsFullMesh,
+		ConvergeSec:       e20.HeadlineConvergeSec,
+		Updates:           e20.HeadlineUpdates,
+		LoopPrevented:     e20.LoopPrevented,
+		BytesPerRoute:     e20.BytesPerRoute,
+		ISPFSpeedup:       e20.ISPFSpeedup,
+		ICSPFSpeedup:      e20.ICSPFSpeedup,
+		MeshEquivalent:    e20.MeshEquivalent,
+		ISPFOracleOK:      e20.ISPFOracleOK,
+		ICSPFOracleOK:     e20.ICSPFOracleOK,
 	}
 	var pooled, unpooled *experiments.E17Run
 	for i := range e17.Runs {
@@ -193,6 +237,37 @@ func runPerf(dir string, gate bool) int {
 	if rep.Backbone200.AllocsPerPkt > maxAllocsPerPkt {
 		fmt.Printf("GATE: pooled data plane allocates %.2f objects/pkt, budget %.2f\n",
 			rep.Backbone200.AllocsPerPkt, maxAllocsPerPkt)
+		fail = true
+	}
+	// E20 control-plane gates: the headline must really be a million-route
+	// build, reflection must collapse the session count by two orders of
+	// magnitude, the incremental recomputes must beat full recompute 10x,
+	// and every oracle-equivalence check must have held.
+	cp := &rep.E20ControlPlane
+	if cp.Routes < 1_000_000 {
+		fmt.Printf("GATE: e20 headline carried %d routes, want >= 1,000,000\n", cp.Routes)
+		fail = true
+	}
+	if cp.SessionsClustered*100 > cp.SessionsFullMesh {
+		fmt.Printf("GATE: e20 clustered sessions %d vs full mesh %d — less than a 100x drop\n",
+			cp.SessionsClustered, cp.SessionsFullMesh)
+		fail = true
+	}
+	if cp.ISPFSpeedup < 10 {
+		fmt.Printf("GATE: e20 incremental SPF speedup %.1fx, want >= 10x\n", cp.ISPFSpeedup)
+		fail = true
+	}
+	if cp.ICSPFSpeedup < 10 {
+		fmt.Printf("GATE: e20 incremental CSPF speedup %.1fx, want >= 10x\n", cp.ICSPFSpeedup)
+		fail = true
+	}
+	if !cp.MeshEquivalent {
+		fmt.Println("GATE: e20 clustered best paths diverged from the full-mesh oracle")
+		fail = true
+	}
+	if !cp.ISPFOracleOK || !cp.ICSPFOracleOK {
+		fmt.Printf("GATE: e20 incremental recompute diverged from full (spf ok=%t, cspf ok=%t)\n",
+			cp.ISPFOracleOK, cp.ICSPFOracleOK)
 		fail = true
 	}
 	if prev != nil {

@@ -191,3 +191,19 @@ type VPNPrefix struct {
 func (v VPNPrefix) String() string {
 	return fmt.Sprintf("%s:%s", v.RD, v.Prefix)
 }
+
+// Less is a structural total order over VPN-IPv4 prefixes (RD, then
+// address, then length). Sorting hot paths use it instead of comparing
+// String() forms, which allocates twice per comparison.
+func (v VPNPrefix) Less(o VPNPrefix) bool {
+	if v.RD.Admin != o.RD.Admin {
+		return v.RD.Admin < o.RD.Admin
+	}
+	if v.RD.Assigned != o.RD.Assigned {
+		return v.RD.Assigned < o.RD.Assigned
+	}
+	if v.Prefix.Addr != o.Prefix.Addr {
+		return v.Prefix.Addr < o.Prefix.Addr
+	}
+	return v.Prefix.Len < o.Prefix.Len
+}

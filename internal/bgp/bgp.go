@@ -31,6 +31,12 @@ type VPNRoute struct {
 	LocalPref int // higher wins; default 100
 	ASPathLen int // shorter wins
 	OriginPE  topo.NodeID
+
+	// Reflection attributes (RFC 4456), set when a route reflector stamps
+	// a reflected copy. A route is stamped iff ClusterList is non-empty;
+	// OriginatorID is meaningful only then. See reflect.go.
+	OriginatorID topo.NodeID
+	ClusterList  []uint32
 }
 
 // HasRT reports whether the route carries the given route target.
@@ -183,7 +189,7 @@ func (s *Speaker) BestRoutes() []*VPNRoute {
 		out = append(out, r)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		return out[i].Prefix.String() < out[j].Prefix.String()
+		return out[i].Prefix.Less(out[j].Prefix)
 	})
 	return out
 }
@@ -204,6 +210,10 @@ type Topology int
 const (
 	FullMesh Topology = iota
 	RouteReflector
+	// Clustered partitions the PEs into reflection clusters with
+	// (optionally redundant) reflectors meshed among themselves; see
+	// reflect.go.
+	Clustered
 )
 
 // Mesh is the set of iBGP speakers and their sessions.
@@ -212,8 +222,19 @@ type Mesh struct {
 	speakers map[topo.NodeID]*Speaker
 	rr       topo.NodeID // route reflector when Layout == RouteReflector
 
+	// Clustered-reflection state (reflect.go): the canonicalized cluster
+	// set, node -> cluster indexes for both roles, and declared RT
+	// interest per speaker for constrained distribution.
+	clusters         []Cluster
+	rrClusterIdx     map[topo.NodeID]int
+	clientClusterIdx map[topo.NodeID]int
+	rtInterest       map[topo.NodeID][]addr.RouteTarget
+
 	// UpdatesSent counts route transmissions (one NLRI to one peer).
 	UpdatesSent int
+	// LoopPrevented counts reflected routes a receiver dropped via
+	// ORIGINATOR_ID / CLUSTER_LIST loop prevention.
+	LoopPrevented int
 
 	// Session machinery (session.go): per-node session state, the virtual
 	// clock for damping decay, the damping thresholds, and the suppressed
@@ -259,11 +280,20 @@ func (m *Mesh) UseRouteReflector(rr topo.NodeID) {
 
 // SessionCount returns the number of iBGP sessions the layout needs —
 // the §2.1 scaling story applied to the control plane: full mesh is
-// n(n-1)/2, a route reflector is n-1.
+// n(n-1)/2, a single route reflector is n-1, and clustered reflection is
+// one session per (client, own-cluster RR) pair plus the reflector mesh.
 func (m *Mesh) SessionCount() int {
 	n := len(m.speakers)
-	if m.Layout == RouteReflector {
+	switch m.Layout {
+	case RouteReflector:
 		return n - 1
+	case Clustered:
+		sessions, rrs := 0, 0
+		for _, c := range m.clusters {
+			sessions += len(c.Clients) * len(c.RRs)
+			rrs += len(c.RRs)
+		}
+		return sessions + rrs*(rrs-1)/2
 	}
 	return n * (n - 1) / 2
 }
@@ -354,6 +384,8 @@ func (m *Mesh) Converge() {
 				m.UpdatesSent++
 			}
 		}
+	case Clustered:
+		m.convergeClustered()
 	}
 	now := m.now()
 	for _, id := range ids {
@@ -372,6 +404,6 @@ func (s *Speaker) sortedPrefixes() []addr.VPNPrefix {
 	for p := range s.adjRIBIn {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }

@@ -155,6 +155,37 @@ func (m *Mesh) lostOrigins(s *Speaker, n topo.NodeID) func(*VPNRoute) bool {
 		self := s.Node
 		return func(r *VPNRoute) bool { return r.OriginPE != self }
 	}
+	if m.Layout == Clustered {
+		if ci, isRR := m.rrClusterIdx[n]; isRR {
+			// Redundancy first: with another Up reflector in n's cluster,
+			// every distribution path survives and only n's own exports die.
+			lastUp := true
+			for _, rrn := range m.clusters[ci].RRs {
+				if rrn != n && m.StateOf(rrn) == PeerUp {
+					lastUp = false
+					break
+				}
+			}
+			if !lastUp {
+				return func(r *VPNRoute) bool { return r.OriginPE == n }
+			}
+			if sci, isClient := m.clientClusterIdx[s.Node]; isClient && sci == ci {
+				// The cluster's last reflector died under its client:
+				// severed from the whole mesh except its own routes.
+				self := s.Node
+				return func(r *VPNRoute) bool { return r.OriginPE != self }
+			}
+			// Everyone else loses the unreachable cluster: n's exports and
+			// every route originated by n's clients.
+			return func(r *VPNRoute) bool {
+				if r.OriginPE == n {
+					return true
+				}
+				oc, isClient := m.clientClusterIdx[r.OriginPE]
+				return isClient && oc == ci
+			}
+		}
+	}
 	return func(r *VPNRoute) bool { return r.OriginPE == n }
 }
 
@@ -488,7 +519,7 @@ func (m *Mesh) DecayDamping(now sim.Time) []addr.VPNPrefix {
 	for p := range reused {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
@@ -506,7 +537,7 @@ func (m *Mesh) TakeSuppressed() []addr.VPNPrefix {
 			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	m.newlySuppressed = nil
 	return out
 }

@@ -22,6 +22,11 @@ func saveRoute(w *snapshot.Writer, r *VPNRoute) {
 	w.I64(int64(r.LocalPref))
 	w.I64(int64(r.ASPathLen))
 	w.I64(int64(r.OriginPE))
+	w.I64(int64(r.OriginatorID))
+	w.U64(uint64(len(r.ClusterList)))
+	for _, c := range r.ClusterList {
+		w.U64(uint64(c))
+	}
 }
 
 func loadRoute(r *snapshot.Reader) *VPNRoute {
@@ -37,6 +42,11 @@ func loadRoute(r *snapshot.Reader) *VPNRoute {
 	v.LocalPref = int(r.I64())
 	v.ASPathLen = int(r.I64())
 	v.OriginPE = topo.NodeID(r.I64())
+	v.OriginatorID = topo.NodeID(r.I64())
+	nc := r.Count(8)
+	for i := 0; i < nc; i++ {
+		v.ClusterList = append(v.ClusterList, uint32(r.U64()))
+	}
 	return v
 }
 
@@ -45,7 +55,7 @@ func sortedVPNPrefixes[V any](m map[addr.VPNPrefix]V) []addr.VPNPrefix {
 	for p := range m {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
@@ -187,6 +197,7 @@ func (m *Mesh) SaveState(w *snapshot.Writer) {
 	w.I64(int64(m.WithdrawalsSent))
 	w.I64(int64(m.RouteSuppressions))
 	w.I64(int64(m.RouteReuses))
+	w.I64(int64(m.LoopPrevented))
 	nodes := make([]topo.NodeID, 0, len(m.peerState))
 	for n := range m.peerState {
 		nodes = append(nodes, n)
@@ -219,6 +230,7 @@ func (m *Mesh) LoadState(r *snapshot.Reader) error {
 	m.WithdrawalsSent = int(r.I64())
 	m.RouteSuppressions = int(r.I64())
 	m.RouteReuses = int(r.I64())
+	m.LoopPrevented = int(r.I64())
 	nst := r.Count(2)
 	m.peerState = nil
 	if nst > 0 {

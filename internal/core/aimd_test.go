@@ -71,6 +71,43 @@ func TestAIMDSharesWithVoice(t *testing.T) {
 	}
 }
 
+// TestAIMDSnapshotResume: a checkpoint taken mid-transfer must restore to
+// a byte-identical continuation — the congestion state (cwnd, ssthresh,
+// ack ledger) serializes and the pending RTO probe re-arms with its
+// original event identity.
+func TestAIMDSnapshotResume(t *testing.T) {
+	build := func() (*Backbone, *trafgen.Flow, *trafgen.AIMD) {
+		b := buildSmall(Config{Seed: 92, Scheduler: SchedHybrid})
+		twoSites(b)
+		f, _ := b.FlowBetween("bulk", "hq", "branch", 80)
+		a := b.AttachAIMD(f, 1400, 2*sim.Second)
+		a.Start(0)
+		b.E.MarkSetup()
+		return b, f, a
+	}
+	const fp = "aimd-resume"
+	b1, f1, _ := build()
+	b1.Net.RunUntil(700 * sim.Millisecond)
+	data, err := b1.Snapshot(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Net.RunUntil(2500 * sim.Millisecond)
+	want := fingerprint(b1, []*trafgen.Flow{f1})
+
+	b2, f2, a2 := build()
+	if err := b2.Restore(data, fp); err != nil {
+		t.Fatal(err)
+	}
+	b2.Net.RunUntil(2500 * sim.Millisecond)
+	if got := fingerprint(b2, []*trafgen.Flow{f2}); got != want {
+		t.Fatalf("AIMD resume diverged at %s", diffLine(want, got))
+	}
+	if a2.Window() < 1 || a2.Ssthresh() <= 0 {
+		t.Fatalf("bad restored congestion state: cwnd=%v ssthresh=%v", a2.Window(), a2.Ssthresh())
+	}
+}
+
 func TestRequestResponseRTT(t *testing.T) {
 	b := buildSmall(Config{Seed: 95, Scheduler: SchedHybrid})
 	twoSites(b)

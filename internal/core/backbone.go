@@ -113,6 +113,18 @@ type Config struct {
 	// iBGP route reflector instead of a full mesh.
 	RouteReflector string
 
+	// ReflectorClusters, when positive, replaces the full iBGP mesh with
+	// clustered route reflection (RFC 4456): PEs are bucketed into this
+	// many topology-aware clusters and the lowest-numbered
+	// ReflectorRedundancy PEs of each cluster serve as its reflectors,
+	// with the remaining PEs as their clients. Session count drops from
+	// O(N²) to O(N·redundancy) plus the reflector mesh. Ignored when
+	// RouteReflector is set (the single-reflector legacy knob wins).
+	ReflectorClusters int
+	// ReflectorRedundancy is the number of reflectors per cluster
+	// (default 2, so one reflector failure never partitions distribution).
+	ReflectorRedundancy int
+
 	// BGPAdmin is the RD/RT administrator number (default 65000).
 	BGPAdmin uint16
 }
@@ -214,6 +226,19 @@ type Backbone struct {
 	// teReqSeq issues their stable ids.
 	teRequests []*teRequest
 	teReqSeq   int
+	// pendingLinks queues single-link flaps for the IGP's incremental SPF
+	// at the next reconvergence; pendingFull marks a wider event (node
+	// crash/restart) that forces the full rebuild instead. Both serialize
+	// with the core section so a checkpoint inside the detection window
+	// resumes with the right reconvergence mode.
+	pendingLinks []linkPair
+	pendingFull  bool
+	// teISPF caches an incrementally maintained unconstrained SPT per TE
+	// ingress, serving RSVP's plain-path preemption fallback without a
+	// fresh Dijkstra per query. Derived state: dropped on graph growth,
+	// node crashes, and restore; never serialized.
+	teISPF      map[topo.NodeID]*topo.IncrementalSPF
+	teISPFLinks int
 	// aimd dispatches delivery/drop feedback to congestion-controlled sources.
 	aimd map[packet.FlowKey]*trafgen.AIMD
 	// sources are the checkpointable traffic generators in creation order;
@@ -443,6 +468,8 @@ func (b *Backbone) BuildProvider() {
 			b.BGP.AddSpeaker(rrNode, ospf.Loopback(rrNode))
 		}
 		b.BGP.UseRouteReflector(rrNode)
+	} else if b.Cfg.ReflectorClusters > 0 {
+		b.BGP.UseClusters(b.electClusters())
 	}
 
 	// QoS ports everywhere (provider links so far; access ports are added
@@ -454,6 +481,74 @@ func (b *Backbone) BuildProvider() {
 		}
 		return s
 	})
+}
+
+// electClusters partitions the PEs into the configured number of
+// topology-aware reflector clusters and elects each cluster's reflectors:
+// the lowest-numbered ReflectorRedundancy members reflect for the rest.
+// Clusters smaller than the redundancy level are all-reflector (their
+// routes distribute through the reflector mesh alone).
+func (b *Backbone) electClusters() []bgp.Cluster {
+	red := b.Cfg.ReflectorRedundancy
+	if red <= 0 {
+		red = 2
+	}
+	buckets := topo.ClusterPEs(b.G, b.peNodes, b.Cfg.ReflectorClusters)
+	clusters := make([]bgp.Cluster, 0, len(buckets))
+	for i, members := range buckets {
+		nrr := red
+		if nrr > len(members) {
+			nrr = len(members)
+		}
+		clusters = append(clusters, bgp.Cluster{
+			ID:      uint32(i + 1),
+			RRs:     members[:nrr],
+			Clients: members[nrr:],
+		})
+	}
+	return clusters
+}
+
+// plainSPF serves RSVP's unconstrained-SPT queries from incrementally
+// maintained per-ingress trees (the preemption fallback path). The cache
+// is derived state: it is rebuilt lazily whenever the graph has grown
+// (provisioning adds CE links) and dropped outright on node-level faults
+// and restores.
+func (b *Backbone) plainSPF(src topo.NodeID) *topo.SPFResult {
+	if b.teISPF == nil || b.teISPFLinks != b.G.NumLinks() {
+		b.teISPF = make(map[topo.NodeID]*topo.IncrementalSPF)
+		b.teISPFLinks = b.G.NumLinks()
+	}
+	sp, ok := b.teISPF[src]
+	if !ok {
+		sp = topo.NewIncrementalSPF(b.G, src, topo.Constraints{})
+		b.teISPF[src] = sp
+	}
+	return sp.Result()
+}
+
+// dropTECache discards the incremental SPTs backing the TE plain-path
+// fallback — the fallback for events wider than a single tracked link
+// flap. The next plainSPF query rebuilds from the current topology.
+func (b *Backbone) dropTECache() { b.teISPF = nil }
+
+// applyTELinkChange folds one duplex link event into the cached TE SPTs.
+func (b *Backbone) applyTELinkChange(a, z topo.NodeID) {
+	if len(b.teISPF) == 0 {
+		return
+	}
+	var lids []topo.LinkID
+	if l, ok := b.G.FindLink(a, z); ok {
+		lids = append(lids, l.ID)
+	}
+	if l, ok := b.G.FindLink(z, a); ok {
+		lids = append(lids, l.ID)
+	}
+	for _, sp := range b.teISPF {
+		for _, lid := range lids {
+			sp.ApplyLinkChange(lid)
+		}
+	}
 }
 
 // peWantsRoute is the automatic route filtering policy: keep a route iff

@@ -140,6 +140,7 @@ func (b *Backbone) FailLink(a, z string, detectDelay sim.Time) error {
 	}
 	b.failedLinks[key] = true
 	b.G.SetLinkDown(na, nz, true)
+	b.noteLinkFlap(na, nz)
 	b.journal(telemetry.EventLinkDown, subject, fmt.Sprintf("detect %v", detectDelay))
 	if b.Cfg.FRR && detectDelay > 0 {
 		// Protection is never slower than reconvergence: the bypass
@@ -198,6 +199,7 @@ func (b *Backbone) RestoreLink(a, z string, detectDelay sim.Time) error {
 	}
 	delete(b.failedLinks, key)
 	b.G.SetLinkDown(na, nz, false)
+	b.noteLinkFlap(na, nz)
 	b.journal(telemetry.EventLinkUp, subject, fmt.Sprintf("detect %v", detectDelay))
 	b.scheduleReconverge(detectDelay)
 	return nil
@@ -238,8 +240,18 @@ func (b *Backbone) CrashNode(name string, detectDelay sim.Time) error {
 
 // hardCrashNode applies the data-plane consequences of a hard crash: all
 // incident links down, forwarding state wiped.
+// noteLinkFlap records a single-link topology event for the delta paths:
+// queued for the IGP's incremental SPF at the next reconvergence, and
+// folded immediately into the cached TE plain-path trees.
+func (b *Backbone) noteLinkFlap(a, z topo.NodeID) {
+	b.pendingLinks = append(b.pendingLinks, pairKey(a, z))
+	b.applyTELinkChange(a, z)
+}
+
 func (b *Backbone) hardCrashNode(id topo.NodeID) {
 	b.nodeDown[id] = true
+	b.pendingFull = true
+	b.dropTECache()
 	for i := 0; i < b.G.NumLinks(); i++ {
 		l := b.G.Link(topo.LinkID(i))
 		if l.From == id || l.To == id {
@@ -277,6 +289,8 @@ func (b *Backbone) RestartNode(name string, detectDelay sim.Time) error {
 		return b.rejectOp("restart", subject, "not down")
 	}
 	delete(b.nodeDown, id)
+	b.pendingFull = true
+	b.dropTECache()
 	for i := 0; i < b.G.NumLinks(); i++ {
 		l := b.G.Link(topo.LinkID(i))
 		if l.From != id && l.To != id {
@@ -310,6 +324,7 @@ func (b *Backbone) CutSiteAttachment(site string) error {
 	}
 	b.cutSites[site] = true
 	b.G.SetLinkDown(rec.CE, rec.PE, true)
+	b.applyTELinkChange(rec.CE, rec.PE)
 	b.journal(telemetry.EventLinkDown, subject, "attachment cut")
 	return nil
 }
@@ -327,6 +342,7 @@ func (b *Backbone) RestoreSiteAttachment(site string) error {
 	delete(b.cutSites, site)
 	if !b.nodeDown[rec.PE] {
 		b.G.SetLinkDown(rec.CE, rec.PE, false)
+		b.applyTELinkChange(rec.CE, rec.PE)
 	}
 	b.journal(telemetry.EventLinkUp, subject, "attachment restored")
 	return nil
@@ -360,17 +376,37 @@ func (b *Backbone) signalBypasses() {
 }
 
 // reconvergeProvider rebuilds the interior control plane against the
-// current topology: IGP re-floods, the label plane is re-signalled from
-// scratch (fresh LFIBs/FTNs), VPN egress labels are re-installed from the
+// current topology. The IGP converges incrementally when every queued
+// event is a single-link flap — NotifyLinkChange per flap drives the
+// per-instance incremental SPF, whose routes are proven identical to a
+// full recompute by the ospf oracle suite — and falls back to the full
+// flood for anything wider (node crashes, or a reconvergence with no
+// tracked cause). The label plane is always re-signalled from scratch
+// (fresh LFIBs/FTNs; label allocation is not incremental by design — a
+// delta label plane would have to prove it never reuses a label that is
+// still in flight), VPN egress labels are re-installed from the
 // provisioning records, TE LSPs are re-signalled (falling back to LDP
-// transport where no path fits), and global IP routes are refreshed.
+// transport where no path fits), and global IP routes are refreshed —
+// by delta on the incremental path, by rebuild on the full path.
 //
-// A real network converges incrementally; rebuilding reaches the same
-// steady state and keeps the emulation honest about *which* state exists
+// A real network converges incrementally; both paths reach the same
+// steady state and keep the emulation honest about *which* state exists
 // after the event, which is what the experiments check.
 func (b *Backbone) reconvergeProvider() {
-	// 1. IGP.
-	b.IGP.Converge()
+	// 1. IGP: delta-notify queued single-link flaps, or full flood.
+	// PlainIP mode always rebuilds: customer prefixes live in the provider
+	// IP tables with SPF-derived next-hops, and only installPlainRoutes
+	// knows how to refresh them.
+	incremental := !b.Cfg.PlainIP && !b.pendingFull && len(b.pendingLinks) > 0
+	if incremental {
+		for _, p := range b.pendingLinks {
+			b.IGP.NotifyLinkChange(p.lo, p.hi)
+		}
+	} else {
+		b.IGP.Converge()
+	}
+	b.pendingLinks = b.pendingLinks[:0]
+	b.pendingFull = false
 
 	if !b.Cfg.PlainIP {
 		// 2. Fresh label plane.
@@ -450,17 +486,38 @@ func (b *Backbone) reconvergeProvider() {
 		b.signalBypasses()
 	}
 
-	// 5. Global IP routes to provider loopbacks.
-	for _, n := range b.providerNodes {
-		r := b.routers[n]
-		r.IPTable = addr.NewTable[topo.LinkID]()
-		for _, rt := range b.IGP.Instances[n].Routes() {
-			r.IPTable.Insert(addr.HostPrefix(ospf.Loopback(rt.Dest)), rt.NextHop)
+	// 5. Global IP routes to provider loopbacks. On the incremental path
+	// only the destinations the IGP reports as changed are touched — the
+	// rest of the table (including PlainIP site routes) stands. The full
+	// path rebuilds the table and drains the change ledgers so a later
+	// incremental pass does not replay stale deltas.
+	if incremental {
+		for _, n := range b.providerNodes {
+			r := b.routers[n]
+			inst := b.IGP.Instances[n]
+			for _, d := range inst.TakeChangedDests() {
+				pfx := addr.HostPrefix(ospf.Loopback(d))
+				if rt, ok := inst.RouteTo(d); ok {
+					r.IPTable.Insert(pfx, rt.NextHop)
+				} else {
+					r.IPTable.Delete(pfx)
+				}
+			}
 		}
-	}
-	if b.Cfg.PlainIP {
-		for _, rec := range b.sites {
-			b.installPlainRoutes(rec)
+	} else {
+		for _, n := range b.providerNodes {
+			r := b.routers[n]
+			inst := b.IGP.Instances[n]
+			inst.TakeChangedDests()
+			r.IPTable = addr.NewTable[topo.LinkID]()
+			for _, rt := range inst.Routes() {
+				r.IPTable.Insert(addr.HostPrefix(ospf.Loopback(rt.Dest)), rt.NextHop)
+			}
+		}
+		if b.Cfg.PlainIP {
+			for _, rec := range b.sites {
+				b.installPlainRoutes(rec)
+			}
 		}
 	}
 }

@@ -553,10 +553,34 @@ func (b *Backbone) ConvergeVPNs() {
 	if b.Cfg.PlainIP {
 		return
 	}
+	b.declareRTInterest()
 	b.BGP.Converge()
 	b.importVRFs()
 	if b.surv != nil {
 		b.journalSuppressed()
+	}
+}
+
+// declareRTInterest publishes each PE's route-target interest — the union
+// of its VRFs' import targets — to the BGP mesh. Under clustered route
+// reflection the reflectors use these declarations for RT-constrained
+// distribution (RFC 4684's effect): a client is only offered routes some
+// local VRF could import, so update volume scales with VPN locality
+// instead of total route count. A full mesh ignores the declarations
+// (every speaker already filters on receive).
+func (b *Backbone) declareRTInterest() {
+	for _, peID := range b.peNodes {
+		seen := make(map[addr.RouteTarget]bool)
+		var rts []addr.RouteTarget
+		for _, v := range b.routers[peID].VRFs {
+			for _, rt := range v.Import {
+				if !seen[rt] {
+					seen[rt] = true
+					rts = append(rts, rt)
+				}
+			}
+		}
+		b.BGP.SetRTInterest(peID, rts)
 	}
 }
 

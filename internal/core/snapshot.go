@@ -22,9 +22,11 @@
 //	rebuild the same scenario; err := b.Restore(data, fp); run onward
 //
 // Dynamically provisioned sites are assumed to be part of the rebuild
-// (provisioning is setup); closed-loop sources (AIMD, request/response)
-// schedule untagged closures and make a snapshot fail strictly rather than
-// silently dropping their timers.
+// (provisioning is setup). AIMD bulk sources checkpoint like paced ones:
+// their congestion state serializes and the single pending RTO probe
+// re-arms through the source registry. Request/response sources still
+// schedule untagged closures and make a snapshot fail strictly rather
+// than silently dropping their timers.
 package core
 
 import (
@@ -116,9 +118,6 @@ type pendingSource struct {
 func (b *Backbone) Snapshot(scenario string) ([]byte, error) {
 	if !b.built {
 		return nil, fmt.Errorf("core: snapshot before BuildProvider")
-	}
-	if len(b.aimd) > 0 {
-		return nil, fmt.Errorf("core: snapshot with %d AIMD source(s): closed-loop sources are not checkpointable", len(b.aimd))
 	}
 
 	f := snapshot.NewFile()
@@ -425,6 +424,18 @@ func (b *Backbone) saveCoreState(w *snapshot.Writer) {
 		w.I64(b.telPrevTx[i])
 		w.F64(b.telLastUtil[i])
 	}
+
+	// Delta-reconvergence queue: the single-link flaps awaiting the next
+	// reconvergence, in arrival order (it is a queue, not a set), and the
+	// wider-event marker that forces the full rebuild. A checkpoint taken
+	// inside a detection window must resume with the same reconvergence
+	// mode or the IGP message counters diverge from the uninterrupted run.
+	w.U64(uint64(len(b.pendingLinks)))
+	for _, p := range b.pendingLinks {
+		w.I64(int64(p.lo))
+		w.I64(int64(p.hi))
+	}
+	w.Bool(b.pendingFull)
 }
 
 // Restore overlays a checkpoint onto a freshly rebuilt scenario: same
@@ -888,6 +899,17 @@ func (b *Backbone) loadCoreState(r *snapshot.Reader) error {
 		b.telPrevTx[i] = r.I64()
 		b.telLastUtil[i] = r.F64()
 	}
+
+	npl := r.Count(2)
+	b.pendingLinks = b.pendingLinks[:0]
+	for i := 0; i < npl; i++ {
+		b.pendingLinks = append(b.pendingLinks, linkPair{topo.NodeID(r.I64()), topo.NodeID(r.I64())})
+	}
+	b.pendingFull = r.Bool()
+
+	// The TE plain-path cache is derived state: anything the builder
+	// pre-computed reflects pre-restore topology, so it goes.
+	b.dropTECache()
 	return r.Err()
 }
 

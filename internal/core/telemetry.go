@@ -140,6 +140,7 @@ func (b *Backbone) wireRSVPHooks() {
 	if b.RSVP == nil {
 		return
 	}
+	b.RSVP.PlainSPF = b.plainSPF
 	b.RSVP.Defer = func(id int) {
 		// Tagged so a checkpoint can serialize the pending drain and a
 		// restore can re-arm it. RunDrain on an id from a pre-reconverge

@@ -121,5 +121,6 @@ func (b *Backbone) AttachAIMD(f *trafgen.Flow, payload int, stop sim.Time) *traf
 		}
 	}
 	b.aimd[key] = a
+	b.RegisterSource(a)
 	return a
 }

@@ -331,6 +331,41 @@ func TestE18TransactionalProvisioning(t *testing.T) {
 	}
 }
 
+func TestE20ControlPlaneScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled control-plane build; verify-controlplane runs it explicitly")
+	}
+	res := E20ControlPlaneScaling(false)
+	// The clustered layout must compute the same best paths as the full
+	// mesh wherever the full mesh is still computable.
+	if !res.MeshEquivalent {
+		t.Fatalf("clustered best paths diverged from the full mesh:\n%s", res.Comparison.String())
+	}
+	// Sessions collapse from O(N^2) to O(N·clusters): two orders of
+	// magnitude at the headline size (scaled build: 1000 PEs, 10 clusters).
+	if res.SessionsClustered*50 > res.SessionsFullMesh {
+		t.Fatalf("sessions: clustered %d vs full mesh %d — less than 50x drop",
+			res.SessionsClustered, res.SessionsFullMesh)
+	}
+	if res.HeadlineRoutes != res.HeadlinePEs*100 {
+		t.Fatalf("headline originated %d routes, want %d", res.HeadlineRoutes, res.HeadlinePEs*100)
+	}
+	if res.LoopPrevented == 0 {
+		t.Fatal("reflection loop prevention never fired during the headline converge")
+	}
+	// Incremental SPF/CSPF must match their full-recompute oracles exactly;
+	// the wall-clock bar here is loose (the strict >= 10x gate runs in the
+	// perf suite where timing noise is controlled).
+	if !res.ISPFOracleOK || !res.ICSPFOracleOK {
+		t.Fatalf("incremental recompute diverged from oracle: spf=%t cspf=%t",
+			res.ISPFOracleOK, res.ICSPFOracleOK)
+	}
+	if res.ISPFSpeedup < 2 || res.ICSPFSpeedup < 2 {
+		t.Fatalf("incremental recompute not faster: spf=%.1fx cspf=%.1fx",
+			res.ISPFSpeedup, res.ICSPFSpeedup)
+	}
+}
+
 func TestE19DayInTheLife(t *testing.T) {
 	res, err := E19DayInTheLife(t.TempDir())
 	if err != nil {

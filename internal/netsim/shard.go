@@ -98,6 +98,18 @@ func (n *Network) ShardOf(node topo.NodeID) int {
 	return n.shardOf[node]
 }
 
+// mustShard returns the shard owning a node, panicking with the actual
+// contract violation when the node postdates the sharding assignment —
+// the raw index-out-of-range this replaces pointed at the slice access,
+// not at the AddPE/AddSite call that arrived after SetSharding.
+func (n *Network) mustShard(node topo.NodeID) int {
+	if int(node) >= len(n.shardOf) {
+		panic(fmt.Sprintf("netsim: node %d added after SetSharding (assignment covers %d nodes); sharding requires a final topology",
+			node, len(n.shardOf)))
+	}
+	return n.shardOf[node]
+}
+
 // Handoffs returns the number of packets that crossed a shard boundary.
 func (n *Network) CrossShardHandoffs() int64 { return n.handoffs }
 
@@ -114,7 +126,7 @@ func (n *Network) clockFor(node topo.NodeID) sim.Clock {
 	if n.shardOf == nil {
 		return n.E
 	}
-	return n.shClk[n.shardOf[node]]
+	return n.shClk[n.mustShard(node)]
 }
 
 // count bumps a network-wide tally: directly when serial, through the

@@ -60,6 +60,13 @@ type Instance struct {
 
 	// outbox holds LSAs to flood to each neighbor on the next round.
 	outbox []LSA
+
+	// ispf is the incrementally-maintained SPF state (see ispf.go); nil
+	// means the next recompute must be a full SPF, which rebuilds it.
+	ispf *ispfState
+	// changed accumulates destinations whose route changed, consumed by
+	// TakeChangedDests for delta propagation into routers' IP tables.
+	changed map[topo.NodeID]bool
 }
 
 // LSDBSize returns the number of LSAs held (for the E1 state accounting).
@@ -94,6 +101,16 @@ type Domain struct {
 	MessagesSent int
 	// FloodRounds counts synchronous rounds run to convergence.
 	FloodRounds int
+
+	// DisableISPF forces every recompute down the full-SPF path. Set it
+	// before first use and leave it: it is the oracle knob the equivalence
+	// tests and the E20 convergence baseline rely on.
+	DisableISPF bool
+
+	// FullSPFRuns and ISPFRuns count per-instance route recomputations by
+	// kind (a seq-only refresh counts as neither: routes stand untouched).
+	FullSPFRuns int
+	ISPFRuns    int
 }
 
 // NewDomain creates an IGP domain over every node currently in g.
@@ -140,14 +157,18 @@ func (d *Domain) originate(n topo.NodeID) {
 		}
 		lsa.Links = append(lsa.Links, LSALink{Neighbor: l.To, Metric: l.Metric, LinkID: lid})
 	}
-	in.lsdb[n] = lsa
+	d.install(in, lsa)
 	in.outbox = append(in.outbox, lsa)
 }
 
 // Converge originates LSAs everywhere, floods to quiescence, and runs SPF
 // on every router. Call it after building the topology and again after any
-// topology change.
+// topology change. Converge is always a full recompute; the incremental
+// path lives in NotifyLinkChange.
 func (d *Domain) Converge() {
+	for _, in := range d.Instances {
+		in.ispf = nil // full recompute below; skip delta tracking during flood
+	}
 	for n := range d.Instances {
 		d.originate(n)
 	}
@@ -158,14 +179,21 @@ func (d *Domain) Converge() {
 }
 
 // NotifyLinkChange re-originates LSAs at both endpoints of a changed link
-// and re-floods. The routers' databases then reflect the failure (or
-// recovery) and SPF routes around it.
+// and re-floods. Instances with live ISPF state have already folded the
+// resulting edge deltas in during flooding, so they only re-derive routes
+// (and skip even that on a seq-only refresh); instances without it fall
+// back to a full SPF.
 func (d *Domain) NotifyLinkChange(a, b topo.NodeID) {
 	d.originate(a)
 	d.originate(b)
 	d.flood()
 	for _, in := range d.Instances {
-		d.spf(in)
+		switch {
+		case in.ispf == nil:
+			d.spf(in)
+		case in.ispf.dirty:
+			d.deriveRoutes(in)
+		}
 	}
 }
 
@@ -217,7 +245,7 @@ func (d *Domain) flood() {
 			}
 			cur, have := in.lsdb[dv.lsa.Origin]
 			if !have || fresher(dv.lsa, cur) {
-				in.lsdb[dv.lsa.Origin] = dv.lsa
+				d.install(in, dv.lsa)
 				in.outbox = append(in.outbox, dv.lsa)
 			}
 		}
@@ -226,16 +254,16 @@ func (d *Domain) flood() {
 
 // spf computes routes for one instance from its own LSDB. The instance
 // reconstructs the topology it believes in; a link is usable only if both
-// endpoints advertise it (OSPF's bidirectional check).
+// endpoints advertise it (OSPF's bidirectional check). The reconstructed
+// adjacency and distance field are kept as live ISPF state (unless the
+// domain disables it), which install then maintains across LSA changes.
 func (d *Domain) spf(in *Instance) {
-	in.routes = make(map[topo.NodeID]Route)
-
-	type edge struct {
-		to     topo.NodeID
-		metric int
-		link   topo.LinkID
+	d.FullSPFRuns++
+	st := &ispfState{
+		adj:  make(map[topo.NodeID][]iedge),
+		radj: make(map[topo.NodeID][]redge),
+		dist: make(map[topo.NodeID]int),
 	}
-	adj := make(map[topo.NodeID][]edge)
 	for origin, lsa := range in.lsdb {
 		for _, l := range lsa.Links {
 			// Bidirectional check: neighbor must advertise origin back.
@@ -253,7 +281,7 @@ func (d *Domain) spf(in *Instance) {
 			if !seen {
 				continue
 			}
-			adj[origin] = append(adj[origin], edge{to: l.Neighbor, metric: l.Metric, link: l.LinkID})
+			st.adj[origin] = append(st.adj[origin], iedge{to: l.Neighbor, metric: l.Metric, link: l.LinkID})
 		}
 	}
 
@@ -264,7 +292,8 @@ func (d *Domain) spf(in *Instance) {
 		node topo.NodeID
 		link topo.LinkID
 	}
-	dist := map[topo.NodeID]int{in.Node: 0}
+	dist := st.dist
+	dist[in.Node] = 0
 	parents := map[topo.NodeID][]parent{}
 	visited := map[topo.NodeID]bool{}
 	for {
@@ -284,7 +313,7 @@ func (d *Domain) spf(in *Instance) {
 			break
 		}
 		visited[best] = true
-		edges := adj[best]
+		edges := st.adj[best]
 		sort.Slice(edges, func(i, j int) bool { return edges[i].link < edges[j].link })
 		for _, e := range edges {
 			nd := bd + e.metric
@@ -328,6 +357,7 @@ func (d *Domain) spf(in *Instance) {
 		return hops
 	}
 
+	routes := make(map[topo.NodeID]Route, len(dist))
 	for dst := range dist {
 		if dst == in.Node {
 			continue
@@ -336,8 +366,21 @@ func (d *Domain) spf(in *Instance) {
 		if len(hops) == 0 {
 			continue
 		}
-		in.routes[dst] = Route{Dest: dst, NextHop: hops[0], NextHops: hops, Metric: dist[dst]}
+		routes[dst] = Route{Dest: dst, NextHop: hops[0], NextHops: hops, Metric: dist[dst]}
 	}
+	in.noteChanged(routes)
+	in.routes = routes
+
+	if d.DisableISPF {
+		in.ispf = nil
+		return
+	}
+	for from, row := range st.adj {
+		for _, e := range row {
+			st.radj[e.to] = append(st.radj[e.to], redge{from: from, metric: e.metric, link: e.link})
+		}
+	}
+	in.ispf = st
 }
 
 // LoopbackTable builds an IP routing table for router n mapping every

@@ -115,6 +115,12 @@ func (d *Domain) LoadState(r *snapshot.Reader) error {
 		in.lsdb = lsdb
 		in.routes = routes
 		in.outbox = nil
+		// ISPF state is derived, not serialized: drop it and let the next
+		// recompute fall back to a full SPF, which rebuilds it. The full
+		// path is route-identical to the incremental one, so resumed runs
+		// stay byte-identical to uninterrupted ones.
+		in.ispf = nil
+		in.changed = nil
 	}
 	return r.Err()
 }

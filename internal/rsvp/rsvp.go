@@ -130,6 +130,15 @@ type Protocol struct {
 	// OnEvent, when set, observes every signalling event synchronously.
 	OnEvent func(Event)
 
+	// PlainSPF, when set, serves the unconstrained shortest-path tree from
+	// the given ingress — the preemption fallback in findPath when no
+	// avoid set applies. The core wires this to an incrementally-maintained
+	// tree (topo.IncrementalSPF) so re-signalling storms after a failure do
+	// not pay a full Dijkstra per LSP. The callback must return a tree
+	// equal to G.CSPF(ingress, topo.Constraints{}); constrained searches
+	// always run a fresh CSPF, since reservation state shifts under them.
+	PlainSPF func(topo.NodeID) *topo.SPFResult
+
 	// Defer, when set, postpones the interior label unbind of a
 	// make-before-break switchover (Resignal): the old path's reservation
 	// is released immediately, but its ILM entries linger — registered in
@@ -308,7 +317,12 @@ func (p *Protocol) findPath(ingress, egress topo.NodeID, bw float64, opt SetupOp
 
 	// No room: attempt preemption along the shortest path that still honours
 	// the avoid set (bandwidth is negotiable via preemption; avoidance is not).
-	plain := p.G.CSPF(ingress, topo.Constraints{ExcludeLinks: opt.Avoid})
+	var plain *topo.SPFResult
+	if p.PlainSPF != nil && len(opt.Avoid) == 0 {
+		plain = p.PlainSPF(ingress)
+	} else {
+		plain = p.G.CSPF(ingress, topo.Constraints{ExcludeLinks: opt.Avoid})
+	}
 	path, ok := plain.PathTo(p.G, egress)
 	if !ok {
 		return nil, fmt.Errorf("rsvp: no route %s -> %s", p.G.Name(ingress), p.G.Name(egress))

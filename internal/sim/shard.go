@@ -321,7 +321,17 @@ func (p *parEngine) run(deadline Time) {
 				}
 				heap.Pop(&p.e.queue)
 				p.e.events++
-				ev.fn()
+				if ev.act != nil {
+					// Mirror Engine.Step: recycle the pooled event before the
+					// action runs so Run can repost without growing the pool.
+					act := ev.act
+					if ev.pooled {
+						p.e.pool.put(ev)
+					}
+					act.Run()
+				} else {
+					ev.fn()
+				}
 			}
 			p.flush()
 			continue

@@ -1,0 +1,36 @@
+package topo
+
+import "sort"
+
+// ClusterPEs groups the given edge routers into at most k proximity
+// clusters for BGP route reflection: PEs that are topologically close share
+// a cluster, so a reflector serves its own neighborhood and reflected
+// updates stay regional. The grouping reuses Partition's deterministic
+// k-way decomposition of the whole graph (zero-delay contraction, greedy
+// k-center seeds, balanced BFS growth) and then buckets the PEs by region.
+//
+// Empty regions (containing no PE) are dropped, so the result may hold
+// fewer than k clusters. Each cluster is sorted by node ID and clusters
+// are ordered by their lowest member, making the output stable across
+// runs for the same topology.
+func ClusterPEs(g *Graph, pes []NodeID, k int) [][]NodeID {
+	if len(pes) == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	part := Partition(g, k)
+	byShard := make(map[int][]NodeID)
+	for _, pe := range pes {
+		s := part.Assign[pe]
+		byShard[s] = append(byShard[s], pe)
+	}
+	clusters := make([][]NodeID, 0, len(byShard))
+	for _, members := range byShard {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		clusters = append(clusters, members)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	return clusters
+}

@@ -41,6 +41,27 @@ func (s *poissonSrc) LoadState(r *snapshot.Reader) error {
 	return r.Err()
 }
 
+// AIMD serializes its full congestion state — cwnd, ssthresh, the
+// in-flight count, and the ack ledger the RTO probe compares against.
+// Flow, payload, stop, and RTO are construction arguments. The pending
+// probe event itself travels through core's source registry.
+func (a *AIMD) SaveState(w *snapshot.Writer) {
+	w.F64(a.window)
+	w.F64(a.ssthresh)
+	w.I64(int64(a.inFlight))
+	w.U64(a.acked)
+	w.U64(a.probed)
+}
+
+func (a *AIMD) LoadState(r *snapshot.Reader) error {
+	a.window = r.F64()
+	a.ssthresh = r.F64()
+	a.inFlight = int(r.I64())
+	a.acked = r.U64()
+	a.probed = r.U64()
+	return r.Err()
+}
+
 func (s *onOffSrc) SaveState(w *snapshot.Writer) {
 	w.I64(int64(s.t))
 	w.I64(int64(s.end))

@@ -6,6 +6,8 @@
 package trafgen
 
 import (
+	"math"
+
 	"mplsvpn/internal/addr"
 	"mplsvpn/internal/netsim"
 	"mplsvpn/internal/packet"
@@ -198,15 +200,24 @@ func (s *onOffSrc) Run() {
 	s.clk.Post(s.t, s)
 }
 
-// AIMD is a greedy window-based bulk source: it keeps `window` packets in
-// flight, grows the window by one per window's worth of acknowledgements
-// (additive increase), and halves it on loss (multiplicative decrease).
+// AIMD is a greedy window-based bulk source modeled on TCP Reno: slow
+// start grows the window by one packet per ack until the slow-start
+// threshold, congestion avoidance by one packet per window's worth of
+// acks above it; a detected drop halves the threshold and resumes there
+// (fast recovery), and an RTO probe that finds traffic outstanding with
+// no acks since the last probe collapses the window back to one packet.
 // Deliveries and drops are fed back by the harness via Ack and Loss.
 //
 // AIMD is closed-loop with zero lookahead (an ack can trigger an injection
 // at the same instant), so under a sharded engine it runs on the global
 // band and reacts at barrier granularity: behaviour stays deterministic
 // for a fixed shard count but is not byte-identical to the serial engine.
+//
+// Unlike the old closure-per-fill design, AIMD keeps exactly one event of
+// its own in the heap — the periodic RTO probe, carried by the source
+// itself as a sim.Action — so it satisfies Source and checkpoints like
+// any paced generator: cwnd, ssthresh, and the ack ledger serialize, and
+// the pending probe re-arms through core's source registry.
 type AIMD struct {
 	Flow    *Flow
 	Net     *netsim.Network
@@ -214,22 +225,44 @@ type AIMD struct {
 	Stop    sim.Time
 	RTO     sim.Time // retransmission-timeout stand-in: paces loss detection
 
-	window   float64
+	window   float64 // congestion window (cwnd), packets
+	ssthresh float64 // slow-start threshold, packets
 	inFlight int
 	acked    uint64
+	probed   uint64 // acked as of the previous RTO probe
 }
 
-// NewAIMD creates a bulk source with an initial window of 2 packets.
+// NewAIMD creates a bulk source with an initial window of 2 packets and
+// the slow-start threshold out of the way.
 func NewAIMD(n *netsim.Network, f *Flow, payload int, stop sim.Time) *AIMD {
 	return &AIMD{
 		Flow: f, Net: n, Payload: payload, Stop: stop,
-		RTO: 200 * sim.Millisecond, window: 2,
+		RTO: 200 * sim.Millisecond, window: 2, ssthresh: math.Inf(1),
 	}
 }
 
 // Start begins transmission at the given time.
 func (a *AIMD) Start(at sim.Time) {
-	a.Net.E.Schedule(at, a.fill)
+	a.Net.E.Post(at, a)
+}
+
+// Run is the RTO probe: if a full RTO passed with packets outstanding and
+// nothing acked, the transfer has stalled — collapse to slow start. Either
+// way it tops up the window and re-arms itself until the stop time.
+func (a *AIMD) Run() {
+	if a.Net.E.Now() > a.Stop {
+		return
+	}
+	if a.acked == a.probed && a.inFlight > 0 {
+		a.ssthresh = a.window / 2
+		if a.ssthresh < 2 {
+			a.ssthresh = 2
+		}
+		a.window = 1
+	}
+	a.probed = a.acked
+	a.fill()
+	a.Net.E.PostAfter(a.RTO, a)
 }
 
 // fill tops the in-flight count up to the window.
@@ -241,31 +274,34 @@ func (a *AIMD) fill() {
 		a.inFlight++
 		a.Flow.send(a.Net, a.Payload)
 	}
-	// Loss detection: if nothing is acked within RTO, assume loss.
-	sent := a.acked
-	a.Net.E.After(a.RTO, func() {
-		if a.acked == sent && a.inFlight > 0 {
-			a.Loss()
-		}
-	})
 }
 
-// Ack records a delivered packet: additive increase.
+// Ack records a delivered packet: exponential growth in slow start,
+// additive increase above the threshold.
 func (a *AIMD) Ack() {
 	a.acked++
 	if a.inFlight > 0 {
 		a.inFlight--
 	}
-	a.window += 1 / a.window
+	if a.window < a.ssthresh {
+		a.window++
+	} else {
+		a.window += 1 / a.window
+	}
 	a.fill()
 }
 
-// Loss records a lost packet: multiplicative decrease.
+// Loss records a lost packet: multiplicative decrease, resuming at the
+// new threshold (fast recovery).
 func (a *AIMD) Loss() {
 	if a.inFlight > 0 {
 		a.inFlight--
 	}
-	a.window /= 2
+	a.ssthresh = a.window / 2
+	if a.ssthresh < 2 {
+		a.ssthresh = 2
+	}
+	a.window = a.ssthresh
 	if a.window < 1 {
 		a.window = 1
 	}
@@ -274,3 +310,6 @@ func (a *AIMD) Loss() {
 
 // Window exposes the current congestion window (for tests).
 func (a *AIMD) Window() float64 { return a.window }
+
+// Ssthresh exposes the slow-start threshold (for tests).
+func (a *AIMD) Ssthresh() float64 { return a.ssthresh }
