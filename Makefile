@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability verify-intent verify-snapshot verify-controlplane cover examples record clean
+.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability verify-intent verify-snapshot verify-controlplane verify-interas cover examples record clean
 
-all: build vet test test-race fuzz-short verify-intent verify-snapshot verify-controlplane bench-reconverge bench-gate
+all: build vet test test-race fuzz-short verify-intent verify-snapshot verify-controlplane verify-interas bench-reconverge bench-gate
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,13 @@ test-short:
 
 # Race detector over the short suite; the simulation is single-goroutine by
 # design, so this guards the test harness and any future concurrency. The
-# reflector-churn equivalence proof runs explicitly: -short would skip the
-# seeded churn loop it depends on.
+# reflector-churn equivalence proof and the AS-failover serial-vs-8-shard
+# equivalence proof run explicitly: -short would skip the seeded loops they
+# depend on.
 test-race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -count=1 -run='TestClusteredEquivalenceUnderChurn' ./internal/bgp
+	$(GO) test -race -count=1 -run='TestASFailoverEquivalence' ./internal/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -108,6 +110,16 @@ verify-controlplane:
 	$(GO) test -race -count=1 \
 		-run='TestClustered|TestRTConstrained|TestISPF|TestIncrementalSPF|TestClusterPEs|TestReflectorSnapshotBoundary|TestE20' \
 		./internal/bgp ./internal/ospf ./internal/topo ./internal/chaos ./internal/experiments
+
+# The inter-AS survivability acceptance gate under the race detector: the
+# RFC 4364 option A/B/C delivery and failover unit tests, the mid-GR
+# peer-AS-outage snapshot boundary proof at 0/1/8 shards, the AS-failover
+# serial-vs-8-shard equivalence, the asfail/asrestore DSL surface, and the
+# E21 three-carrier outage scorecard.
+verify-interas:
+	$(GO) test -race -count=1 \
+		-run='TestInterAS|TestASFailoverEquivalence|TestParseScenarioASDirectives|TestParseScenarioErrorPaths|TestE21' \
+		./internal/core ./internal/chaos ./internal/experiments
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e20 or all)")
+		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e21 or all)")
 		dur      = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
 		e1N      = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
 		shards   = flag.String("shards", "1,2,4,8", "E15 shard counts to sweep")
@@ -44,7 +44,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21"} {
 			want[e] = true
 		}
 	} else {
@@ -213,6 +213,22 @@ func main() {
 		fmt.Println(res.ISPF.String())
 		fmt.Printf("clustered best paths identical to full mesh: %t; ISPF/ICSPF oracle equivalence: %t/%t\n\n",
 			res.MeshEquivalent, res.ISPFOracleOK, res.ICSPFOracleOK)
+	}
+
+	if want["e21"] {
+		res, err := experiments.E21InterASSurvivability()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnbench: e21:", err)
+			os.Exit(1)
+		}
+		results["e21"] = res
+		fmt.Println(res.Table.String())
+		for _, name := range []string{"optionA", "optionB", "optionC"} {
+			fmt.Printf("%-8s conform=%t serial==8-shard digest=%t flaps=%d failovers=%d reinstalls=%d\n",
+				name, res.Conform[name], res.DigestMatch[name],
+				res.Flaps[name], res.Failovers[name], res.Reinstalls[name])
+		}
+		fmt.Printf("invariant violations across all runs: %d\n\n", res.Violations)
 	}
 
 	if *jsonFile != "" {

@@ -34,6 +34,25 @@ type BenchReport struct {
 	E19Soak BenchSoak `json:"e19_soak"`
 	// E20ControlPlane is the million-route control-plane scaling snapshot.
 	E20ControlPlane BenchControlPlane `json:"e20_control_plane"`
+	// E21InterAS is the multi-carrier survivability scorecard per RFC 4364
+	// option.
+	E21InterAS BenchInterAS `json:"e21_interas"`
+}
+
+// BenchInterAS summarizes E21: a full transit-AS outage under peak load,
+// scored per interconnect option ("optionA", "optionB", "optionC"). The
+// gate enforces SLA conformance on the surviving providers, serial-vs-
+// 8-shard digest equality, and a real (detected, failed-over, recovered)
+// outage in every run.
+type BenchInterAS struct {
+	Conform      map[string]bool    `json:"conform"`
+	DigestMatch  map[string]bool    `json:"digest_match"`
+	Flaps        map[string]int     `json:"peering_flaps"`
+	Failovers    map[string]int     `json:"failovers"`
+	Reinstalls   map[string]int     `json:"reinstalls"`
+	VoiceLossPct map[string]float64 `json:"voice_loss_pct"`
+	VoiceP99Ms   map[string]float64 `json:"voice_p99_ms"`
+	Violations   int                `json:"invariant_violations"`
 }
 
 // BenchControlPlane summarizes the E20 headline build (10k PEs / 1k VPNs /
@@ -131,7 +150,15 @@ func runPerf(dir string, gate bool) int {
 	fmt.Println()
 
 	fmt.Println("perf: E19 day-in-the-life soak (checkpointed)...")
-	e19, err := experiments.E19DayInTheLife("")
+	// The checkpoint store outlives the run so a failed digest gate can
+	// bisect it for the first divergent window.
+	e19Dir, err := os.MkdirTemp("", "vpnbench-e19-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpnbench:", err)
+		return 1
+	}
+	defer os.RemoveAll(e19Dir)
+	e19, err := experiments.E19DayInTheLife(e19Dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpnbench: e19:", err)
 		return 1
@@ -139,6 +166,20 @@ func runPerf(dir string, gate bool) int {
 	fmt.Println(e19.Table.String())
 	fmt.Printf("  %d checkpoints, %d crash/resume cycles, %.0f ms replayed, digest match: %t\n\n",
 		e19.Checkpoints, e19.Cycles, e19.ReplayedMs, e19.DigestMatch)
+
+	fmt.Println("perf: E21 inter-AS survivability (full transit-AS outage)...")
+	e21, err := experiments.E21InterASSurvivability()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpnbench: e21:", err)
+		return 1
+	}
+	fmt.Println(e21.Table.String())
+	for _, name := range []string{"optionA", "optionB", "optionC"} {
+		fmt.Printf("  %-8s conform=%t digest_match=%t flaps=%d failovers=%d reinstalls=%d\n",
+			name, e21.Conform[name], e21.DigestMatch[name],
+			e21.Flaps[name], e21.Failovers[name], e21.Reinstalls[name])
+	}
+	fmt.Println()
 
 	fmt.Println("perf: E20 million-route control plane (full headline)...")
 	e20 := experiments.E20ControlPlaneScaling(true)
@@ -165,6 +206,20 @@ func runPerf(dir string, gate bool) int {
 	for plane := range e19.LossPct {
 		rep.E19Soak.VoiceLossPct[plane] = e19.LossPct[plane]["voice"]
 		rep.E19Soak.VoiceP99Ms[plane] = e19.P99Ms[plane]["voice"]
+	}
+	rep.E21InterAS = BenchInterAS{
+		Conform:      e21.Conform,
+		DigestMatch:  e21.DigestMatch,
+		Flaps:        e21.Flaps,
+		Failovers:    e21.Failovers,
+		Reinstalls:   e21.Reinstalls,
+		VoiceLossPct: map[string]float64{},
+		VoiceP99Ms:   map[string]float64{},
+		Violations:   e21.Violations,
+	}
+	for opt := range e21.LossPct {
+		rep.E21InterAS.VoiceLossPct[opt] = e21.LossPct[opt]["voice"]
+		rep.E21InterAS.VoiceP99Ms[opt] = e21.P99Ms[opt]["voice"]
 	}
 	rep.E20ControlPlane = BenchControlPlane{
 		PEs:               e20.HeadlinePEs,
@@ -220,6 +275,15 @@ func runPerf(dir string, gate bool) int {
 	// checkpoint cycle is a real regression, never noise.
 	if !rep.E19Soak.DigestMatch {
 		fmt.Println("GATE: e19 checkpointed run diverged from the uninterrupted run")
+		// Auto-localize: binary-search the run's checkpoint store for the
+		// first window whose restored state leaves the reference trajectory,
+		// so the failure output names a virtual-time window, not a whole day.
+		if w, probes, err := experiments.LocalizeE19Divergence(e19Dir); err != nil {
+			fmt.Printf("GATE: bisect could not localize the divergence: %v\n", err)
+		} else {
+			fmt.Printf("GATE: bisect localized the first divergence to (%.0fms, %.0fms] in %d probes\n",
+				float64(w.Lo)/float64(sim.Millisecond), float64(w.Hi)/float64(sim.Millisecond), probes)
+		}
 		fail = true
 	}
 	if rep.E19Soak.Cycles < 3 {
@@ -268,6 +332,29 @@ func runPerf(dir string, gate bool) int {
 	if !cp.ISPFOracleOK || !cp.ICSPFOracleOK {
 		fmt.Printf("GATE: e20 incremental recompute diverged from full (spf ok=%t, cspf ok=%t)\n",
 			cp.ISPFOracleOK, cp.ICSPFOracleOK)
+		fail = true
+	}
+	// E21 inter-AS gates: every RFC 4364 option must survive the full
+	// transit-AS outage within its SLAs, the 8-shard run must reproduce the
+	// serial digest byte for byte, and the outage must really have been
+	// detected, failed over, and recovered — a quiet run proves nothing.
+	for _, name := range []string{"optionA", "optionB", "optionC"} {
+		if !rep.E21InterAS.Conform[name] {
+			fmt.Printf("GATE: e21 %s missed its per-class SLAs on the surviving providers\n", name)
+			fail = true
+		}
+		if !rep.E21InterAS.DigestMatch[name] {
+			fmt.Printf("GATE: e21 %s 8-shard digest diverged from the serial run\n", name)
+			fail = true
+		}
+		if rep.E21InterAS.Flaps[name] < 2 || rep.E21InterAS.Failovers[name] == 0 || rep.E21InterAS.Reinstalls[name] == 0 {
+			fmt.Printf("GATE: e21 %s outage not exercised (flaps=%d failovers=%d reinstalls=%d)\n",
+				name, rep.E21InterAS.Flaps[name], rep.E21InterAS.Failovers[name], rep.E21InterAS.Reinstalls[name])
+			fail = true
+		}
+	}
+	if rep.E21InterAS.Violations != 0 {
+		fmt.Printf("GATE: e21 recorded %d invariant violations\n", rep.E21InterAS.Violations)
 		fail = true
 	}
 	if prev != nil {

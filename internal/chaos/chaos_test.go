@@ -304,6 +304,9 @@ func FuzzScenario(f *testing.F) {
 	f.Add("ctrlloss 0.5 extra=1s\ncrash X at=1ms\ncut s at=2ms\n")
 	f.Add("# comment only\n\n")
 	f.Add("flap A B at=1s count=9999 down=1ns up=1ns\n")
+	f.Add("asfail beta at=2s\nasrestore beta at=5s detect=100ms\n")
+	f.Add("asfail at=1s\nasrestore gamma\n")
+	f.Add("survivability hello=25ms hold=3 gr=on\nasfail alpha at=3s\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		defer func() {
 			if r := recover(); r != nil {

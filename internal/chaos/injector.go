@@ -17,6 +17,14 @@ type ReconcilerTarget interface {
 	Restart() error
 }
 
+// MultiASTarget is what asfail/asrestore directives act on: a
+// multi-provider simulation that can crash and restore a whole member AS.
+// *core.InterAS implements it.
+type MultiASTarget interface {
+	FailAS(name string) error
+	RestoreAS(name string, detect sim.Time) error
+}
+
 // Injector schedules a scenario's faults on a backbone's engine and runs
 // the invariant checker after every one. All jitter comes from a stream
 // forked off the engine's seeded generator at construction, drawn in
@@ -33,6 +41,10 @@ type Injector struct {
 	// Reconciler receives rkill/rrestart operations; when nil those
 	// directives are rejected (counted, not fatal).
 	Reconciler ReconcilerTarget
+
+	// InterAS receives asfail/asrestore operations; when nil those
+	// directives are rejected (counted, not fatal).
+	InterAS MultiASTarget
 
 	// Applied and Rejected count fired operations by outcome (an operation
 	// is rejected when its precondition no longer holds, e.g. failing an
@@ -126,6 +138,18 @@ func (inj *Injector) fire(op timedOp) {
 			err = fmt.Errorf("chaos: no reconciler attached")
 		} else {
 			err = inj.Reconciler.Restart()
+		}
+	case OpASFail:
+		if inj.InterAS == nil {
+			err = fmt.Errorf("chaos: no inter-AS target attached")
+		} else {
+			err = inj.InterAS.FailAS(op.a)
+		}
+	case OpASRestore:
+		if inj.InterAS == nil {
+			err = fmt.Errorf("chaos: no inter-AS target attached")
+		} else {
+			err = inj.InterAS.RestoreAS(op.a, op.detect)
 		}
 	default:
 		err = fmt.Errorf("chaos: unknown op %v", op.op)

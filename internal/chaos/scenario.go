@@ -20,8 +20,15 @@
 //	uncut hq at=8s
 //	rkill at=9s
 //	rrestart at=10s
+//	asfail beta at=9s
+//	asrestore beta at=12s detect=100ms
 //	ckpt at=4s
 //	ckill+resume at=11s
+//
+// asfail/asrestore target an entire peer AS in a multi-provider scenario
+// (when an inter-AS target is attached to the injector): every provider
+// node of the named AS crashes in one instant with no notification, and the
+// surviving providers' peering hello machinery must detect and fail over.
 //
 // rkill/rrestart target the intent reconciler (when one is attached to the
 // injector): a kill mid-commit must leave no half-provisioned state, and a
@@ -61,6 +68,11 @@ const (
 	OpUncut
 	OpRKill
 	OpRRestart
+	// OpASFail/OpASRestore crash and restore an entire peer AS at once
+	// (multi-provider scenarios only): every provider node and session of
+	// the named AS goes down in one instant.
+	OpASFail
+	OpASRestore
 )
 
 func (o Op) String() string {
@@ -83,6 +95,10 @@ func (o Op) String() string {
 		return "rkill"
 	case OpRRestart:
 		return "rrestart"
+	case OpASFail:
+		return "asfail"
+	case OpASRestore:
+		return "asrestore"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -354,7 +370,7 @@ func ParseScenario(r io.Reader, name string) (*Scenario, error) {
 				Detect: detectOr(kv), Count: count, Down: down, Up: up,
 				Jitter: kv["jitter"],
 			})
-		case "crash", "restart", "cut", "uncut":
+		case "crash", "restart", "cut", "uncut", "asfail", "asrestore":
 			if len(fields) < 3 {
 				return nil, fail("%s <name> at=<t> [detect=<d>]", fields[0])
 			}
@@ -366,7 +382,10 @@ func ParseScenario(r io.Reader, name string) (*Scenario, error) {
 			if !ok {
 				return nil, fail("%s needs at=<t>", fields[0])
 			}
-			op := map[string]Op{"crash": OpCrash, "restart": OpRestart, "cut": OpCut, "uncut": OpUncut}[fields[0]]
+			op := map[string]Op{
+				"crash": OpCrash, "restart": OpRestart, "cut": OpCut, "uncut": OpUncut,
+				"asfail": OpASFail, "asrestore": OpASRestore,
+			}[fields[0]]
 			sc.Events = append(sc.Events, Event{At: at, Op: op, A: fields[1], Detect: detectOr(kv)})
 		case "rkill", "rrestart":
 			if len(fields) != 2 {

@@ -127,6 +127,12 @@ type Config struct {
 
 	// BGPAdmin is the RD/RT administrator number (default 65000).
 	BGPAdmin uint16
+
+	// InterASOption is this provider's default RFC 4364 inter-AS
+	// interconnect style (option A/B/C) for peerings anchored at one of its
+	// ASBRs. A PeeringSpec can override it per peering; OptionDefault here
+	// resolves to option A.
+	InterASOption InterASOption
 }
 
 // vpnConfig is the per-VPN control-plane identity.
@@ -207,6 +213,15 @@ type Backbone struct {
 
 	// res is the TE resilience plane (nil until EnableResilience).
 	res *resilience
+
+	// tagDomain is this backbone's index within a multi-AS simulation,
+	// folded into the high bits of every event tag's Kind so a shared-engine
+	// snapshot can re-arm each pending event on the right AS (0 standalone).
+	tagDomain uint16
+	// onReconverged hooks run at the end of every reconvergeProvider pass.
+	// The inter-AS layer uses them to re-bind boundary label state that the
+	// wholesale LFIB/FTN rebuild would otherwise silently drop.
+	onReconverged []func()
 
 	// surv is the control-plane survivability layer (nil until
 	// EnableSurvivability); ctrlDown tracks routers whose control plane is

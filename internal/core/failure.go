@@ -103,7 +103,7 @@ func (b *Backbone) scheduleReconverge(detect sim.Time) {
 		b.reconvergeProvider()
 		return
 	}
-	b.E.AfterTagged(detect, sim.Tag{Kind: tagReconverge}, b.reconvergeProvider)
+	b.E.AfterTagged(detect, b.tag(tagReconverge, 0, 0), b.reconvergeProvider)
 }
 
 // SetControlPlaneLoss configures the control-plane message loss model:
@@ -147,7 +147,7 @@ func (b *Backbone) FailLink(a, z string, detectDelay sim.Time) error {
 		// activates at min(detect, LocalRepairDelay), so even an
 		// aggressively fast detection still goes through local repair.
 		b.E.AfterTagged(min(detectDelay, LocalRepairDelay),
-			sim.Tag{Kind: tagLocalRepair, A: uint64(na), B: uint64(nz)},
+			b.tag(tagLocalRepair, uint64(na), uint64(nz)),
 			func() { b.localRepair(na, nz) })
 	}
 	b.scheduleReconverge(detectDelay)
@@ -519,5 +519,11 @@ func (b *Backbone) reconvergeProvider() {
 				b.installPlainRoutes(rec)
 			}
 		}
+	}
+
+	// 6. Layered planes (inter-AS boundary state) re-bind whatever the
+	// wholesale label-plane rebuild above dropped.
+	for _, fn := range b.onReconverged {
+		fn()
 	}
 }

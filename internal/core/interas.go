@@ -34,6 +34,10 @@ type InterAS struct {
 
 	order         []string
 	interconnects []interconnect
+
+	// peer is the generic RFC 4364 option A/B/C peering plane (interpeer.go);
+	// lazily built by plane().
+	peer *interASPlane
 }
 
 type interconnect struct {
@@ -59,10 +63,28 @@ func NewInterAS(seed uint64, names []string, cfgs []Config) *InterAS {
 	x.Net.OnDeliver = x.dispatch
 	for i, name := range names {
 		b := newBackboneOn(cfgs[i], x.E, x.G, x.Net)
+		// Distinct tag domains keep each AS's tagged pending events
+		// attributable (and re-armable) after a checkpoint of the shared
+		// engine; domain 0 stays reserved for standalone backbones.
+		b.tagDomain = uint16(i + 1)
+		// A wholesale label-plane rebuild inside any member AS invalidates
+		// every boundary binding derived from its tables; re-derive them
+		// (and complete any pending AS-level restore).
+		name := name
+		b.onReconverged = append(b.onReconverged, func() { x.asReconverged(name) })
 		x.ASes[name] = b
 		x.order = append(x.order, name)
 	}
 	return x
+}
+
+// EnableSharding partitions the shared multi-AS topology and switches the
+// shared engine to the parallel backend. The graph, engine, and network are
+// one simulation, so this is called once for the whole InterAS — not per
+// member. Call it after every AS is built and every peering added, before
+// traffic starts.
+func (x *InterAS) EnableSharding(opts ShardingOptions) (*topo.PartitionResult, error) {
+	return x.ASes[x.order[0]].EnableSharding(opts)
 }
 
 // AS returns the named backbone.

@@ -58,6 +58,17 @@ const (
 	tagDrain
 )
 
+// tagKindMask extracts the event kind from a Tag.Kind whose high bits carry
+// the backbone's tag domain (its AS index in a multi-provider simulation).
+const tagKindMask uint16 = 0x000F
+
+// tag builds a control-plane event tag stamped with this backbone's domain,
+// so a shared-engine (inter-AS) snapshot can re-arm the event on the right
+// AS. Standalone backbones have domain 0 and the Kind is the bare constant.
+func (b *Backbone) tag(kind uint16, a, z uint64) sim.Tag {
+	return sim.Tag{Kind: kind | b.tagDomain<<4, A: a, B: z}
+}
+
 // RegisterSource records a checkpointable traffic source in creation order.
 // A snapshot identifies a source's pending self-repost event through this
 // registry and a restore re-arms it on the rebuilt source, so every source
@@ -132,21 +143,8 @@ func (b *Backbone) Snapshot(scenario string) ([]byte, error) {
 	f.Add(secManifest, w.Data())
 
 	w = snapshot.Writer{}
-	for _, s := range scheds {
-		w.I64(int64(s))
-		w.I64(int64(b.E.ClockOf(s)))
-		w.U64(b.E.Seq(s))
-		w.U64(b.E.ExecutedOn(s))
-	}
-	w.U64(b.E.Rand().State())
-	w.Bool(b.ctrlRng != nil)
-	if b.ctrlRng != nil {
-		w.U64(b.ctrlRng.State())
-	}
-	w.Bool(b.res != nil)
-	if b.res != nil {
-		w.U64(b.res.rng.State())
-	}
+	saveSchedState(&w, b.E)
+	b.saveAuxRngs(&w)
 	f.Add(secEngine, w.Data())
 
 	pending, err := b.classifyPending()
@@ -155,18 +153,122 @@ func (b *Backbone) Snapshot(scenario string) ([]byte, error) {
 	}
 	f.Add(secPending, pending)
 
+	f.Add(secTopo, saveTopoState(b.G))
+
+	b.addControlSections(f, "")
+
 	w = snapshot.Writer{}
-	w.U64(uint64(b.G.NumLinks()))
-	for i := 0; i < b.G.NumLinks(); i++ {
-		l := b.G.Link(topo.LinkID(i))
+	b.Net.SaveState(&w)
+	f.Add(secNet, w.Data())
+
+	b.addTrafficSections(f, "")
+
+	return f.Encode(), nil
+}
+
+// saveSchedState serializes the engine's scheduler clocks/sequence counters
+// and the engine-wide random stream — the state shared by every backbone on
+// the engine.
+func saveSchedState(w *snapshot.Writer, e *sim.Engine) {
+	for _, s := range e.Schedulers() {
+		w.I64(int64(s))
+		w.I64(int64(e.ClockOf(s)))
+		w.U64(e.Seq(s))
+		w.U64(e.ExecutedOn(s))
+	}
+	w.U64(e.Rand().State())
+}
+
+// loadSchedState is the decode side of saveSchedState.
+func loadSchedState(r *snapshot.Reader, e *sim.Engine) error {
+	for range e.Schedulers() {
+		s := int(r.I64())
+		clock := sim.Time(r.I64())
+		seq := r.U64()
+		executed := r.U64()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		e.RestoreClock(s, clock)
+		e.RestoreSeq(s, seq)
+		e.RestoreExecuted(s, executed)
+	}
+	e.Rand().SetState(r.U64())
+	return r.Err()
+}
+
+// saveAuxRngs serializes the backbone's forked random streams (control-plane
+// loss, TE retry jitter).
+func (b *Backbone) saveAuxRngs(w *snapshot.Writer) {
+	w.Bool(b.ctrlRng != nil)
+	if b.ctrlRng != nil {
+		w.U64(b.ctrlRng.State())
+	}
+	w.Bool(b.res != nil)
+	if b.res != nil {
+		w.U64(b.res.rng.State())
+	}
+}
+
+// loadAuxRngs is the decode side of saveAuxRngs.
+func (b *Backbone) loadAuxRngs(r *snapshot.Reader) error {
+	hasCtrl := r.Bool()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if hasCtrl {
+		if b.ctrlRng == nil {
+			return fmt.Errorf("%w: control-plane loss rng in checkpoint but not in scenario", snapshot.ErrMismatch)
+		}
+		b.ctrlRng.SetState(r.U64())
+	}
+	hasRes := r.Bool()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if hasRes != (b.res != nil) {
+		return fmt.Errorf("%w: resilience in checkpoint=%v, scenario=%v", snapshot.ErrMismatch, hasRes, b.res != nil)
+	}
+	if b.res != nil {
+		b.res.rng.SetState(r.U64())
+	}
+	return r.Err()
+}
+
+// saveTopoState serializes the graph's dynamic link state.
+func saveTopoState(g *topo.Graph) []byte {
+	var w snapshot.Writer
+	w.U64(uint64(g.NumLinks()))
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(topo.LinkID(i))
 		w.Bool(l.Down)
 		w.F64(l.ReservedBw)
 	}
-	f.Add(secTopo, w.Data())
+	return w.Data()
+}
 
-	w = snapshot.Writer{}
+// loadTopoState is the decode side of saveTopoState.
+func loadTopoState(r *snapshot.Reader, g *topo.Graph) error {
+	nl := r.Count(9)
+	if nl != g.NumLinks() {
+		return fmt.Errorf("%w: %d links in checkpoint, %d in scenario", snapshot.ErrMismatch, nl, g.NumLinks())
+	}
+	for i := 0; i < nl; i++ {
+		l := g.Link(topo.LinkID(i))
+		l.Down = r.Bool()
+		l.ReservedBw = r.F64()
+	}
+	return r.Err()
+}
+
+// addControlSections emits the backbone's control-plane sections (IGP,
+// label plane, BGP, routers, core bookkeeping, registry) under a section
+// name prefix — empty for a standalone snapshot, "<as>/" per AS in an
+// inter-AS one.
+func (b *Backbone) addControlSections(f *snapshot.File, prefix string) {
+	var w snapshot.Writer
 	b.IGP.SaveState(&w)
-	f.Add(secIGP, w.Data())
+	f.Add(prefix+secIGP, w.Data())
 
 	w = snapshot.Writer{}
 	nodes := sortedNodeIDs(b.allocs)
@@ -183,11 +285,11 @@ func (b *Backbone) Snapshot(scenario string) ([]byte, error) {
 	if b.RSVP != nil {
 		b.RSVP.SaveState(&w)
 	}
-	f.Add(secLabels, w.Data())
+	f.Add(prefix+secLabels, w.Data())
 
 	w = snapshot.Writer{}
 	b.BGP.SaveState(&w)
-	f.Add(secBGP, w.Data())
+	f.Add(prefix+secBGP, w.Data())
 
 	w = snapshot.Writer{}
 	rnodes := sortedNodeIDs(b.routers)
@@ -196,21 +298,21 @@ func (b *Backbone) Snapshot(scenario string) ([]byte, error) {
 		w.I64(int64(n))
 		b.routers[n].SaveState(&w)
 	}
-	f.Add(secRouters, w.Data())
+	f.Add(prefix+secRouters, w.Data())
 
 	w = snapshot.Writer{}
 	b.saveCoreState(&w)
-	f.Add(secCore, w.Data())
+	f.Add(prefix+secCore, w.Data())
 
 	w = snapshot.Writer{}
 	b.Registry.SaveState(&w)
-	f.Add(secRegistry, w.Data())
+	f.Add(prefix+secRegistry, w.Data())
+}
 
-	w = snapshot.Writer{}
-	b.Net.SaveState(&w)
-	f.Add(secNet, w.Data())
-
-	w = snapshot.Writer{}
+// addTrafficSections emits the backbone's traffic-plane sections (flow
+// stats, sources, telemetry) under a section name prefix.
+func (b *Backbone) addTrafficSections(f *snapshot.File, prefix string) {
+	var w snapshot.Writer
 	keys := make([]packet.FlowKey, 0, len(b.flows))
 	for k := range b.flows {
 		keys = append(keys, k)
@@ -221,14 +323,14 @@ func (b *Backbone) Snapshot(scenario string) ([]byte, error) {
 		saveFlowKey(&w, k)
 		b.flows[k].SaveState(&w)
 	}
-	f.Add(secFlows, w.Data())
+	f.Add(prefix+secFlows, w.Data())
 
 	w = snapshot.Writer{}
 	w.U64(uint64(len(b.sources)))
 	for _, s := range b.sources {
 		s.SaveState(&w)
 	}
-	f.Add(secSources, w.Data())
+	f.Add(prefix+secSources, w.Data())
 
 	w = snapshot.Writer{}
 	w.Bool(b.tel != nil)
@@ -241,9 +343,7 @@ func (b *Backbone) Snapshot(scenario string) ([]byte, error) {
 			b.tel.Watcher.SaveState(&w)
 		}
 	}
-	f.Add(secTelemetry, w.Data())
-
-	return f.Encode(), nil
+	f.Add(prefix+secTelemetry, w.Data())
 }
 
 // classifyPending walks the event heaps and serializes every pending event
@@ -252,20 +352,30 @@ func (b *Backbone) Snapshot(scenario string) ([]byte, error) {
 // Data-plane events are netsim's to serialize; anything else is a strict
 // error naming the offender.
 func (b *Backbone) classifyPending() ([]byte, error) {
+	return classifyPendingOn(b.E, b.Net.OwnsAction, func(a sim.Action) (int, bool) {
+		idx, ok := b.srcIndex[a]
+		return idx, ok
+	})
+}
+
+// classifyPendingOn is classifyPending over an explicit engine, data-plane
+// ownership test, and source resolver, so an inter-AS snapshot can classify
+// a shared engine's heap against the union of every AS's source registry.
+func classifyPendingOn(e *sim.Engine, owns func(sim.Action) bool, srcOf func(sim.Action) (int, bool)) ([]byte, error) {
 	var setup [][2]uint64 // shard+1 (to keep GlobalBand=-1 unsigned-safe), seq
 	var tagged []pendingTagged
 	var srcs []pendingSource
 	var unknown []string
-	b.E.WalkPending(func(pe sim.PendingEvent) {
+	e.WalkPending(func(pe sim.PendingEvent) {
 		switch {
 		case pe.Setup:
 			setup = append(setup, [2]uint64{uint64(pe.Shard + 1), pe.Seq})
 		case pe.Tag.Kind != 0:
 			tagged = append(tagged, pendingTagged{shard: pe.Shard, at: pe.At, seq: pe.Seq, tag: pe.Tag})
-		case pe.Act != nil && b.Net.OwnsAction(pe.Act):
+		case pe.Act != nil && owns(pe.Act):
 			// In-flight data plane: serialized and re-armed by netsim.
 		case pe.Act != nil:
-			if idx, ok := b.srcIndex[pe.Act]; ok {
+			if idx, ok := srcOf(pe.Act); ok {
 				srcs = append(srcs, pendingSource{idx: idx, shard: pe.Shard, at: pe.At, seq: pe.Seq})
 			} else {
 				unknown = append(unknown, fmt.Sprintf("action %T at %v", pe.Act, pe.At))
@@ -491,6 +601,60 @@ func (b *Backbone) Restore(data []byte, scenario string) error {
 	if err != nil {
 		return err
 	}
+	keep, tagged, srcEvents, err := loadPending(pr)
+	if err != nil {
+		return err
+	}
+	b.E.FilterPending(func(shard int, seq uint64) bool {
+		return keep[[2]uint64{uint64(shard + 1), seq}]
+	})
+
+	if r, err = sec(secTopo); err != nil {
+		return err
+	}
+	if err := loadTopoState(r, b.G); err != nil {
+		return err
+	}
+
+	if err := b.restoreControlSections(sec, ""); err != nil {
+		return err
+	}
+
+	if r, err = sec(secNet); err != nil {
+		return err
+	}
+	if err := b.Net.LoadState(r); err != nil {
+		return err
+	}
+
+	if err := b.restoreTrafficSections(sec, ""); err != nil {
+		return err
+	}
+
+	// Re-arm the dynamic timers and source reposts with their original
+	// identities, then advance the schedulers to the snapshot instant.
+	for _, t := range tagged {
+		fn, err := b.rearmOwnTagged(t.tag)
+		if err != nil {
+			return err
+		}
+		b.E.RestoreEvent(t.shard, t.at, t.seq, t.tag, fn)
+	}
+	if err := b.rearmSources(srcEvents); err != nil {
+		return err
+	}
+
+	if r, err = sec(secEngine); err != nil {
+		return err
+	}
+	if err := loadSchedState(r, b.E); err != nil {
+		return err
+	}
+	return b.loadAuxRngs(r)
+}
+
+// loadPending is the decode side of classifyPendingOn.
+func loadPending(pr *snapshot.Reader) (map[[2]uint64]bool, []pendingTagged, []pendingSource, error) {
 	ns := pr.Count(2)
 	keep := make(map[[2]uint64]bool, ns)
 	for i := 0; i < ns; i++ {
@@ -517,37 +681,42 @@ func (b *Backbone) Restore(data []byte, scenario string) error {
 			seq:   pr.U64(),
 		})
 	}
-	if pr.Err() != nil {
-		return pr.Err()
-	}
-	b.E.FilterPending(func(shard int, seq uint64) bool {
-		return keep[[2]uint64{uint64(shard + 1), seq}]
-	})
+	return keep, tagged, srcEvents, pr.Err()
+}
 
-	if r, err = sec(secTopo); err != nil {
-		return err
+// rearmOwnTagged rebuilds the closure for a tag that belongs to this
+// backbone, resolving TE intents through the freshly restored request list.
+func (b *Backbone) rearmOwnTagged(tag sim.Tag) (func(), error) {
+	reqByID := make(map[int]*teRequest, len(b.teRequests))
+	for _, req := range b.teRequests {
+		reqByID[req.id] = req
 	}
-	nl := r.Count(9)
-	if nl != b.G.NumLinks() {
-		return fmt.Errorf("%w: %d links in checkpoint, %d in scenario", snapshot.ErrMismatch, nl, b.G.NumLinks())
-	}
-	for i := 0; i < nl; i++ {
-		l := b.G.Link(topo.LinkID(i))
-		l.Down = r.Bool()
-		l.ReservedBw = r.F64()
-	}
-	if r.Err() != nil {
-		return r.Err()
-	}
+	return b.rearmTagged(tag, reqByID)
+}
 
-	if r, err = sec(secIGP); err != nil {
+// rearmSources re-arms serialized source repost events against the
+// registered source list.
+func (b *Backbone) rearmSources(srcEvents []pendingSource) error {
+	for _, s := range srcEvents {
+		if s.idx < 0 || s.idx >= len(b.sources) {
+			return fmt.Errorf("%w: pending event for source %d, only %d registered", snapshot.ErrMismatch, s.idx, len(b.sources))
+		}
+		b.E.RestoreAction(s.shard, s.at, s.seq, b.sources[s.idx])
+	}
+	return nil
+}
+
+// restoreControlSections is the decode side of addControlSections.
+func (b *Backbone) restoreControlSections(sec func(string) (*snapshot.Reader, error), prefix string) error {
+	r, err := sec(prefix + secIGP)
+	if err != nil {
 		return err
 	}
 	if err := b.IGP.LoadState(r); err != nil {
 		return err
 	}
 
-	if r, err = sec(secLabels); err != nil {
+	if r, err = sec(prefix + secLabels); err != nil {
 		return err
 	}
 	na := r.Count(2)
@@ -586,14 +755,14 @@ func (b *Backbone) Restore(data []byte, scenario string) error {
 		}
 	}
 
-	if r, err = sec(secBGP); err != nil {
+	if r, err = sec(prefix + secBGP); err != nil {
 		return err
 	}
 	if err := b.BGP.LoadState(r); err != nil {
 		return err
 	}
 
-	if r, err = sec(secRouters); err != nil {
+	if r, err = sec(prefix + secRouters); err != nil {
 		return err
 	}
 	nr := r.Count(2)
@@ -608,28 +777,23 @@ func (b *Backbone) Restore(data []byte, scenario string) error {
 		}
 	}
 
-	if r, err = sec(secCore); err != nil {
+	if r, err = sec(prefix + secCore); err != nil {
 		return err
 	}
 	if err := b.loadCoreState(r); err != nil {
 		return err
 	}
 
-	if r, err = sec(secRegistry); err != nil {
+	if r, err = sec(prefix + secRegistry); err != nil {
 		return err
 	}
-	if err := b.Registry.LoadState(r); err != nil {
-		return err
-	}
+	return b.Registry.LoadState(r)
+}
 
-	if r, err = sec(secNet); err != nil {
-		return err
-	}
-	if err := b.Net.LoadState(r); err != nil {
-		return err
-	}
-
-	if r, err = sec(secFlows); err != nil {
+// restoreTrafficSections is the decode side of addTrafficSections.
+func (b *Backbone) restoreTrafficSections(sec func(string) (*snapshot.Reader, error), prefix string) error {
+	r, err := sec(prefix + secFlows)
+	if err != nil {
 		return err
 	}
 	nf := r.Count(8)
@@ -647,7 +811,7 @@ func (b *Backbone) Restore(data []byte, scenario string) error {
 		}
 	}
 
-	if r, err = sec(secSources); err != nil {
+	if r, err = sec(prefix + secSources); err != nil {
 		return err
 	}
 	nsources := r.Count(1)
@@ -660,7 +824,7 @@ func (b *Backbone) Restore(data []byte, scenario string) error {
 		}
 	}
 
-	if r, err = sec(secTelemetry); err != nil {
+	if r, err = sec(prefix + secTelemetry); err != nil {
 		return err
 	}
 	hasTel := r.Bool()
@@ -693,69 +857,14 @@ func (b *Backbone) Restore(data []byte, scenario string) error {
 			}
 		}
 	}
-
-	// Re-arm the dynamic timers and source reposts with their original
-	// identities, then advance the schedulers to the snapshot instant.
-	reqByID := make(map[int]*teRequest, len(b.teRequests))
-	for _, req := range b.teRequests {
-		reqByID[req.id] = req
-	}
-	for _, t := range tagged {
-		fn, err := b.rearmTagged(t.tag, reqByID)
-		if err != nil {
-			return err
-		}
-		b.E.RestoreEvent(t.shard, t.at, t.seq, t.tag, fn)
-	}
-	for _, s := range srcEvents {
-		if s.idx < 0 || s.idx >= len(b.sources) {
-			return fmt.Errorf("%w: pending event for source %d, only %d registered", snapshot.ErrMismatch, s.idx, len(b.sources))
-		}
-		b.E.RestoreAction(s.shard, s.at, s.seq, b.sources[s.idx])
-	}
-
-	if r, err = sec(secEngine); err != nil {
-		return err
-	}
-	for range scheds {
-		s := int(r.I64())
-		clock := sim.Time(r.I64())
-		seq := r.U64()
-		executed := r.U64()
-		if r.Err() != nil {
-			return r.Err()
-		}
-		b.E.RestoreClock(s, clock)
-		b.E.RestoreSeq(s, seq)
-		b.E.RestoreExecuted(s, executed)
-	}
-	b.E.Rand().SetState(r.U64())
-	hasCtrl := r.Bool()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	if hasCtrl {
-		if b.ctrlRng == nil {
-			return fmt.Errorf("%w: control-plane loss rng in checkpoint but not in scenario", snapshot.ErrMismatch)
-		}
-		b.ctrlRng.SetState(r.U64())
-	}
-	hasRes := r.Bool()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	if hasRes != (b.res != nil) {
-		return fmt.Errorf("%w: resilience in checkpoint=%v, scenario=%v", snapshot.ErrMismatch, hasRes, b.res != nil)
-	}
-	if b.res != nil {
-		b.res.rng.SetState(r.U64())
-	}
-	return r.Err()
+	return nil
 }
 
-// rearmTagged rebuilds the closure a serialized tag stands for.
+// rearmTagged rebuilds the closure a serialized tag stands for. The domain
+// bits are masked off: the caller has already routed the tag to the right
+// backbone.
 func (b *Backbone) rearmTagged(tag sim.Tag, reqByID map[int]*teRequest) (func(), error) {
-	switch tag.Kind {
+	switch tag.Kind & tagKindMask {
 	case tagReconverge:
 		return b.reconvergeProvider, nil
 	case tagLocalRepair:

@@ -145,7 +145,7 @@ func (b *Backbone) wireRSVPHooks() {
 		// Tagged so a checkpoint can serialize the pending drain and a
 		// restore can re-arm it. RunDrain on an id from a pre-reconverge
 		// protocol generation is a safe no-op.
-		b.E.AfterTagged(LSPDrainDelay, sim.Tag{Kind: tagDrain, A: uint64(id)},
+		b.E.AfterTagged(LSPDrainDelay, b.tag(tagDrain, uint64(id), 0),
 			func() { b.RSVP.RunDrain(id) })
 	}
 	if b.tel == nil && b.res == nil {

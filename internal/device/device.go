@@ -315,6 +315,12 @@ func (r *Router) forwardIP(p *packet.Packet, inLink topo.LinkID) Verdict {
 		if e.OutLabel != packet.LabelImplicitNull {
 			r.LFIB.Push(p, e.OutLabel, r.expFor(p))
 		}
+		// Re-tunnelled FTN entry (inter-AS stitch): add the transport
+		// label toward the real next hop and exit via its link.
+		if e.BypassLabel != 0 {
+			r.LFIB.Push(p, e.BypassLabel, r.expFor(p))
+			return Verdict{OutLink: e.BypassLink}
+		}
 		return Verdict{OutLink: e.OutLink}
 	}
 
@@ -366,6 +372,10 @@ func (r *Router) forwardVRF(p *packet.Packet, vrf *vpn.VRF) Verdict {
 	if e, ok := r.FTN.LookupHashed(rt.NextHop, p.FlowHash()); ok {
 		if e.OutLabel != packet.LabelImplicitNull {
 			r.LFIB.Push(p, e.OutLabel, exp)
+		}
+		if e.BypassLabel != 0 {
+			r.LFIB.Push(p, e.BypassLabel, exp)
+			return Verdict{OutLink: e.BypassLink}
 		}
 		return Verdict{OutLink: e.OutLink}
 	}

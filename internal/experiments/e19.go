@@ -35,6 +35,10 @@ const (
 	e19Horizon = e19Hours * e19Hour
 )
 
+// e19Fingerprint names the checkpoint wire format; Restore refuses a
+// snapshot taken under a different fingerprint.
+const e19Fingerprint = "e19-day-in-the-life"
+
 // e19BusinessCurve shapes the AF41 transactional load (fraction of the
 // 600 pkt/s busy-hour rate) and e19BulkCurve the BE load (fraction of
 // 8 Mb/s): business peaks during office hours, bulk backups own the night.
@@ -108,14 +112,22 @@ type E19Result struct {
 	Violations           int // invariant violations (must be 0)
 }
 
-// e19SLAs are the contractual per-class targets over the whole day.
+// e19SLAs are the contractual per-class targets over the whole day. The
+// transfer class is the closed-loop AIMD backup job: greedy and
+// self-throttling, so its contract is a floor on goodput over its midday
+// window, not a loss bound (it manufactures its own loss by probing).
 func e19SLAs() map[string]stats.SLATarget {
 	return map[string]stats.SLATarget{
 		"voice":    {Name: "voice", MaxP99Ms: 30, MaxLoss: 0.02},
 		"business": {Name: "business", MaxP99Ms: 80, MaxLoss: 0.02},
 		"bulk":     {Name: "bulk", MinKbps: 1000},
+		"transfer": {Name: "transfer", MinKbps: 100},
 	}
 }
+
+// e19Classes orders the scored classes everywhere a digest or table is
+// rendered.
+var e19Classes = []string{"voice", "business", "bulk", "transfer"}
 
 type e19Rig struct {
 	b   *core.Backbone
@@ -193,9 +205,14 @@ func e19Build(mpls bool) (*e19Rig, error) {
 	if err != nil {
 		return nil, err
 	}
+	transfer, err := b.FlowBetween("transfer", "west", "east", 8080)
+	if err != nil {
+		return nil, err
+	}
 	voice.DSCP = packet.DSCPEF
 	business.DSCP = packet.DSCPAF41
 	bulk.DSCP = packet.DSCPBestEffort
+	transfer.DSCP = packet.DSCPBestEffort
 
 	// Four voice trunks run around the clock, staggered against phase lock.
 	for i := 0; i < 4; i++ {
@@ -217,6 +234,11 @@ func e19Build(mpls bool) (*e19Rig, error) {
 				start+sim.Time(h)*41*sim.Microsecond, stop))
 		}
 	}
+	// The midday backup job is closed-loop: a TCP-Reno-style AIMD source
+	// that probes for bandwidth, halves on drops, and collapses on RTO —
+	// so the soak exercises feedback traffic whose congestion state
+	// (cwnd, ssthresh, ack ledger) must ride through every checkpoint.
+	b.AttachAIMD(transfer, 1400, 16*e19Hour).Start(10 * e19Hour)
 	// Flash crowds: a mid-morning webcast and an evening event push the
 	// offered load past the line rate for half a second each.
 	b.RegisterSource(trafgen.Poisson(b.Net, business, 600, 900,
@@ -228,7 +250,9 @@ func e19Build(mpls bool) (*e19Rig, error) {
 	inj.Schedule()
 	return &e19Rig{
 		b: b, tel: tel, inj: inj,
-		fl: map[string]*trafgen.Flow{"voice": voice, "business": business, "bulk": bulk},
+		fl: map[string]*trafgen.Flow{
+			"voice": voice, "business": business, "bulk": bulk, "transfer": transfer,
+		},
 	}, nil
 }
 
@@ -236,7 +260,7 @@ func e19Build(mpls bool) (*e19Rig, error) {
 func (r *e19Rig) digest() string {
 	var sb strings.Builder
 	sb.WriteString(r.b.StateDigest())
-	for _, class := range []string{"voice", "business", "bulk"} {
+	for _, class := range e19Classes {
 		sb.WriteString(r.fl[class].Stats.Summary())
 		sb.WriteByte('\n')
 	}
@@ -289,7 +313,7 @@ func E19DayInTheLife(ckptDir string) (*E19Result, error) {
 			mplsRig = r
 			return r.b, nil
 		},
-		Fingerprint:  "e19-day-in-the-life",
+		Fingerprint:  e19Fingerprint,
 		Store:        &snapshot.Store{Dir: ckptDir, Keep: 4},
 		Interval:     2 * sim.Second,
 		Horizon:      e19Horizon + sim.Second,
@@ -322,7 +346,7 @@ func E19DayInTheLife(ckptDir string) (*E19Result, error) {
 		res.LossPct[plane] = map[string]float64{}
 		res.P99Ms[plane] = map[string]float64{}
 		pass := true
-		for _, class := range []string{"voice", "business", "bulk"} {
+		for _, class := range e19Classes {
 			f := rig.fl[class]
 			r := e19SLAs()[class].Evaluate(f.Stats)
 			res.SLA[plane][class] = r
@@ -346,4 +370,44 @@ func E19DayInTheLife(ckptDir string) (*E19Result, error) {
 	score("mpls-te", mplsRig)
 	score("overlay-ipsec", overlay)
 	return res, nil
+}
+
+// LocalizeE19Divergence bisects a failed E19 digest gate down to the first
+// checkpoint window in which the recovered run left the uninterrupted
+// trajectory. Each probe restores the newest checkpoint at or before t,
+// replays to t, and compares against a fresh reference run driven to the
+// same virtual time — O(log n) partial replays instead of eyeballing a
+// whole day of journal. ckptDir must hold the failed run's checkpoint
+// store. Returns snapshot.ErrNotViolated when the final probe still
+// matches (the divergence healed or lives outside checkpointed time).
+func LocalizeE19Divergence(ckptDir string) (snapshot.Window, int, error) {
+	store := &snapshot.Store{Dir: ckptDir}
+	times, err := store.Times()
+	if err != nil {
+		return snapshot.Window{}, 0, err
+	}
+	times = append(times, int64(e19Horizon+sim.Second))
+	probe := func(t int64) (bool, error) {
+		ref, err := e19Build(true)
+		if err != nil {
+			return false, err
+		}
+		ref.b.E.MarkSetup()
+		ref.b.Net.RunUntil(sim.Time(t))
+
+		_, data, err := store.LatestAtOrBefore(t)
+		if err != nil {
+			return false, err
+		}
+		rig, err := e19Build(true)
+		if err != nil {
+			return false, err
+		}
+		if err := rig.b.Restore(data, e19Fingerprint); err != nil {
+			return false, err
+		}
+		rig.b.Net.RunUntil(sim.Time(t))
+		return rig.digest() != ref.digest(), nil
+	}
+	return snapshot.Bisect(times, probe)
 }

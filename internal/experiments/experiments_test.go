@@ -366,6 +366,39 @@ func TestE20ControlPlaneScaling(t *testing.T) {
 	}
 }
 
+func TestE21InterASSurvivability(t *testing.T) {
+	res, err := E21InterASSurvivability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"optionA", "optionB", "optionC"} {
+		if !res.Conform[name] {
+			t.Fatalf("%s missed its SLAs on the surviving providers:\n%s", name, res.Table.String())
+		}
+		if !res.DigestMatch[name] {
+			t.Fatalf("%s: 8-shard run diverged from the serial digest", name)
+		}
+		// The outage must actually have happened: both beta peerings lost
+		// and re-established, the extranet re-selected onto the backup, a
+		// survivor's boundary plane rebuilt mid-outage, and a visible (but
+		// bounded) loss dent from the detection + graceful-restart window.
+		if res.Flaps[name] < 2 || res.Restores[name] < 2 {
+			t.Fatalf("%s: flaps=%d restores=%d; want >= 2 each", name, res.Flaps[name], res.Restores[name])
+		}
+		if res.Failovers[name] == 0 || res.Reinstalls[name] == 0 {
+			t.Fatalf("%s: failovers=%d reinstalls=%d; outage not exercised",
+				name, res.Failovers[name], res.Reinstalls[name])
+		}
+		if res.LossPct[name]["voice"] < 1.0 {
+			t.Fatalf("%s: voice loss %.2f%% — the outage left no dent, the experiment proves nothing",
+				name, res.LossPct[name]["voice"])
+		}
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d invariant violations", res.Violations)
+	}
+}
+
 func TestE19DayInTheLife(t *testing.T) {
 	res, err := E19DayInTheLife(t.TempDir())
 	if err != nil {

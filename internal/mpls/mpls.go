@@ -277,6 +277,10 @@ func (f *FTN) AddBind(fec addr.Prefix, e NHLFE) {
 	f.table.Insert(fec, []NHLFE{e})
 }
 
+// Unbind removes a FEC binding (inter-AS stitch teardown). Unknown FECs
+// are a no-op.
+func (f *FTN) Unbind(fec addr.Prefix) { f.table.Delete(fec) }
+
 // Lookup finds the first NHLFE for a destination via longest-prefix match.
 func (f *FTN) Lookup(ip addr.IPv4) (NHLFE, bool) {
 	es, ok := f.table.Lookup(ip)

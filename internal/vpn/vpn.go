@@ -182,6 +182,19 @@ func (v *VRF) InstallExternal(p addr.Prefix, siteName string) bool {
 	return true
 }
 
+// RemoveExternal deletes an inter-AS external route, but only when it is
+// still owned by siteName — a later InstallExternal from a different
+// boundary (multigraph re-selection during failover) must not be torn down
+// by the old boundary's cleanup. It reports whether a route was removed.
+func (v *VRF) RemoveExternal(p addr.Prefix, siteName string) bool {
+	cur, ok := v.table.Exact(p)
+	if !ok || !cur.External || cur.SiteName != siteName {
+		return false
+	}
+	v.table.Delete(p)
+	return true
+}
+
 // Walk visits every route in the VRF.
 func (v *VRF) Walk(fn func(addr.Prefix, Route) bool) {
 	v.table.Walk(fn)
