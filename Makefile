@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-survivability verify-intent verify-snapshot verify-controlplane verify-interas cover examples record clean
+.PHONY: all build test test-short test-race vet bench bench-reconverge bench-gate alloc-gate fuzz-short verify-parallel verify-scaling verify-survivability verify-intent verify-snapshot verify-controlplane verify-interas cover examples record clean
 
-all: build vet test test-race fuzz-short verify-intent verify-snapshot verify-controlplane verify-interas bench-reconverge bench-gate
+all: build vet test test-race fuzz-short verify-intent verify-snapshot verify-controlplane verify-interas verify-scaling bench-reconverge bench-gate
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,20 @@ verify-parallel:
 		-run='TestSerialParallelEquivalence|TestParallelWorkerInvariance|TestShardedAIMDDeterministic|TestChaosScript' \
 		./internal/core ./internal/chaos
 	$(GO) test -race -count=1 ./internal/sim ./internal/topo
+
+# The parallel-performance acceptance gate under the race detector: the
+# pair-lookahead matrix property tests (oracle equality + degenerate
+# uniform-quantum byte-equality), the worker x GOMAXPROCS invariance sweep,
+# and the serial-vs-sharded equivalence scenarios. Then a quick E22 sweep
+# (GOMAXPROCS 1 and NumCPU x shards 1/8) to confirm the scaling curve
+# still produces identical fingerprints on this host.
+verify-scaling:
+	$(GO) test -race -count=1 \
+		-run='TestWorkerGomaxprocsInvariance|TestUniformQuantumMatchesPairMatrix|TestSerialParallelEquivalence' \
+		./internal/core
+	$(GO) test -race -count=1 -run='TestPairDelay|TestRecomputePair' ./internal/topo
+	$(GO) test -race -count=1 -run='TestLookahead|TestPairMatrix|TestHandoffBelowPairBound|TestRunOnShards|TestSetLookahead' ./internal/sim
+	$(GO) run ./cmd/vpnbench -e e22 -gomaxprocs 1 -shards 1,8
 
 # The control-plane survivability acceptance gate under the race detector:
 # graceful-restart E16 (crash storm with GR on vs off), the GR edge-case

@@ -9,6 +9,7 @@
 //	vpnbench -dur 10s      # longer traffic runs (E2/E3/E5)
 //	vpnbench -perf         # perf snapshot -> BENCH_<n>.json
 //	vpnbench -perf -gate   # snapshot + fail on alloc/throughput regression
+//	vpnbench -cpuprofile cpu.pprof -perf   # profile any run with pprof
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,26 +28,65 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "comma-separated experiments to run (e1..e21 or all)")
-		dur      = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
-		e1N      = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
-		shards   = flag.String("shards", "1,2,4,8", "E15 shard counts to sweep")
-		workers  = flag.Int("workers", 0, "E15 worker pool size (0 = GOMAXPROCS)")
-		jsonFile = flag.String("json", "", "also write machine-readable results to this file")
-		perf     = flag.Bool("perf", false, "run the perf suite and write BENCH_<n>.json")
-		gate     = flag.Bool("gate", false, "with -perf: fail on allocation-budget or throughput regression")
-		benchDir = flag.String("bench-dir", ".", "directory for BENCH_<n>.json snapshots")
+		exps       = flag.String("e", "all", "comma-separated experiments to run (e1..e22 or all)")
+		dur        = flag.Duration("dur", 5*time.Second, "simulated traffic duration for E2/E3/E5/E10")
+		e1N        = flag.String("e1-sizes", "10,25,50,100,200", "E1 VPN sizes")
+		shards     = flag.String("shards", "1,2,4,8", "E15/E22 shard counts to sweep")
+		workers    = flag.Int("workers", 0, "E15 worker pool size (0 = GOMAXPROCS)")
+		gmps       = flag.String("gomaxprocs", "1,2,4,8", "E22 GOMAXPROCS values to sweep")
+		jsonFile   = flag.String("json", "", "also write machine-readable results to this file")
+		perf       = flag.Bool("perf", false, "run the perf suite and write BENCH_<n>.json")
+		gate       = flag.Bool("gate", false, "with -perf: fail on allocation-budget or throughput regression")
+		benchDir   = flag.String("bench-dir", ".", "directory for BENCH_<n>.json snapshots")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
 
+	code := 0
+	defer func() { os.Exit(code) }()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnbench: cpuprofile:", err)
+			code = 1
+			return
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vpnbench: cpuprofile:", err)
+			code = 1
+			return
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vpnbench: memprofile:", err)
+				code = 1
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vpnbench: memprofile:", err)
+				code = 1
+			}
+		}()
+	}
+
 	if *perf {
-		os.Exit(runPerf(*benchDir, *gate))
+		code = runPerf(*benchDir, *gate)
+		return
 	}
 	results := map[string]any{}
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22"} {
 			want[e] = true
 		}
 	} else {
@@ -145,14 +187,11 @@ func main() {
 	}
 
 	if want["e15"] {
-		var counts []int
-		for _, s := range strings.Split(*shards, ",") {
-			var n int
-			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "vpnbench: bad -shards entry %q\n", s)
-				os.Exit(2)
-			}
-			counts = append(counts, n)
+		counts, ok := parseIntList(*shards)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vpnbench: bad -shards list %q\n", *shards)
+			code = 2
+			return
 		}
 		// E15 sweeps the 200-site topology at several shard counts; a full
 		// -dur run per configuration is slow, so it uses its own default.
@@ -193,7 +232,8 @@ func main() {
 		res, err := experiments.E19DayInTheLife("")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpnbench: e19:", err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		results["e19"] = res
 		fmt.Println(res.Table.String())
@@ -219,7 +259,8 @@ func main() {
 		res, err := experiments.E21InterASSurvivability()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpnbench: e21:", err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		results["e21"] = res
 		fmt.Println(res.Table.String())
@@ -231,16 +272,52 @@ func main() {
 		fmt.Printf("invariant violations across all runs: %d\n\n", res.Violations)
 	}
 
+	if want["e22"] {
+		counts, ok := parseIntList(*shards)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vpnbench: bad -shards list %q\n", *shards)
+			code = 2
+			return
+		}
+		gmpList, ok := parseIntList(*gmps)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vpnbench: bad -gomaxprocs list %q\n", *gmps)
+			code = 2
+			return
+		}
+		res := experiments.E22ParallelSweep(0, gmpList, counts)
+		results["e22"] = res
+		fmt.Println(res.Table.String())
+		if !res.AllIdentical {
+			fmt.Println("WARNING: a sweep cell diverged from the serial fingerprint")
+		}
+	}
+
 	if *jsonFile != "" {
 		data, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vpnbench: marshal:", err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		if err := os.WriteFile(*jsonFile, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "vpnbench:", err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		fmt.Printf("results written to %s\n", *jsonFile)
 	}
+}
+
+// parseIntList parses a comma-separated list of positive ints.
+func parseIntList(s string) ([]int, bool) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, false
+		}
+		out = append(out, n)
+	}
+	return out, true
 }

@@ -21,15 +21,26 @@ import (
 // (E4), full data-plane throughput and allocation rate on the 200-site
 // backbone (E17), and the sharded engine's event throughput (E15).
 type BenchReport struct {
-	Generated  string             `json:"generated"`
-	GoMaxProcs int                `json:"gomaxprocs"`
-	E4NsPerOp  map[string]float64 `json:"e4_ns_per_op"`
+	Generated  string `json:"generated"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// HostCPUs is runtime.NumCPU() — recorded so a snapshot from a laptop
+	// is never silently compared against one from a build server.
+	HostCPUs int `json:"host_cpus"`
+	// SectionGoMaxProcs records the GOMAXPROCS each section actually ran
+	// under. The comparison gate refuses to score a section against a
+	// previous snapshot taken at a different core count: wall-clock
+	// numbers across core counts are different experiments, not a
+	// regression signal.
+	SectionGoMaxProcs map[string]int     `json:"section_gomaxprocs"`
+	E4NsPerOp         map[string]float64 `json:"e4_ns_per_op"`
 	// Backbone200 is the pooled 200-site run.
 	Backbone200 BenchDataPlane `json:"backbone200"`
 	// Unpooled200 is the same workload with freelists disabled (ablation).
 	Unpooled200 BenchDataPlane `json:"unpooled200"`
 	// E15EventsPerSec keys are "serial" and "shards-<n>".
 	E15EventsPerSec map[string]float64 `json:"e15_events_per_sec"`
+	// E22Scaling is the GOMAXPROCS x shards scaling curve.
+	E22Scaling BenchScaling `json:"e22_scaling"`
 	// E19Soak is the day-in-the-life SLA scorecard under checkpoint/resume.
 	E19Soak BenchSoak `json:"e19_soak"`
 	// E20ControlPlane is the million-route control-plane scaling snapshot.
@@ -88,6 +99,16 @@ type BenchSoak struct {
 	// VoiceLossPct and VoiceP99Ms track the headline class per plane.
 	VoiceLossPct map[string]float64 `json:"voice_loss_pct"`
 	VoiceP99Ms   map[string]float64 `json:"voice_p99_ms"`
+}
+
+// BenchScaling summarizes the E22 core-count sweep. Keys are
+// "gmp<g>/serial" and "gmp<g>/shards-<k>"; speedups are always against the
+// serial baseline at the same GOMAXPROCS.
+type BenchScaling struct {
+	HostCPUs     int                `json:"host_cpus"`
+	EventsPerSec map[string]float64 `json:"events_per_sec"`
+	Speedup      map[string]float64 `json:"speedup"`
+	AllIdentical bool               `json:"all_identical"`
 }
 
 // BenchDataPlane summarizes one measured data-plane run.
@@ -149,6 +170,10 @@ func runPerf(dir string, gate bool) int {
 	}
 	fmt.Println()
 
+	fmt.Println("perf: E22 scaling curve (GOMAXPROCS x shards)...")
+	e22 := experiments.E22ParallelSweep(0, nil, nil)
+	fmt.Println(e22.Table.String())
+
 	fmt.Println("perf: E19 day-in-the-life soak (checkpointed)...")
 	// The checkpoint store outlives the run so a failed digest gate can
 	// bisect it for the first divergent window.
@@ -187,11 +212,25 @@ func runPerf(dir string, gate bool) int {
 	fmt.Println(e20.Headline.String())
 	fmt.Println(e20.ISPF.String())
 
+	// Every section above runs at the ambient GOMAXPROCS except E22,
+	// which sweeps its own values and compares only within each one.
+	sections := map[string]int{}
+	for _, s := range []string{"e4", "e15", "e17", "e19", "e20", "e21", "e22"} {
+		sections[s] = gomaxprocs()
+	}
 	rep := &BenchReport{
-		Generated:       time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:      gomaxprocs(),
-		E4NsPerOp:       e4.NsPerOp,
-		E15EventsPerSec: e15,
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:        gomaxprocs(),
+		HostCPUs:          runtime.NumCPU(),
+		SectionGoMaxProcs: sections,
+		E4NsPerOp:         e4.NsPerOp,
+		E15EventsPerSec:   e15,
+		E22Scaling: BenchScaling{
+			HostCPUs:     e22.HostCPUs,
+			EventsPerSec: map[string]float64{},
+			Speedup:      map[string]float64{},
+			AllIdentical: e22.AllIdentical,
+		},
 		E19Soak: BenchSoak{
 			Checkpoints:  e19.Checkpoints,
 			Cycles:       e19.Cycles,
@@ -206,6 +245,17 @@ func runPerf(dir string, gate bool) int {
 	for plane := range e19.LossPct {
 		rep.E19Soak.VoiceLossPct[plane] = e19.LossPct[plane]["voice"]
 		rep.E19Soak.VoiceP99Ms[plane] = e19.P99Ms[plane]["voice"]
+	}
+	for _, run := range e22.Runs {
+		name := "serial"
+		if run.Shards > 0 {
+			name = fmt.Sprintf("shards-%d", run.Shards)
+		}
+		key := fmt.Sprintf("gmp%d/%s", run.GoMaxProcs, name)
+		rep.E22Scaling.EventsPerSec[key] = run.EventsPerSec
+		if run.Shards > 0 {
+			rep.E22Scaling.Speedup[key] = run.Speedup
+		}
 	}
 	rep.E21InterAS = BenchInterAS{
 		Conform:      e21.Conform,
@@ -303,6 +353,32 @@ func runPerf(dir string, gate bool) int {
 			rep.Backbone200.AllocsPerPkt, maxAllocsPerPkt)
 		fail = true
 	}
+	// E22 scaling gates. Determinism is exact: every cell of the sweep
+	// must reproduce the serial fingerprint. The speedup bar depends on
+	// what the host can physically deliver: with >= 8 real cores the
+	// 8-shard engine must beat serial 4x at GOMAXPROCS=8; on smaller
+	// hosts (where "parallelism" is time-slicing on the same silicon) the
+	// bar is near-parity at GOMAXPROCS=1 — the sharded engine must not
+	// tax the single-core case for headroom it cannot use.
+	if !rep.E22Scaling.AllIdentical {
+		fmt.Println("GATE: an e22 sweep cell diverged from the serial fingerprint")
+		fail = true
+	}
+	if rep.HostCPUs >= 8 {
+		if sp := e22.Speedup(8, 8); sp < 4 {
+			fmt.Printf("GATE: e22 shards-8 at GOMAXPROCS=8 sped up %.2fx on %d CPUs, want >= 4x\n",
+				sp, rep.HostCPUs)
+			fail = true
+		}
+	} else {
+		serial1 := e22.EventsPerSec(1, 0)
+		shards8 := e22.EventsPerSec(1, 8)
+		if serial1 > 0 && shards8 < serial1*0.80 {
+			fmt.Printf("GATE: e22 shards-8 at GOMAXPROCS=1 runs at %.0f events/sec vs serial %.0f — more than 20%% single-core overhead\n",
+				shards8, serial1)
+			fail = true
+		}
+	}
 	// E20 control-plane gates: the headline must really be a million-route
 	// build, reflection must collapse the session count by two orders of
 	// magnitude, the incremental recomputes must beat full recompute 10x,
@@ -359,22 +435,37 @@ func runPerf(dir string, gate bool) int {
 	}
 	if prev != nil {
 		fmt.Printf("comparison vs %s:\n", prevPath)
-		cmp := func(name string, old, new float64, higherBetter bool) {
+		if prev.HostCPUs != 0 && prev.HostCPUs != rep.HostCPUs {
+			fmt.Printf("  note: host CPU count changed %d -> %d\n", prev.HostCPUs, rep.HostCPUs)
+		}
+		cmp := func(section, name string, old, new float64, higherBetter bool) {
 			if old == 0 {
 				return
 			}
+			// Refuse cross-core-count comparisons: a section measured at a
+			// different GOMAXPROCS is a different experiment, and scoring
+			// it would turn a hardware change into a phantom regression
+			// (or mask a real one behind extra cores).
+			if po, no := prev.sectionGomaxprocs(section), rep.sectionGomaxprocs(section); po != no {
+				fmt.Printf("  %-34s skipped: %s ran at GOMAXPROCS %d, now %d\n", name, section, po, no)
+				return
+			}
 			delta := (new - old) / old * 100
-			fmt.Printf("  %-28s %12.1f -> %12.1f  (%+.1f%%)\n", name, old, new, delta)
+			fmt.Printf("  %-34s %12.1f -> %12.1f  (%+.1f%%)\n", name, old, new, delta)
 			if gate && higherBetter && new < old*(1-maxPPSRegression) {
 				fmt.Printf("GATE: %s regressed more than %.0f%%\n", name, maxPPSRegression*100)
 				fail = true
 			}
 		}
-		cmp("backbone200.pps", prev.Backbone200.PPS, rep.Backbone200.PPS, true)
-		cmp("backbone200.events_per_sec", prev.Backbone200.EventsPerSec, rep.Backbone200.EventsPerSec, true)
-		cmp("backbone200.allocs_per_pkt", prev.Backbone200.AllocsPerPkt, rep.Backbone200.AllocsPerPkt, false)
-		cmp("e4.ilm_ns_per_op", prev.E4NsPerOp["ilm"], rep.E4NsPerOp["ilm"], false)
-		cmp("e15.serial_events_per_sec", prev.E15EventsPerSec["serial"], rep.E15EventsPerSec["serial"], true)
+		cmp("e17", "backbone200.pps", prev.Backbone200.PPS, rep.Backbone200.PPS, true)
+		cmp("e17", "backbone200.events_per_sec", prev.Backbone200.EventsPerSec, rep.Backbone200.EventsPerSec, true)
+		cmp("e17", "backbone200.allocs_per_pkt", prev.Backbone200.AllocsPerPkt, rep.Backbone200.AllocsPerPkt, false)
+		cmp("e4", "e4.ilm_ns_per_op", prev.E4NsPerOp["ilm"], rep.E4NsPerOp["ilm"], false)
+		cmp("e15", "e15.serial_events_per_sec", prev.E15EventsPerSec["serial"], rep.E15EventsPerSec["serial"], true)
+		cmp("e22", "e22.gmp1_serial_events_per_sec",
+			prev.E22Scaling.EventsPerSec["gmp1/serial"], rep.E22Scaling.EventsPerSec["gmp1/serial"], true)
+		cmp("e22", "e22.gmp1_shards8_events_per_sec",
+			prev.E22Scaling.EventsPerSec["gmp1/shards-8"], rep.E22Scaling.EventsPerSec["gmp1/shards-8"], true)
 	}
 	if fail && gate {
 		fmt.Println("perf gate FAILED")
@@ -426,3 +517,12 @@ func benchIndices(dir string) []int {
 }
 
 func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
+
+// sectionGomaxprocs returns the GOMAXPROCS a section ran under; snapshots
+// from before per-section recording fall back to the report-wide value.
+func (r *BenchReport) sectionGomaxprocs(section string) int {
+	if v, ok := r.SectionGoMaxProcs[section]; ok {
+		return v
+	}
+	return r.GoMaxProcs
+}

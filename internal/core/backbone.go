@@ -232,6 +232,16 @@ type Backbone struct {
 	// IsolationViolations counts packets delivered into a different VPN
 	// than they were injected into: must stay zero (E6).
 	IsolationViolations int
+	// isoAcc holds per-shard isolation-violation cells when the delivery
+	// fast path runs inside shard segments; merged into the total at each
+	// barrier (the count is commutative, so shard-local accumulation is
+	// digest-invisible).
+	isoAcc *telemetry.ShardAccumulator
+	// ownsDelivery is true when this backbone installed Net.OnDeliver
+	// itself (false for the shared-network multi-AS case, where the
+	// InterAS dispatcher owns delivery and per-backbone shard-local
+	// accounting would misattribute cross-AS packets).
+	ownsDelivery bool
 
 	// deliverHooks are caller hooks run on every delivery, in order.
 	deliverHooks []func(topo.NodeID, *packet.Packet)
@@ -282,6 +292,7 @@ func NewBackbone(cfg Config) *Backbone {
 	net := netsim.New(e, g)
 	b := newBackboneOn(cfg, e, g, net)
 	net.OnDeliver = b.onDeliver
+	b.ownsDelivery = true
 	return b
 }
 
@@ -332,6 +343,45 @@ func newBackboneOn(cfg Config, e *sim.Engine, g *topo.Graph, net *netsim.Network
 // additive: registering one never displaces another.
 func (b *Backbone) OnDeliver(fn func(topo.NodeID, *packet.Packet)) {
 	b.deliverHooks = append(b.deliverHooks, fn)
+	// Caller hooks observe the global time-sorted stream; deliveries must
+	// come back to the coordinator.
+	b.disableLocalDeliver()
+}
+
+// installLocalDeliver moves per-packet delivery accounting into the
+// destination shard's segment when that is safe: the backbone owns
+// delivery dispatch, and no global observer (telemetry, AIMD feedback,
+// caller hooks, request/response) needs the barrier's deterministic
+// time-sorted stream. Isolation checks and flow stats qualify — the
+// isolation count goes through a per-shard accumulator cell, and a flow's
+// deliveries all land on the one shard owning its destination, so each
+// FlowStats keeps a single writer.
+func (b *Backbone) installLocalDeliver() {
+	if b.ownsDelivery && b.E.Sharded() && b.tel == nil && b.aimd == nil && len(b.deliverHooks) == 0 {
+		b.Net.OnDeliverLocal = b.onDeliverLocal
+	}
+}
+
+// disableLocalDeliver routes deliveries back through the deferred barrier
+// notes. Called whenever a global observer appears.
+func (b *Backbone) disableLocalDeliver() {
+	b.Net.OnDeliverLocal = nil
+}
+
+// onDeliverLocal is the shard-segment twin of onDeliver: identical
+// accounting, but IsolationViolations accumulates in the shard's cell and
+// the flow lookup uses the shard-local clock. The maps it reads (siteByCE,
+// vpns, flows) only mutate on the global band, which never overlaps a
+// segment.
+func (b *Backbone) onDeliverLocal(shard int, now sim.Time, at topo.NodeID, p *packet.Packet) {
+	if p.OriginVPN != "" {
+		if rec, ok := b.siteByCE[at]; ok && !b.legitimateDelivery(p.OriginVPN, rec.Spec.VPN) {
+			b.isoAcc.Add(shard, 0, 1)
+		}
+	}
+	if fl, ok := b.flows[p.FlowKey()]; ok {
+		fl.Stats.RecordDelivery(p.SentAt, now, p.Payload)
+	}
 }
 
 // onDeliver enforces the E6 invariant: a packet may only terminate in the

@@ -143,11 +143,29 @@ func (b *Backbone) EnableResilience(opts ResilienceOptions) {
 }
 
 // refreshScan runs one RSVP soft-state round; expired LSPs flow back
-// through wireRSVPHooks into the retry queue.
+// through wireRSVPHooks into the retry queue. On a sharded engine the
+// read-only path-liveness probes stripe across the worker pool (the scan
+// runs on the global band, where the workers sit idle); the mutating
+// commit stays serial in LSP ID order, so the outcome is byte-identical.
 func (b *Backbone) refreshScan() {
-	if b.RSVP != nil {
-		b.RSVP.RefreshScan(b.res.opt.RefreshMisses)
+	if b.RSVP == nil {
+		return
 	}
+	if b.E.Sharded() {
+		shards := b.E.NumShards()
+		b.RSVP.RefreshScanWith(b.res.opt.RefreshMisses, func(n int, fn func(int)) {
+			if n == 0 {
+				return
+			}
+			b.E.RunOnShards(func(shard int) {
+				for i := shard; i < n; i += shards {
+					fn(i)
+				}
+			})
+		})
+		return
+	}
+	b.RSVP.RefreshScan(b.res.opt.RefreshMisses)
 }
 
 // teLost reacts to an involuntary LSP loss (preemption, refresh expiry):

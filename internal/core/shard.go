@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mplsvpn/internal/sim"
+	"mplsvpn/internal/telemetry"
 	"mplsvpn/internal/topo"
 )
 
@@ -14,9 +15,12 @@ type ShardingOptions struct {
 	// Workers sizes the engine's worker pool; 0 means GOMAXPROCS. Any
 	// value yields byte-identical results — it only changes wall-clock.
 	Workers int
-	// Quantum overrides the conservative lookahead. 0 derives the largest
-	// legal value: the minimum propagation delay over cut links. A custom
-	// value must not exceed that bound.
+	// Quantum overrides the conservative lookahead with a single uniform
+	// bound. 0 derives the largest legal values: the per-shard-pair
+	// minimum cut-link delays (sim.Engine.SetLookahead), whose tightest
+	// entry is the classic global min-cut bound. A custom value must not
+	// exceed that global bound; setting one degenerates the pair matrix to
+	// the uniform quantum (the property-test oracle configuration).
 	Quantum sim.Time
 }
 
@@ -50,8 +54,22 @@ func (b *Backbone) EnableSharding(opts ShardingOptions) (*topo.PartitionResult, 
 		quantum = opts.Quantum
 	}
 	b.E.EnableShards(pr.NumShards, quantum, opts.Workers)
+	if opts.Quantum == 0 {
+		// Per-pair lookahead: each shard advances to the minimum over its
+		// incoming pair bounds instead of the single global min-cut delay,
+		// so a partition with one short cut edge no longer throttles every
+		// other pair's segments.
+		b.E.SetLookahead(pr.PairDelay)
+	}
 	if err := b.Net.SetSharding(pr.Assign); err != nil {
 		return nil, err
 	}
+	// Per-shard isolation-violation cells back the shard-local delivery
+	// fast path; the merge is commutative, so totals match the serial run.
+	b.isoAcc = telemetry.NewShardAccumulator(pr.NumShards, 1)
+	b.E.OnBarrier(func() {
+		b.isoAcc.Drain(func(_ int, total int64) { b.IsolationViolations += int(total) })
+	})
+	b.installLocalDeliver()
 	return pr, nil
 }

@@ -60,6 +60,9 @@ func (b *Backbone) EnableTelemetry(opts TelemetryOptions) *telemetry.Telemetry {
 	b.tel = telemetry.New(opts.Interval, opts.JournalCap)
 	b.telHotThreshold = opts.HotLinkThreshold
 	b.vpnTel = make(map[string]*vpnTel)
+	// Telemetry observes every delivery in global time order; deliveries
+	// must come back through the barrier stream.
+	b.disableLocalDeliver()
 
 	b.Net.EnableTelemetry(b.tel.Reg)
 	b.tel.OnSample = b.Net.SampleTelemetry

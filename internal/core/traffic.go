@@ -110,6 +110,8 @@ func (b *Backbone) AttachAIMD(f *trafgen.Flow, payload int, stop sim.Time) *traf
 	}
 	if b.aimd == nil {
 		b.aimd = make(map[packet.FlowKey]*trafgen.AIMD)
+		// AIMD acks ride the barrier's time-sorted delivery stream.
+		b.disableLocalDeliver()
 		prevDrop := b.Net.OnDrop
 		b.Net.OnDrop = func(at topo.NodeID, p *packet.Packet, reason packet.DropReason) {
 			if src, ok := b.aimd[p.FlowKey()]; ok {

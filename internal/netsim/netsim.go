@@ -41,6 +41,17 @@ type Network struct {
 	// OnDeliver is invoked when a packet reaches its destination. The
 	// packet is recycled when the hook returns: do not retain it.
 	OnDeliver func(at topo.NodeID, p *packet.Packet)
+	// OnDeliverLocal, when set on a sharded network, replaces the deferred
+	// OnDeliver barrier note entirely: it runs inside the destination
+	// shard's segment, on the worker goroutine, with the shard-local time,
+	// and the packet recycles into the shard's own pool immediately. It
+	// exists to keep per-packet accounting off the serial global band —
+	// install it only when every side effect is confined to the
+	// destination shard (or commutative, e.g. a per-shard accumulator
+	// cell): flow stats keyed by destination, isolation counters. Leave it
+	// nil whenever a global observer (telemetry, AIMD feedback, caller
+	// delivery hooks) needs the deterministic time-sorted barrier stream.
+	OnDeliverLocal func(shard int, now sim.Time, at topo.NodeID, p *packet.Packet)
 	// OnDrop is invoked when a packet is dropped anywhere, with the typed
 	// reason (format with reason.String() — the hot path never does). The
 	// packet is recycled when the hook returns: do not retain it.
@@ -295,6 +306,14 @@ func (n *Network) deliver(clk sim.Clock, at topo.NodeID, p *packet.Packet) {
 	n.count(clk, ctrDelivered, 1)
 	if sh, ok := clk.(*sim.Shard); ok {
 		pl := n.poolFor(clk)
+		if n.OnDeliverLocal != nil {
+			// Shard-confined accounting: no barrier note, no coordinator
+			// round trip — the delivery settles entirely inside the
+			// segment that produced it.
+			n.OnDeliverLocal(sh.ID(), sh.Now(), at, p)
+			pl.putPacket(p)
+			return
+		}
 		if n.OnDeliver == nil {
 			// No observer: the packet's journey ends inside this shard's
 			// segment, so it recycles into the shard's own pool right away.

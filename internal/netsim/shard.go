@@ -59,9 +59,17 @@ func (n *Network) SetSharding(assign []int) error {
 	}
 	for i := 0; i < n.G.NumLinks(); i++ {
 		l := n.G.Link(topo.LinkID(i))
-		if assign[l.From] != assign[l.To] && l.Delay < quantum {
-			return fmt.Errorf("netsim: cross-shard link %s->%s delay %v below lookahead quantum %v",
-				n.G.Name(l.From), n.G.Name(l.To), l.Delay, quantum)
+		if assign[l.From] == assign[l.To] {
+			continue
+		}
+		// The legality floor is per pair: a cross-shard packet must not be
+		// able to arrive before the destination's segment bound, which the
+		// engine derives from exactly this bound. With no matrix installed
+		// every pair bound is the global quantum and this reduces to the
+		// classic check.
+		if bound := n.E.PairLookahead(assign[l.From], assign[l.To]); l.Delay < bound {
+			return fmt.Errorf("netsim: cross-shard link %s->%s delay %v below pair lookahead bound %v (shard %d -> %d, global quantum %v)",
+				n.G.Name(l.From), n.G.Name(l.To), l.Delay, bound, assign[l.From], assign[l.To], quantum)
 		}
 	}
 	// Materialize every port up front: the per-link map must be read-only

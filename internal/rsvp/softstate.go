@@ -24,15 +24,43 @@ const DefaultRefreshMisses = 3
 // in Timeouts. A clean refresh resets the miss counter. The IDs of the
 // LSPs torn down this round are returned.
 func (p *Protocol) RefreshScan(maxMiss int) []int {
+	return p.RefreshScanWith(maxMiss, nil)
+}
+
+// RefreshScanWith is RefreshScan with the read-only phase under caller
+// control: the path-liveness probe of every Up LSP is independent of all
+// the others, so a sharded host can stripe it across its worker pool. When
+// each is non-nil it must invoke fn(i) exactly once for every i in [0, n)
+// — concurrently if it likes — and return only when all calls finished.
+// The mutating phase (miss counters, teardowns, events) stays serial and
+// in LSP ID order, so the outcome is byte-identical to the serial scan no
+// matter how the probe phase is scheduled.
+func (p *Protocol) RefreshScanWith(maxMiss int, each func(n int, fn func(i int))) []int {
 	if maxMiss <= 0 {
 		maxMiss = DefaultRefreshMisses
 	}
-	var expired []int
-	for _, l := range p.LSPs() {
-		if l.State != Up {
-			continue
+	all := p.LSPs()
+	up := all[:0] // LSPs returns a fresh slice; filter it in place
+	for _, l := range all {
+		if l.State == Up {
+			up = append(up, l)
 		}
-		if !p.pathBroken(l) {
+	}
+	broken := make([]bool, len(up))
+	probe := func(i int) { broken[i] = p.pathBroken(up[i]) }
+	if each != nil {
+		each(len(up), probe)
+	} else {
+		for i := range up {
+			probe(i)
+		}
+	}
+	var expired []int
+	for i, l := range up {
+		if l.State != Up {
+			continue // torn down by an earlier commit this round
+		}
+		if !broken[i] {
 			l.refreshMisses = 0
 			continue
 		}

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Action is a schedulable unit of work, the allocation-free alternative to
 // a func() closure. Hot-path components implement Run on a pooled struct
 // (a pointer-to-struct stored in the interface does not allocate) and
@@ -101,17 +103,20 @@ func (s *Shard) HandoffAction(dst *Shard, d Time, act Action) {
 		s.PostAfter(d, act)
 		return
 	}
-	if s.draining && d < s.eng.par.quantum {
-		panic("sim: handoff delay below lookahead quantum")
+	if s.draining {
+		if bound := s.eng.par.lookFor(s.id, dst.id); d < bound {
+			panic(fmt.Sprintf("sim: handoff shard %d -> shard %d delay %v below pair lookahead bound %v (global quantum %v)",
+				s.id, dst.id, d, bound, s.eng.par.quantum))
+		}
 	}
-	s.out = append(s.out, handoffMsg{dst: dst, at: s.Now() + d, act: act})
+	s.outTo[dst.id] = append(s.outTo[dst.id], handoffMsg{at: s.Now() + d, act: act})
 }
 
 // DeferAction is the Action counterpart of Defer: act runs at the next
 // barrier on the coordinating goroutine, ordered with all other deferred
 // notifications by (time, source shard, emit sequence).
 func (s *Shard) DeferAction(act Action) {
-	s.notes = append(s.notes, noteMsg{at: s.Now(), act: act})
+	s.pushNote(noteMsg{at: s.Now(), act: act})
 }
 
 // heapPushEvent is heap.Push specialized to the event heap. The generic

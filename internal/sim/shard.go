@@ -8,16 +8,29 @@
 //
 // The schedule alternates two phases:
 //
-//   - a *segment* [t0, b): every shard independently drains its events with
-//     at < b, where b = min(t0 + quantum, next global event). The quantum is
-//     the conservative lookahead — it must not exceed the minimum delay of
-//     any cross-shard link, so no event executed in a segment can affect
-//     another shard within the same segment.
+//   - a *segment*: every shard i independently drains its events with
+//     at < b_i, where b_i is the shard's conservative bound — the earliest
+//     instant any other shard could still affect it. With the per-pair
+//     lookahead matrix, b_i = min over senders j of (j's earliest pending
+//     event + look[j][i]), clamped by the next global event. Without a
+//     matrix every pair bound is the single quantum, which degenerates to
+//     the classic global min-cut bound.
 //   - a *barrier*: cross-shard handoffs buffered during the segment are
 //     merged into their destination queues in (source shard, sequence)
-//     order, deferred notifications run on the coordinating goroutine in
-//     (time, source shard, sequence) order, and per-shard telemetry
-//     accumulators merge. Then any due global events run.
+//     order — per-destination slabs bulk-loaded in one pass, not
+//     per-message heap pushes — deferred notifications run on the
+//     coordinating goroutine in (time, source shard, sequence) order, and
+//     per-shard telemetry accumulators merge. Then any due global events
+//     run.
+//
+// Because shard boundaries differ, a barrier may close with one shard far
+// ahead of another. Deferred notifications therefore release only below
+// the *watermark* (the minimum boundary over all shards): no shard can
+// ever emit a note older than that, so the dispatched stream stays
+// globally time-sorted, exactly as the serial engine would produce it.
+// Notes at or above the watermark are retained, still in per-shard emit
+// order, and release at a later barrier — always before any global-band
+// event runs.
 //
 // Determinism: each shard's drain order is fixed by its own (time, seq)
 // heap regardless of worker count; the barrier merge orders are fixed by
@@ -69,17 +82,18 @@ type Shard struct {
 	setupSeq uint64 // watermark set by MarkSetup; lower seqs are setup events
 	now      Time
 	executed uint64
+	limit    Time      // current segment boundary, set by the coordinator
 	draining bool      // true only while the owning worker drains a segment
 	pool     eventFree // freelist backing Post/PostAfter
 
-	out   []handoffMsg // cross-shard sends buffered for the next barrier
-	notes []noteMsg    // deferred notifications for the next barrier
+	outTo  [][]handoffMsg // per-destination cross-shard slabs for the barrier
+	notes  []noteMsg      // deferred notifications, retained in emit order
+	noteLo int            // dispatch cursor into notes (entries below are done)
 }
 
 // handoffMsg is a cross-shard event waiting for the barrier merge. One of
 // fn and act is set.
 type handoffMsg struct {
-	dst *Shard
 	at  Time
 	fn  func()
 	act Action
@@ -134,11 +148,12 @@ func (s *Shard) After(d Time, fn func()) *Event {
 }
 
 // Handoff schedules fn on dst, d from now — the only legal way to move work
-// across shards. During a segment d must be at least the engine's quantum
-// (the conservative lookahead); violating that would let a shard affect
-// another within the same segment and is a hard error, not a silent
-// determinism bug. The message is buffered and merged into dst at the next
-// barrier in (source shard, send order) sequence.
+// across shards. During a segment d must be at least the pair's lookahead
+// bound (the conservative lookahead for this src->dst direction); violating
+// that would let a shard affect another within the same segment and is a
+// hard error, not a silent determinism bug. The message is buffered and
+// merged into dst at the next barrier in (source shard, send order)
+// sequence.
 func (s *Shard) Handoff(dst *Shard, d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative handoff delay %v", d))
@@ -147,19 +162,43 @@ func (s *Shard) Handoff(dst *Shard, d Time, fn func()) {
 		s.After(d, fn)
 		return
 	}
-	if s.draining && d < s.eng.par.quantum {
-		panic(fmt.Sprintf("sim: handoff delay %v below lookahead quantum %v", d, s.eng.par.quantum))
+	if s.draining {
+		if bound := s.eng.par.lookFor(s.id, dst.id); d < bound {
+			panic(fmt.Sprintf("sim: handoff shard %d -> shard %d delay %v below pair lookahead bound %v (global quantum %v)",
+				s.id, dst.id, d, bound, s.eng.par.quantum))
+		}
 	}
-	s.out = append(s.out, handoffMsg{dst: dst, at: s.Now() + d, fn: fn})
+	s.outTo[dst.id] = append(s.outTo[dst.id], handoffMsg{at: s.Now() + d, fn: fn})
 }
 
-// Defer queues fn as a deferred notification: it runs at the next barrier
+// Defer queues fn as a deferred notification: it runs at a barrier
 // on the coordinating goroutine, with the engine clock set to the
 // shard-local time of the Defer call. Notifications from all shards
-// dispatch in (time, source shard, sequence) order, so global observers
-// (delivery hooks, SLA watchers, journals) see one deterministic stream.
+// dispatch in (time, source shard, sequence) order — across barriers too,
+// via watermark retention — so global observers (delivery hooks, SLA
+// watchers, journals) see one deterministic, time-sorted stream.
 func (s *Shard) Defer(fn func()) {
-	s.notes = append(s.notes, noteMsg{at: s.Now(), fn: fn})
+	s.pushNote(noteMsg{at: s.Now(), fn: fn})
+}
+
+// pushNote appends a deferred notification, keeping the retained queue
+// sorted by stamp. Emission stamps are nondecreasing by construction (the
+// shard clock never runs backwards), so the common case is a plain append;
+// the insertion fallback makes retention robust to any out-of-order
+// emitter rather than silently breaking the time-sorted dispatch contract.
+func (s *Shard) pushNote(nt noteMsg) {
+	n := len(s.notes)
+	if n == 0 || s.notes[n-1].at <= nt.at {
+		s.notes = append(s.notes, nt)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return s.notes[i].at > nt.at })
+	if i < s.noteLo {
+		i = s.noteLo // never reorder behind the dispatch cursor
+	}
+	s.notes = append(s.notes, noteMsg{})
+	copy(s.notes[i+1:], s.notes[i:])
+	s.notes[i] = nt
 }
 
 // drain executes the shard's events with due time strictly before boundary.
@@ -203,29 +242,25 @@ func peekAlive(h *eventHeap) *Event {
 type parEngine struct {
 	e         *Engine
 	shards    []*Shard
-	quantum   Time
+	quantum   Time     // global floor: minimum over all pair bounds
+	look      [][]Time // direct pair lookahead matrix [src][dst]; nil = uniform quantum
+	closed    [][]Time // min-plus transitive closure of look; governs segment bounds
 	workers   int
 	onBarrier []func()
 
-	boundary Time // current segment boundary, read by workers
-	jobs     chan *Shard
-	wg       sync.WaitGroup
-	active   []*Shard // scratch
-	dispatch []noteDispatch
-}
+	jobs chan *Shard
+	wg   sync.WaitGroup
+	scan func(int) // when set, workers run this instead of drain (RunOnShards)
 
-type noteDispatch struct {
-	at    Time
-	shard int
-	seq   int
-	fn    func()
-	act   Action
+	active []*Shard // scratch
+	next   []Time   // scratch: per-shard earliest pending event this round
 }
 
 // EnableShards switches the engine to the sharded backend with n shard
 // queues, the given conservative lookahead quantum, and a worker pool of
 // the given size (0 means GOMAXPROCS). Existing queued events stay on the
-// global band. Call once, before Run.
+// global band. Call once, before Run. The quantum is the uniform pair
+// bound; SetLookahead may widen individual pairs afterwards.
 func (e *Engine) EnableShards(n int, quantum Time, workers int) {
 	if e.par != nil {
 		panic("sim: EnableShards called twice")
@@ -244,9 +279,136 @@ func (e *Engine) EnableShards(n int, quantum Time, workers int) {
 	}
 	p := &parEngine{e: e, quantum: quantum, workers: workers}
 	for i := 0; i < n; i++ {
-		p.shards = append(p.shards, &Shard{id: i, eng: e, now: e.now})
+		p.shards = append(p.shards, &Shard{id: i, eng: e, now: e.now, outTo: make([][]handoffMsg, n)})
 	}
+	p.next = make([]Time, n)
 	e.par = p
+}
+
+// SetLookahead installs the per-pair lookahead matrix: look[src][dst] is
+// the minimum virtual-time distance any causality can travel from shard
+// src to shard dst (for a partitioned topology, the minimum propagation
+// delay over src->dst cut links; MaxTime when no such link exists). Every
+// entry must be at least the EnableShards quantum — the matrix can only
+// widen the conservative bound, never narrow the floor that non-matrix-
+// aware senders rely on. Call after EnableShards, before Run.
+func (e *Engine) SetLookahead(look [][]Time) {
+	p := e.par
+	if p == nil {
+		panic("sim: SetLookahead requires a sharded engine")
+	}
+	n := len(p.shards)
+	if len(look) != n {
+		panic(fmt.Sprintf("sim: lookahead matrix has %d rows, engine has %d shards", len(look), n))
+	}
+	m := make([][]Time, n)
+	for i, row := range look {
+		if len(row) != n {
+			panic(fmt.Sprintf("sim: lookahead row %d has %d entries, engine has %d shards", i, len(row), n))
+		}
+		m[i] = make([]Time, n)
+		for j, v := range row {
+			if i == j {
+				m[i][j] = 0 // diagonal is unused: same-shard sends are local
+				continue
+			}
+			if v < p.quantum {
+				panic(fmt.Sprintf("sim: pair lookahead %d -> %d bound %v below quantum %v", i, j, v, p.quantum))
+			}
+			m[i][j] = v
+		}
+	}
+	p.look = m
+	p.recomputeClosure()
+}
+
+// recomputeClosure rebuilds the min-plus transitive closure of the direct
+// pair matrix (Floyd–Warshall over saturating addition). Segment bounds
+// must use the closure, not the direct matrix: shard j's pending event can
+// reach shard i through an intermediate shard k in look[j][k]+look[k][i]
+// virtual time even when no direct j->i cut link exists — a bound built
+// from direct entries alone would let i race past a multi-hop arrival and
+// clamp it into the past. O(n³) on the shard count, so rebuilding on every
+// incremental pair update is cheap.
+func (p *parEngine) recomputeClosure() {
+	n := len(p.shards)
+	c := p.closed
+	if c == nil {
+		c = make([][]Time, n)
+		for i := range c {
+			c[i] = make([]Time, n)
+		}
+		p.closed = c
+	}
+	for i := range c {
+		copy(c[i], p.look[i])
+		c[i][i] = 0
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if i == k {
+				continue
+			}
+			ik := c[i][k]
+			if ik == MaxTime {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := satAdd(ik, c[k][j]); v < c[i][j] {
+					c[i][j] = v
+				}
+			}
+		}
+	}
+}
+
+// UpdatePairLookahead narrows or widens one pair bound in place — the
+// incremental hook for partition-edge changes (a new cut link, a delay
+// edit) without rebuilding the whole matrix. The bound must still respect
+// the global quantum floor.
+func (e *Engine) UpdatePairLookahead(src, dst int, bound Time) {
+	p := e.par
+	if p == nil {
+		panic("sim: UpdatePairLookahead requires a sharded engine")
+	}
+	if p.look == nil {
+		panic("sim: UpdatePairLookahead requires SetLookahead first")
+	}
+	if src == dst {
+		return
+	}
+	if bound < p.quantum {
+		panic(fmt.Sprintf("sim: pair lookahead %d -> %d bound %v below quantum %v", src, dst, bound, p.quantum))
+	}
+	p.look[src][dst] = bound
+	p.recomputeClosure()
+}
+
+// PairLookahead returns the conservative bound for src->dst causality: the
+// matrix entry when one is installed, the uniform quantum otherwise
+// (0 when serial).
+func (e *Engine) PairLookahead(src, dst int) Time {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.lookFor(src, dst)
+}
+
+func (p *parEngine) lookFor(src, dst int) Time {
+	if p.look == nil {
+		return p.quantum
+	}
+	return p.look[src][dst]
+}
+
+// closedFor is the transitive bound used for segment boundaries: the
+// earliest a causality chain from src (possibly through other shards) can
+// touch dst.
+func (p *parEngine) closedFor(src, dst int) Time {
+	if p.closed == nil {
+		return p.quantum
+	}
+	return p.closed[src][dst]
 }
 
 // Sharded reports whether the parallel backend is enabled.
@@ -263,7 +425,7 @@ func (e *Engine) NumShards() int {
 // Shard returns shard i's clock.
 func (e *Engine) Shard(i int) *Shard { return e.par.shards[i] }
 
-// Quantum returns the conservative lookahead (0 when serial).
+// Quantum returns the conservative lookahead floor (0 when serial).
 func (e *Engine) Quantum() Time {
 	if e.par == nil {
 		return 0
@@ -278,19 +440,54 @@ func (e *Engine) OnBarrier(fn func()) {
 	e.par.onBarrier = append(e.par.onBarrier, fn)
 }
 
+// RunOnShards runs fn(i) for every shard index on the engine's worker
+// pool and waits for all of them. It is the fan-out primitive that lets
+// global-band work parallelize its shard-confined portion (a soft-state
+// scan's read-only path checks, per-shard bookkeeping sweeps).
+//
+// Contract: legal only from the coordinating goroutine between segments —
+// a global-band event, a barrier hook, or outside Run. fn(i) must confine
+// its writes to state owned by shard i (or striped by i) and may only read
+// shared state that no other fn invocation writes.
+func (e *Engine) RunOnShards(fn func(shard int)) {
+	p := e.par
+	if p == nil {
+		panic("sim: RunOnShards requires a sharded engine")
+	}
+	if p.jobs == nil {
+		for i := range p.shards {
+			fn(i)
+		}
+		return
+	}
+	p.scan = fn
+	p.wg.Add(len(p.shards))
+	for _, s := range p.shards {
+		p.jobs <- s
+	}
+	p.wg.Wait()
+	p.scan = nil
+}
+
 // run is the sharded main loop shared by Run and RunUntil.
 func (p *parEngine) run(deadline Time) {
 	p.startWorkers()
 	defer p.stopWorkers()
 	// Work queued before Run (setup-time injections) may already have
 	// produced handoffs or notifications; settle them first.
-	p.flush()
+	p.flush(MaxTime)
 	for {
-		// Earliest shard event and earliest global event decide the phase.
+		// Earliest event per shard and the earliest global event decide the
+		// phase and the segment bounds.
 		e0 := MaxTime
-		for _, s := range p.shards {
-			if ev := peekAlive(&s.q); ev != nil && ev.at < e0 {
-				e0 = ev.at
+		for i, s := range p.shards {
+			t := MaxTime
+			if ev := peekAlive(&s.q); ev != nil {
+				t = ev.at
+			}
+			p.next[i] = t
+			if t < e0 {
+				e0 = t
 			}
 		}
 		g0 := MaxTime
@@ -298,9 +495,19 @@ func (p *parEngine) run(deadline Time) {
 			g0 = ev.at
 		}
 		if e0 == MaxTime && g0 == MaxTime {
+			if p.hasRetainedNotes() {
+				// Retained notes are all that is left; they may generate
+				// fresh work, so settle and re-examine.
+				p.flush(MaxTime)
+				continue
+			}
 			break // quiescent
 		}
 		if min64(e0, g0) > deadline {
+			if p.hasRetainedNotes() {
+				p.flush(MaxTime)
+				continue
+			}
 			break
 		}
 		if g0 <= e0 {
@@ -311,6 +518,17 @@ func (p *parEngine) run(deadline Time) {
 			// the preceding segment, so control sees settled state. The
 			// clock only moves forward: a global scheduled from a barrier
 			// callback can land behind notifications already dispatched.
+			//
+			// Retained notes below g0 must observe their timestamps before
+			// control runs at g0, and any work they create may reorder the
+			// horizon — release exactly those and re-examine. Notes at or
+			// past g0 stay retained: a shard that raced ahead of this
+			// global may have stamped them, while a slower shard can still
+			// produce earlier ones.
+			if p.hasRetainedBelow(g0) {
+				p.flush(g0)
+				continue
+			}
 			if p.e.now < g0 {
 				p.e.now = g0
 			}
@@ -333,20 +551,49 @@ func (p *parEngine) run(deadline Time) {
 					ev.fn()
 				}
 			}
-			p.flush()
+			// Globals may Defer through shard clocks at the barrier; those
+			// notes stamp at >= g0 and stay retained until a future
+			// watermark passes them. This flush merges the handoffs and
+			// runs the barrier hooks.
+			p.flush(g0)
 			continue
 		}
-		// Segment [e0, b): bounded by the lookahead and the next global
-		// event, and never past the deadline.
-		b := satAdd(e0, p.quantum)
-		if g0 < b {
-			b = g0
+		// Segment: each shard advances to its own conservative bound
+		//
+		//	b_i = min(g0, min over senders j != i of next_j + closed[j][i])
+		//
+		// — the earliest instant any other shard's pending work could reach
+		// it, where closed is the min-plus transitive closure of the pair
+		// matrix (multi-hop chains through intermediate shards count). The
+		// shard owning the globally earliest event always has b_i > next_i
+		// (every pair bound is positive), so progress is guaranteed. W, the minimum bound over all shards, is the note
+		// release watermark: no shard can emit a note older than its own
+		// bound.
+		W := MaxTime
+		p.active = p.active[:0]
+		for i, s := range p.shards {
+			b := g0
+			for j := range p.shards {
+				if j == i || p.next[j] == MaxTime {
+					continue
+				}
+				if c := satAdd(p.next[j], p.closedFor(j, i)); c < b {
+					b = c
+				}
+			}
+			if deadline < MaxTime && b > deadline+1 {
+				b = deadline + 1
+			}
+			if W > b {
+				W = b
+			}
+			if p.next[i] < b {
+				s.limit = b
+				p.active = append(p.active, s)
+			}
 		}
-		if deadline < MaxTime && b > deadline+1 {
-			b = deadline + 1
-		}
-		p.segment(b)
-		p.flush()
+		p.segment()
+		p.flush(W)
 	}
 	if deadline < MaxTime {
 		if p.e.now < deadline {
@@ -368,18 +615,11 @@ func (p *parEngine) run(deadline Time) {
 	}
 }
 
-// segment drains every shard with work before boundary b, in parallel.
-func (p *parEngine) segment(b Time) {
-	p.active = p.active[:0]
-	for _, s := range p.shards {
-		if ev := peekAlive(&s.q); ev != nil && ev.at < b {
-			p.active = append(p.active, s)
-		}
-	}
-	p.boundary = b
+// segment drains every active shard to its own boundary, in parallel.
+func (p *parEngine) segment() {
 	if p.jobs == nil || len(p.active) == 1 {
 		for _, s := range p.active {
-			s.drain(b)
+			s.drain(s.limit)
 		}
 	} else {
 		p.wg.Add(len(p.active))
@@ -393,62 +633,15 @@ func (p *parEngine) segment(b Time) {
 	// reads then see exactly the timestamps the serial engine produces.
 }
 
-// flush settles the inter-shard state at a barrier: merge handoffs, run
-// deferred notifications (which may generate more of both — loop until
-// stable), then run the barrier hooks once.
-func (p *parEngine) flush() {
+// flush settles the inter-shard state at a barrier: merge handoff slabs,
+// dispatch deferred notifications older than the watermark W (which may
+// generate more of both — loop until stable), then run the barrier hooks
+// once. Notes at or past W stay retained for a later barrier.
+func (p *parEngine) flush(W Time) {
 	for {
-		moved := false
-		// Handoffs merge in (source shard, send sequence) order: each
-		// shard's buffer is already in send order, shards visit in index
-		// order, and destination heaps tie-break by arrival sequence.
-		for _, s := range p.shards {
-			if len(s.out) > 0 {
-				moved = true
-				for i, h := range s.out {
-					if h.act != nil {
-						h.dst.Post(h.at, h.act)
-					} else {
-						h.dst.Schedule(h.at, h.fn)
-					}
-					s.out[i] = handoffMsg{}
-				}
-				s.out = s.out[:0]
-			}
-		}
-		// Notifications dispatch in (time, source shard, emit sequence)
-		// order with the engine clock set to each note's stamp, so hooks
-		// observe the same timestamps the serial engine would deliver.
-		p.dispatch = p.dispatch[:0]
-		for _, s := range p.shards {
-			for i, nt := range s.notes {
-				p.dispatch = append(p.dispatch, noteDispatch{at: nt.at, shard: s.id, seq: i, fn: nt.fn, act: nt.act})
-				s.notes[i] = noteMsg{}
-			}
-			s.notes = s.notes[:0]
-		}
-		if len(p.dispatch) > 0 {
+		moved := p.mergeHandoffs()
+		if p.dispatchNotes(W) {
 			moved = true
-			sort.SliceStable(p.dispatch, func(i, j int) bool {
-				a, b := p.dispatch[i], p.dispatch[j]
-				if a.at != b.at {
-					return a.at < b.at
-				}
-				if a.shard != b.shard {
-					return a.shard < b.shard
-				}
-				return a.seq < b.seq
-			})
-			for _, d := range p.dispatch {
-				if p.e.now < d.at {
-					p.e.now = d.at
-				}
-				if d.act != nil {
-					d.act.Run()
-				} else {
-					d.fn()
-				}
-			}
 		}
 		if !moved {
 			break
@@ -457,6 +650,142 @@ func (p *parEngine) flush() {
 	for _, fn := range p.onBarrier {
 		fn()
 	}
+}
+
+// mergeHandoffs folds every source shard's per-destination slab into the
+// destination heaps. Order is (source shard, send sequence) per
+// destination: slabs are already in send order and sources visit in index
+// order, and destination heaps tie-break equal times by arrival sequence —
+// so a bulk load followed by one heapify pass pops identically to
+// per-message pushes, at a fraction of the sift cost for large batches.
+func (p *parEngine) mergeHandoffs() bool {
+	moved := false
+	for di, dst := range p.shards {
+		total := 0
+		for _, src := range p.shards {
+			total += len(src.outTo[di])
+		}
+		if total == 0 {
+			continue
+		}
+		moved = true
+		// Bulk-load when the batch is big relative to the heap: appending
+		// all entries and re-heapifying is O(n), versus O(batch log n) for
+		// individual sift-ups.
+		bulk := total*4 >= len(dst.q)
+		for _, src := range p.shards {
+			slab := src.outTo[di]
+			for i := range slab {
+				h := &slab[i]
+				at := h.at
+				if at < dst.now {
+					// Setup- and barrier-origin sends clamp exactly as
+					// Post/Schedule would outside a segment; in-segment
+					// sends can never arrive in the destination's past
+					// (that is what the pair bounds guarantee).
+					at = dst.now
+				}
+				var ev *Event
+				if h.act != nil {
+					ev = dst.pool.get()
+					ev.at, ev.seq, ev.act = at, dst.seq, h.act
+				} else {
+					ev = &Event{at: at, seq: dst.seq, fn: h.fn}
+				}
+				dst.seq++
+				if bulk {
+					dst.q = append(dst.q, ev)
+					ev.idx = len(dst.q) - 1
+				} else {
+					heapPushEvent(&dst.q, ev)
+				}
+				slab[i] = handoffMsg{}
+			}
+			src.outTo[di] = slab[:0]
+		}
+		if bulk {
+			heap.Init(&dst.q)
+		}
+	}
+	return moved
+}
+
+// dispatchNotes runs every retained notification with stamp below W, in
+// (time, source shard, emit sequence) order, with the engine clock set to
+// each note's stamp. Per-shard queues are kept sorted by pushNote, so a
+// k-way cursor merge replaces the former collect-and-sort pass. Callbacks
+// may emit new notes (appended behind the cursors) and handoffs; the
+// caller loops until stable.
+func (p *parEngine) dispatchNotes(W Time) bool {
+	ran := false
+	for {
+		best := -1
+		var bestAt Time
+		for i, s := range p.shards {
+			c := s.noteLo
+			if c >= len(s.notes) {
+				continue
+			}
+			at := s.notes[c].at
+			if at >= W {
+				continue
+			}
+			if best < 0 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		s := p.shards[best]
+		nt := s.notes[s.noteLo]
+		s.notes[s.noteLo] = noteMsg{}
+		s.noteLo++
+		ran = true
+		if p.e.now < nt.at {
+			p.e.now = nt.at
+		}
+		if nt.act != nil {
+			nt.act.Run()
+		} else {
+			nt.fn()
+		}
+	}
+	// Compact each queue: drop the dispatched prefix, keep retained tails.
+	for _, s := range p.shards {
+		if s.noteLo == 0 {
+			continue
+		}
+		n := copy(s.notes, s.notes[s.noteLo:])
+		for i := n; i < len(s.notes); i++ {
+			s.notes[i] = noteMsg{}
+		}
+		s.notes = s.notes[:n]
+		s.noteLo = 0
+	}
+	return ran
+}
+
+// hasRetainedNotes reports whether any shard holds undispatched
+// notifications.
+func (p *parEngine) hasRetainedNotes() bool {
+	for _, s := range p.shards {
+		if len(s.notes) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasRetainedBelow reports whether any shard holds an undispatched
+// notification stamped before t. Queues are sorted, so the head decides.
+func (p *parEngine) hasRetainedBelow(t Time) bool {
+	for _, s := range p.shards {
+		if len(s.notes) > 0 && s.notes[0].at < t {
+			return true
+		}
+	}
+	return false
 }
 
 func (p *parEngine) startWorkers() {
@@ -468,7 +797,11 @@ func (p *parEngine) startWorkers() {
 	for i := 0; i < p.workers; i++ {
 		go func() {
 			for s := range jobs {
-				s.drain(p.boundary)
+				if fn := p.scan; fn != nil {
+					fn(s.id)
+				} else {
+					s.drain(s.limit)
+				}
 				p.wg.Done()
 			}
 		}()

@@ -20,6 +20,14 @@ type PartitionResult struct {
 	// largest legal conservative lookahead for this partition (sim.MaxTime
 	// when nothing is cut).
 	MinCutDelay sim.Time
+	// PairDelay[i][j] is the smallest propagation delay over any cut link
+	// from a shard-i node to a shard-j node — the per-pair conservative
+	// lookahead bound (sim.MaxTime when no i->j link exists, 0 on the
+	// diagonal). Its minimum off-diagonal finite entry equals MinCutDelay,
+	// and every entry is at least MinCutDelay: feeding the matrix to
+	// sim.Engine.SetLookahead can only lengthen segments, never shorten
+	// them below the classic global bound.
+	PairDelay [][]sim.Time
 }
 
 // Partition colors the graph's nodes into at most k balanced connected
@@ -231,16 +239,49 @@ func Partition(g *Graph, k int) *PartitionResult {
 	for i := 0; i < n; i++ {
 		res.Assign[i] = compShard[compOf[i]]
 	}
+	res.PairDelay = make([][]sim.Time, k)
+	for i := range res.PairDelay {
+		res.PairDelay[i] = make([]sim.Time, k)
+		for j := range res.PairDelay[i] {
+			if i != j {
+				res.PairDelay[i][j] = sim.MaxTime
+			}
+		}
+	}
 	for i := 0; i < g.NumLinks(); i++ {
 		l := g.Link(LinkID(i))
-		if res.Assign[l.From] != res.Assign[l.To] {
+		si, sj := res.Assign[l.From], res.Assign[l.To]
+		if si != sj {
 			res.CutLinks++
 			if l.Delay < res.MinCutDelay {
 				res.MinCutDelay = l.Delay
 			}
+			if l.Delay < res.PairDelay[si][sj] {
+				res.PairDelay[si][sj] = l.Delay
+			}
 		}
 	}
 	return res
+}
+
+// RecomputePair refreshes the (src, dst) pair bound from the graph — the
+// incremental hook for a partition-edge change (a link added between the
+// two shards, or a cut link's delay edited). A full link scan filtered to
+// one pair; callers feed the result to sim.Engine.UpdatePairLookahead.
+func (r *PartitionResult) RecomputePair(g *Graph, src, dst int) sim.Time {
+	d := sim.MaxTime
+	if src == dst {
+		return 0
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(LinkID(i))
+		if int(l.From) < len(r.Assign) && int(l.To) < len(r.Assign) &&
+			r.Assign[l.From] == src && r.Assign[l.To] == dst && l.Delay < d {
+			d = l.Delay
+		}
+	}
+	r.PairDelay[src][dst] = d
+	return d
 }
 
 // Validate checks the partition invariants against g: full coverage, shard
@@ -258,6 +299,31 @@ func (r *PartitionResult) Validate(g *Graph) error {
 		l := g.Link(LinkID(i))
 		if r.Assign[l.From] != r.Assign[l.To] && l.Delay <= 0 {
 			return fmt.Errorf("topo: zero-delay link %s->%s cut by partition", g.Name(l.From), g.Name(l.To))
+		}
+	}
+	if r.PairDelay != nil {
+		if len(r.PairDelay) != r.NumShards {
+			return fmt.Errorf("topo: pair-delay matrix has %d rows for %d shards", len(r.PairDelay), r.NumShards)
+		}
+		min := sim.MaxTime
+		for i, row := range r.PairDelay {
+			if len(row) != r.NumShards {
+				return fmt.Errorf("topo: pair-delay row %d has %d entries for %d shards", i, len(row), r.NumShards)
+			}
+			for j, d := range row {
+				if i == j {
+					continue
+				}
+				if d < r.MinCutDelay {
+					return fmt.Errorf("topo: pair bound %d->%d is %v, below the global min-cut delay %v", i, j, d, r.MinCutDelay)
+				}
+				if d < min {
+					min = d
+				}
+			}
+		}
+		if r.CutLinks > 0 && min != r.MinCutDelay {
+			return fmt.Errorf("topo: tightest pair bound %v disagrees with min-cut delay %v", min, r.MinCutDelay)
 		}
 	}
 	return nil
